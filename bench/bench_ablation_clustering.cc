@@ -1,0 +1,75 @@
+// Ablation A1: layer-wise recursive clustering (Algorithm 1) vs
+// whole-model clustering (FMTL-style) vs no clustering (FedAvg), on the
+// same clustered non-i.i.d. corpus. Design choice of Section III-B2:
+// "from the bottom up, the degree of similarity among deep models
+// decreases", so per-layer clustering should be finer-grained than
+// whole-model clustering.
+
+#include "bench_common.h"
+#include "federated/fl_simulator.h"
+#include "graph/corpus.h"
+
+using namespace fexiot;
+using namespace fexiot::bench;
+
+int main() {
+  PrintHeader("Ablation A1", "layer-wise vs whole-model clustering");
+
+  CorpusOptions copt;
+  copt.platforms = {Platform::kIfttt};
+  copt.min_nodes = 4;
+  copt.max_nodes = 20;
+  copt.vulnerable_fraction = 0.3;
+
+  Rng rng(111);
+  FederatedCorpus corpus = BuildClusteredFederatedCorpus(
+      copt, Scaled(700, 350), /*num_clients=*/10, /*num_clusters=*/3,
+      /*alpha=*/1.0, /*profile_strength=*/0.7, &rng);
+
+  GnnConfig gc;
+  gc.type = GnnType::kGin;
+  gc.hidden_dim = 24;
+  gc.embedding_dim = 24;
+  FlConfig fc;
+  fc.num_rounds = Scaled(10, 8);
+  fc.local.epochs = 2;
+  fc.local.learning_rate = 0.02;
+  fc.local.margin = 3.0;
+  fc.local.pairs_per_sample = 2.0;
+
+  TablePrinter table({"variant", "accuracy", "acc_std", "f1", "comm_MB",
+                      "clusters", "cluster_align"});
+  struct Row {
+    const char* name;
+    FlAlgorithm alg;
+  };
+  for (const Row& row : {Row{"layer-wise (FexIoT)", FlAlgorithm::kFexiot},
+                         Row{"whole-model (FMTL)", FlAlgorithm::kFmtl},
+                         Row{"none (FedAvg)", FlAlgorithm::kFedAvg}}) {
+    FederatedSimulator sim(gc, fc);
+    sim.SetupClients(corpus.data, corpus.partition, corpus.cluster_tests);
+    const FlResult res = sim.Run(row.alg);
+    // Pairwise co-clustering agreement with the latent ground truth.
+    int agree = 0, total = 0;
+    for (size_t i = 0; i < res.client_cluster.size(); ++i) {
+      for (size_t j = i + 1; j < res.client_cluster.size(); ++j) {
+        const bool same_pred = res.client_cluster[i] == res.client_cluster[j];
+        const bool same_true = corpus.partition.client_cluster[i] ==
+                               corpus.partition.client_cluster[j];
+        agree += same_pred == same_true ? 1 : 0;
+        ++total;
+      }
+    }
+    table.AddRow({row.name, Fmt(res.mean.accuracy), Fmt(res.accuracy_std),
+                  Fmt(res.mean.f1),
+                  Fmt(res.total_comm_bytes / (1024.0 * 1024.0), 1),
+                  std::to_string(res.rounds.back().num_clusters),
+                  Fmt(static_cast<double>(agree) / total, 2)});
+  }
+  table.Print();
+  std::printf(
+      "\nShape check: layer-wise clustering matches or beats whole-model\n"
+      "clustering in accuracy while transmitting fewer bytes; both beat\n"
+      "plain FedAvg under clustered heterogeneity.\n");
+  return 0;
+}

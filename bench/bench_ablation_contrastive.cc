@@ -1,0 +1,80 @@
+// Ablation A3: contrastive representation objective (Eq. 2, stable
+// Hadsell form) vs plain supervised training of the embedding, and the
+// Eq. 2 literal squared-margin form (which is prone to representation
+// collapse — the reason the stable form is the default).
+
+#include <cmath>
+
+#include "bench_common.h"
+#include "gnn/trainer.h"
+#include "graph/corpus.h"
+
+using namespace fexiot;
+using namespace fexiot::bench;
+
+int main() {
+  PrintHeader("Ablation A3", "contrastive loss variants vs supervised");
+
+  Rng rng(333);
+  CorpusOptions copt;
+  copt.platforms = {Platform::kIfttt};
+  copt.min_nodes = 4;
+  copt.max_nodes = 20;
+  copt.vulnerable_fraction = 0.3;
+  GraphCorpusGenerator gen(copt, &rng);
+  GraphDataset all(gen.GenerateDataset(Scaled(700, 350)));
+  GraphDataset train, test;
+  all.Split(0.8, &rng, &train, &test);
+
+  GnnConfig gc;
+  gc.type = GnnType::kGin;
+  gc.hidden_dim = 24;
+  gc.embedding_dim = 24;
+
+  struct Variant {
+    const char* name;
+    bool contrastive;
+    ContrastiveForm form;
+  };
+  const Variant variants[] = {
+      {"contrastive (Hadsell margin)", true, ContrastiveForm::kHadsellMargin},
+      {"contrastive (Eq.2 literal)", true, ContrastiveForm::kSquaredMargin},
+      {"supervised (logistic head)", false, ContrastiveForm::kHadsellMargin},
+  };
+
+  TablePrinter table({"objective", "test_acc", "test_f1", "final_loss",
+                      "emb_norm"});
+  for (const Variant& v : variants) {
+    GnnModel model(gc);
+    TrainConfig tc;
+    tc.epochs = Scaled(20, 14);
+    tc.learning_rate = 0.02;
+    tc.margin = 3.0;
+    tc.pairs_per_sample = 2.0;
+    tc.contrastive = v.contrastive;
+    tc.form = v.form;
+    GnnTrainer trainer(&model, tc);
+    const auto ptrain = PrepareDataset(train, gc);
+    const auto ptest = PrepareDataset(test, gc);
+    Rng trng(11);
+    const double loss = trainer.Train(ptrain, &trng);
+    const ClassificationMetrics m = trainer.Evaluate(ptrain, ptest);
+    const Matrix emb = trainer.Embed(ptrain);
+    double norm = 0.0;
+    for (size_t i = 0; i < emb.rows(); ++i) {
+      double s = 0.0;
+      for (size_t c = 0; c < emb.cols(); ++c) s += emb.At(i, c) * emb.At(i, c);
+      norm += std::sqrt(s);
+    }
+    norm /= static_cast<double>(emb.rows());
+    table.AddRow({v.name, Fmt(m.accuracy), Fmt(m.f1), Fmt(loss),
+                  Fmt(norm, 2)});
+  }
+  table.Print();
+  std::printf(
+      "\nShape check: the stable contrastive form performs on par with\n"
+      "supervised training; the Eq. 2 literal form collapses the\n"
+      "embedding (emb_norm -> ~0) and loses accuracy, which is why the\n"
+      "library defaults to the Hadsell margin.\n");
+  return 0;
+}

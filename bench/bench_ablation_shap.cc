@@ -1,0 +1,90 @@
+// Ablation A2: SHAP-valued reward vs raw prediction reward inside the
+// Monte Carlo beam search (design choice of Section III-C: "directly
+// using the prediction scores to measure the risk of subgraphs is
+// problematic"). Measured by ground-truth witness recovery and fidelity.
+
+#include <memory>
+#include <set>
+
+#include "bench_common.h"
+#include "explain/explainer.h"
+#include "gnn/trainer.h"
+#include "graph/corpus.h"
+#include "ml/linear_model.h"
+#include "ml/metrics.h"
+
+using namespace fexiot;
+using namespace fexiot::bench;
+
+int main() {
+  PrintHeader("Ablation A2", "SHAP reward vs prediction reward in MCBS");
+
+  Rng rng(222);
+  CorpusOptions copt;
+  copt.platforms = {Platform::kIfttt};
+  copt.min_nodes = 6;
+  copt.max_nodes = 14;
+  copt.vulnerable_fraction = 0.5;
+  GraphCorpusGenerator gen(copt, &rng);
+  GraphDataset train(gen.GenerateDataset(Scaled(300, 150)));
+
+  GnnConfig gc;
+  gc.type = GnnType::kGin;
+  gc.hidden_dim = 24;
+  gc.embedding_dim = 24;
+  GnnModel model(gc);
+  TrainConfig tc;
+  tc.epochs = Scaled(18, 12);
+  tc.learning_rate = 0.02;
+  tc.margin = 3.0;
+  tc.pairs_per_sample = 2.0;
+  GnnTrainer trainer(&model, tc);
+  const auto prepared = PrepareDataset(train, gc);
+  trainer.Train(prepared, &rng);
+  SgdClassifier head;
+  std::vector<int> y = train.Labels();
+  (void)head.Fit(trainer.Embed(prepared), y);
+
+  const int cases_n = Scaled(10, 6);
+  std::vector<InteractionGraph> cases;
+  for (int i = 0; i < cases_n; ++i) {
+    cases.push_back(gen.GenerateVulnerable(gen.SampleVulnerabilityType()));
+  }
+
+  SearchOptions sopt;
+  sopt.iterations = Scaled(6, 4);
+  sopt.beam_width = 3;
+  sopt.max_subgraph_nodes = 4;
+  sopt.shap_samples = 12;
+
+  TablePrinter table({"reward", "witness_recall", "fidelity", "sparsity"});
+  std::vector<std::unique_ptr<Explainer>> variants;
+  variants.push_back(std::make_unique<ShapMcbsExplainer>(sopt));
+  variants.push_back(std::make_unique<MctsGnnExplainer>(sopt));
+  const char* names[] = {"kernel SHAP (FexIoT)", "raw prediction"};
+  for (size_t v = 0; v < variants.size(); ++v) {
+    double recall = 0.0, fidelity = 0.0, sparsity = 0.0;
+    for (const auto& g : cases) {
+      GnnGraphScorer scorer(&model, &head, &g);
+      const ExplanationResult res = variants[v]->Explain(scorer, &rng);
+      const std::set<int> witness(g.witness().begin(), g.witness().end());
+      int covered = 0;
+      for (int node : res.subgraph_nodes) covered += witness.count(node);
+      recall += witness.empty()
+                    ? 0.0
+                    : static_cast<double>(covered) / witness.size();
+      const FidelitySparsity fs =
+          EvaluateExplanation(scorer, res.subgraph_nodes);
+      fidelity += fs.fidelity;
+      sparsity += fs.sparsity;
+    }
+    table.AddRow({names[v], Fmt(recall / cases_n), Fmt(fidelity / cases_n),
+                  Fmt(sparsity / cases_n)});
+  }
+  table.Print();
+  std::printf(
+      "\nShape check: the SHAP reward recovers more of the ground-truth\n"
+      "witness chain at equal sparsity — the prediction score alone\n"
+      "cannot credit nodes whose effect only shows in coalition context.\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+#pragma once
+
+// Shared utilities for the FexIoT benchmark harness. Every bench binary
+// regenerates one table or figure of the paper and prints paper-reported
+// values next to measured values. Absolute numbers differ (the substrate
+// is a simulator); the reproduction target is the SHAPE: orderings,
+// approximate factors, crossovers.
+//
+// Scale: benches default to a laptop-minute budget. Set FEXIOT_SCALE=<k>
+// (e.g. 4) to multiply dataset sizes / rounds toward paper scale.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+
+namespace fexiot {
+namespace bench {
+
+/// Scale multiplier from the FEXIOT_SCALE env var (default 1.0).
+inline double Scale() {
+  const char* env = std::getenv("FEXIOT_SCALE");
+  if (env == nullptr) return 1.0;
+  const double v = std::atof(env);
+  return v > 0.0 ? v : 1.0;
+}
+
+/// n scaled, with a floor.
+inline int Scaled(int base, int floor_value = 1) {
+  const int v = static_cast<int>(base * Scale());
+  return v < floor_value ? floor_value : v;
+}
+
+inline void PrintHeader(const std::string& id, const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", id.c_str(), title.c_str());
+  std::printf("(scale=%.1f; set FEXIOT_SCALE to enlarge toward paper scale)\n",
+              Scale());
+  std::printf("================================================================\n");
+}
+
+inline std::string Fmt(double v, int precision = 3) {
+  return FormatDouble(v, precision);
+}
+
+}  // namespace bench
+}  // namespace fexiot

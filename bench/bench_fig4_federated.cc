@@ -1,0 +1,83 @@
+// Figure 4: federated vulnerability detection under Dirichlet label skew.
+//
+// Paper: 10 clients, IFTTT dataset, alpha in {0.1, 1, 2, 5, 10}; for both
+// GIN and GCN the ordering is FexIoT > GCFL+ > FMTL > FedAvg > Client,
+// with FexIoT ~0.89-0.92 accuracy, FedAvg ~0.72-0.77, Client ~0.54-0.62,
+// and accuracy increasing with alpha for every method.
+
+#include "bench_common.h"
+#include "federated/fl_simulator.h"
+#include "graph/corpus.h"
+
+using namespace fexiot;
+using namespace fexiot::bench;
+
+int main() {
+  PrintHeader("Figure 4", "federated GNN accuracy across Dirichlet alpha");
+
+  const int total_graphs = Scaled(700, 300);
+  const int num_clients = 10;
+  const int num_clusters = 3;
+  const int rounds = Scaled(10, 8);
+  const std::vector<double> alphas = {0.1, 1.0, 2.0, 5.0, 10.0};
+  const std::vector<FlAlgorithm> algorithms = {
+      FlAlgorithm::kFexiot, FlAlgorithm::kGcfl, FlAlgorithm::kFmtl,
+      FlAlgorithm::kFedAvg, FlAlgorithm::kLocalOnly};
+
+  CorpusOptions copt;
+  copt.platforms = {Platform::kIfttt};
+  copt.min_nodes = 4;
+  copt.max_nodes = 20;
+  copt.vulnerable_fraction = 0.3;
+
+  for (GnnType type : {GnnType::kGin, GnnType::kGcn}) {
+    std::printf("\n--- %s ---\n", GnnTypeName(type));
+    TablePrinter table({"alpha", "FexIoT", "GCFL+", "FMTL", "FedAvg",
+                        "Client", "FexIoT_f1", "FedAvg_f1"});
+    for (double alpha : alphas) {
+      Rng rng(7000 + static_cast<uint64_t>(alpha * 10));
+      FederatedCorpus corpus = BuildClusteredFederatedCorpus(
+          copt, total_graphs, num_clients, num_clusters, alpha,
+          /*profile_strength=*/0.7, &rng);
+
+      GnnConfig gc;
+      gc.type = type;
+      gc.hidden_dim = 24;
+      gc.embedding_dim = 24;
+
+      FlConfig fc;
+      fc.num_rounds = rounds;
+      fc.local.epochs = 2;
+      // GCN's normalized propagation produces smaller gradients than
+      // GIN's sum aggregation; it needs a larger step size.
+      fc.local.learning_rate = type == GnnType::kGcn ? 0.1 : 0.02;
+      fc.local.margin = 3.0;
+      fc.local.pairs_per_sample = 2.0;
+
+      std::vector<std::string> row = {Fmt(alpha, 1)};
+      double fexiot_f1 = 0.0, fedavg_f1 = 0.0;
+      for (FlAlgorithm alg : algorithms) {
+        FederatedSimulator sim(gc, fc);
+        sim.SetupClients(corpus.data, corpus.partition, corpus.cluster_tests);
+        const FlResult res = sim.Run(alg);
+        row.push_back(Fmt(res.mean.accuracy));
+        if (alg == FlAlgorithm::kFexiot) fexiot_f1 = res.mean.f1;
+        if (alg == FlAlgorithm::kFedAvg) fedavg_f1 = res.mean.f1;
+      }
+      row.push_back(Fmt(fexiot_f1));
+      row.push_back(Fmt(fedavg_f1));
+      table.AddRow(row);
+    }
+    table.Print();
+  }
+
+  std::printf(
+      "\nPaper reference (GIN accuracy): FexIoT 0.891@0.1 -> 0.919@10,\n"
+      "GCFL+ 0.852 -> 0.889, FedAvg 0.717 -> 0.768, Client 0.542 -> 0.622.\n"
+      "Shape check: accuracy rises with alpha for every method; the\n"
+      "clustered methods dominate FedAvg which dominates local-only\n"
+      "training at moderate/large alpha. (At alpha=0.1 the extreme label\n"
+      "skew makes cluster discovery noisy at this scale; see\n"
+      "EXPERIMENTS.md.)\n");
+  return 0;
+}

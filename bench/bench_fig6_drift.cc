@@ -1,0 +1,143 @@
+// Figure 6 + drifting-pattern evaluation: k-means clustering of learned
+// graph representations (t-SNE projected) and MAD-based drifting-sample
+// detection on unlabeled data.
+//
+// Paper: 1,500 sampled representations form separable clusters (6
+// vulnerability types + normal); 63 / 104 potential drifting samples were
+// found in the IFTTT / heterogeneous unlabeled sets and turned out to be
+// three new vulnerability patterns.
+
+#include <map>
+
+#include "bench_common.h"
+#include "gnn/trainer.h"
+#include "graph/corpus.h"
+#include "ml/kmeans.h"
+#include "ml/mad.h"
+#include "ml/tsne.h"
+
+using namespace fexiot;
+using namespace fexiot::bench;
+
+int main() {
+  PrintHeader("Figure 6", "representation clustering and drift detection");
+
+  Rng rng(606);
+  CorpusOptions copt;
+  copt.platforms = {Platform::kIfttt};
+  copt.min_nodes = 4;
+  copt.max_nodes = 20;
+  copt.vulnerable_fraction = 0.5;
+  GraphCorpusGenerator gen(copt, &rng);
+
+  // Train the contrastive representation on a labeled corpus.
+  const int train_n = Scaled(700, 300);
+  GraphDataset train(gen.GenerateDataset(train_n));
+  GnnConfig gc;
+  gc.type = GnnType::kGin;
+  gc.hidden_dim = 24;
+  gc.embedding_dim = 24;
+  GnnModel model(gc);
+  TrainConfig tc;
+  tc.epochs = Scaled(20, 12);
+  tc.learning_rate = 0.02;
+  tc.margin = 3.0;
+  tc.pairs_per_sample = 2.0;
+  GnnTrainer trainer(&model, tc);
+  const auto prepared = PrepareDataset(train, gc);
+  Stopwatch watch;
+  trainer.Train(prepared, &rng);
+  std::printf("trained representation on %d graphs in %.1fs\n", train_n,
+              watch.ElapsedSeconds());
+
+  // Sample representations (paper: 1,500) and cluster with k-means after
+  // t-SNE; report per-vulnerability-type cluster purity.
+  const int sample_n = Scaled(400, 150);
+  GraphDataset sample(gen.GenerateDataset(sample_n));
+  const auto prepared_sample = PrepareDataset(sample, gc);
+  const Matrix emb = trainer.Embed(prepared_sample);
+
+  watch.Restart();
+  Tsne::Options topt;
+  topt.iterations = Scaled(250, 150);
+  const Matrix projected = Tsne(topt).FitTransform(emb);
+  std::printf("t-SNE projected %d representations to 2-D in %.1fs\n",
+              sample_n, watch.ElapsedSeconds());
+
+  KMeans::Options kopt;
+  kopt.k = 7;  // six vulnerability types + normal
+  const KMeans::Result km = KMeans(kopt).Fit(projected);
+
+  // Cluster purity per true category (0 = normal, 1..6 = vuln types).
+  std::map<int, std::map<int, int>> cluster_counts;
+  for (size_t i = 0; i < sample.size(); ++i) {
+    const int category = sample.graph(i).label() == 0
+                             ? 0
+                             : static_cast<int>(sample.graph(i).vulnerability());
+    cluster_counts[km.assignment[i]][category] += 1;
+  }
+  TablePrinter table({"kmeans_cluster", "size", "dominant_category",
+                      "purity"});
+  double macro_purity = 0.0;
+  for (const auto& [cluster, counts] : cluster_counts) {
+    int total = 0, best = 0, best_cat = 0;
+    for (const auto& [cat, n] : counts) {
+      total += n;
+      if (n > best) {
+        best = n;
+        best_cat = cat;
+      }
+    }
+    const double purity = static_cast<double>(best) / total;
+    macro_purity += purity;
+    const std::string cat_name =
+        best_cat == 0 ? "normal"
+                      : VulnerabilityTypeName(
+                            static_cast<VulnerabilityType>(best_cat));
+    table.AddRow({std::to_string(cluster), std::to_string(total), cat_name,
+                  Fmt(purity, 2)});
+  }
+  macro_purity /= static_cast<double>(cluster_counts.size());
+  table.Print();
+  std::printf("macro purity over %zu k-means clusters: %.2f\n",
+              cluster_counts.size(), macro_purity);
+
+  // Drift detection: MAD statistics on training embeddings; unlabeled set
+  // mixes ordinary graphs with planted novel patterns.
+  MadDriftDetector drift;
+  drift.Fit(trainer.Embed(prepared), train.Labels());
+
+  const int unlabeled_n = Scaled(300, 120);
+  const int planted_drift = unlabeled_n / 10;
+  std::vector<InteractionGraph> unlabeled =
+      gen.GenerateDataset(unlabeled_n - planted_drift);
+  const size_t first_drift = unlabeled.size();
+  for (int i = 0; i < planted_drift; ++i) {
+    unlabeled.push_back(gen.GenerateDrifting());
+  }
+  const auto prepared_unlabeled = PrepareGraphs(unlabeled, gc);
+
+  int flagged = 0, flagged_true_drift = 0;
+  for (size_t i = 0; i < prepared_unlabeled.size(); ++i) {
+    const std::vector<double> z =
+        model.Forward(prepared_unlabeled[i], nullptr);
+    if (drift.IsDrifting(z)) {
+      ++flagged;
+      if (i >= first_drift) ++flagged_true_drift;
+    }
+  }
+  std::printf(
+      "\nMAD drift filter (threshold %.0f): flagged %d of %d unlabeled "
+      "graphs;\n%d of the %d planted novel-pattern graphs were caught "
+      "(recall %.2f).\n",
+      3.0, flagged, unlabeled_n, flagged_true_drift, planted_drift,
+      static_cast<double>(flagged_true_drift) / planted_drift);
+  std::printf(
+      "\nPaper reference: 63 / 104 potential drifting samples flagged in\n"
+      "the IFTTT / heterogeneous unlabeled sets (~0.5-1%% of samples),\n"
+      "manually confirmed as three new vulnerability patterns. Shape\n"
+      "check: known-pattern clusters are separable (high purity) and the\n"
+      "MAD filter flags a small fraction dominated by the planted novel\n"
+      "patterns.\n");
+  return 0;
+}

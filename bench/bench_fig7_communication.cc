@@ -1,0 +1,74 @@
+// Figure 7: communication cost of the FL strategies.
+//
+// Paper: total transferred data for 25/50/100 clients over 60 rounds;
+// FedAvg / FMTL / GCFL+ exchange the whole model every round while FexIoT
+// exchanges layers progressively, saving ~40.2% vs FedAvg; <40 GB total
+// at 100 clients.
+
+#include "bench_common.h"
+#include "federated/fl_simulator.h"
+#include "graph/corpus.h"
+
+using namespace fexiot;
+using namespace fexiot::bench;
+
+int main() {
+  PrintHeader("Figure 7", "communication cost vs number of clients");
+
+  const std::vector<int> client_counts =
+      Scale() >= 2.0 ? std::vector<int>{25, 50, 100}
+                     : std::vector<int>{10, 20, 40};
+  const int rounds = Scaled(12, 10);  // paper: 60
+
+  CorpusOptions copt;
+  copt.platforms = {Platform::kIfttt};
+  copt.min_nodes = 4;
+  copt.max_nodes = 16;
+  copt.vulnerable_fraction = 0.3;
+
+  TablePrinter table({"clients", "FedAvg_MB", "FMTL_MB", "GCFL+_MB",
+                      "FexIoT_MB", "FexIoT_saving"});
+  for (int clients : client_counts) {
+    Rng rng(700 + static_cast<uint64_t>(clients));
+    FederatedCorpus corpus = BuildClusteredFederatedCorpus(
+        copt, Scaled(500, 250), clients, 3, /*alpha=*/1.0,
+        /*profile_strength=*/0.7, &rng);
+
+    GnnConfig gc;
+    gc.type = GnnType::kGin;
+    gc.hidden_dim = 24;
+    gc.embedding_dim = 24;
+    FlConfig fc;
+    fc.num_rounds = rounds;
+    fc.local.epochs = 1;
+    fc.local.learning_rate = 0.02;
+    fc.local.margin = 3.0;
+    fc.local.pairs_per_sample = 1.0;
+    fc.min_cluster_size = std::max(4, clients / 6);
+
+    std::vector<double> mb;
+    for (FlAlgorithm alg :
+         {FlAlgorithm::kFedAvg, FlAlgorithm::kFmtl, FlAlgorithm::kGcfl,
+          FlAlgorithm::kFexiot}) {
+      FederatedSimulator sim(gc, fc);
+      sim.SetupClients(corpus.data, corpus.partition, corpus.cluster_tests);
+      const FlResult res = sim.Run(alg);
+      mb.push_back(res.total_comm_bytes / (1024.0 * 1024.0));
+    }
+    const double saving = 1.0 - mb[3] / mb[0];
+    table.AddRow({std::to_string(clients), Fmt(mb[0], 1), Fmt(mb[1], 1),
+                  Fmt(mb[2], 1), Fmt(mb[3], 1),
+                  Fmt(100.0 * saving, 1) + "%"});
+  }
+  table.Print();
+  std::printf(
+      "\nPaper reference: FexIoT saves 40.2%% of FedAvg's bytes; FMTL and\n"
+      "GCFL+ pay the full whole-model exchange like FedAvg. Shape check:\n"
+      "cost grows linearly with clients; FexIoT is consistently the\n"
+      "cheapest because early rounds exchange only the lower layers until\n"
+      "the layer-wise clustering stabilizes. (The saving fraction depends\n"
+      "on rounds: with the paper's 60 rounds more of the run is spent in\n"
+      "the cheap clustering phase per split; run FEXIOT_SCALE=5 to see\n"
+      "larger savings.)\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Figure 8: qualitative explanation comparison.
+//
+// Paper: two example graphs; FexIoT identifies a concise subgraph (even
+// correcting a GCN false positive with a minimal misleading explanation),
+// while SubgraphX / MCTS_GNN select larger subgraphs that confuse the
+// inspector. Here we print the chosen subgraphs plus the ground-truth
+// witness so conciseness and witness coverage can be compared directly.
+
+#include <memory>
+#include <set>
+
+#include "bench_common.h"
+#include "explain/explainer.h"
+#include "gnn/trainer.h"
+#include "graph/corpus.h"
+#include "ml/linear_model.h"
+
+using namespace fexiot;
+using namespace fexiot::bench;
+
+int main() {
+  PrintHeader("Figure 8", "qualitative explanation examples");
+
+  Rng rng(88);
+  CorpusOptions copt;
+  copt.platforms = {Platform::kIfttt};
+  copt.min_nodes = 6;
+  copt.max_nodes = 12;
+  copt.vulnerable_fraction = 0.5;
+  GraphCorpusGenerator gen(copt, &rng);
+  GraphDataset train(gen.GenerateDataset(Scaled(300, 150)));
+
+  GnnConfig gc;
+  gc.type = GnnType::kGcn;  // the paper explains GCN predictions
+  gc.hidden_dim = 24;
+  gc.embedding_dim = 24;
+  GnnModel model(gc);
+  TrainConfig tc;
+  tc.epochs = Scaled(18, 12);
+  tc.learning_rate = 0.02;
+  tc.margin = 3.0;
+  tc.pairs_per_sample = 2.0;
+  GnnTrainer trainer(&model, tc);
+  const auto prepared = PrepareDataset(train, gc);
+  trainer.Train(prepared, &rng);
+  SgdClassifier head;
+  std::vector<int> y = train.Labels();
+  (void)head.Fit(trainer.Embed(prepared), y);
+
+  SearchOptions sopt;
+  sopt.iterations = Scaled(6, 4);
+  sopt.beam_width = 3;
+  sopt.max_subgraph_nodes = 4;
+  sopt.shap_samples = 12;
+
+  // Two vulnerable examples of different types.
+  std::vector<InteractionGraph> examples;
+  examples.push_back(gen.GenerateVulnerable(VulnerabilityType::kActionLoop));
+  examples.push_back(
+      gen.GenerateVulnerable(VulnerabilityType::kConditionBypass));
+
+  for (size_t e = 0; e < examples.size(); ++e) {
+    const InteractionGraph& g = examples[e];
+    std::printf("\n=== Example %zu: %s graph with %d rules ===\n", e + 1,
+                VulnerabilityTypeName(g.vulnerability()), g.num_nodes());
+    for (int i = 0; i < g.num_nodes(); ++i) {
+      std::printf("  [%d] %s\n", i, g.node(i).rule.description.c_str());
+    }
+    std::printf("  ground-truth witness:");
+    for (int w : g.witness()) std::printf(" %d", w);
+    std::printf("\n");
+
+    std::vector<std::unique_ptr<Explainer>> explainers;
+    explainers.push_back(std::make_unique<ShapMcbsExplainer>(sopt));
+    explainers.push_back(std::make_unique<SubgraphXExplainer>(sopt));
+    explainers.push_back(std::make_unique<MctsGnnExplainer>(sopt));
+    const std::set<int> witness(g.witness().begin(), g.witness().end());
+    for (auto& ex : explainers) {
+      GnnGraphScorer scorer(&model, &head, &g);
+      const ExplanationResult res = ex->Explain(scorer, &rng);
+      int covered = 0;
+      for (int v : res.subgraph_nodes) covered += witness.count(v) ? 1 : 0;
+      std::printf("  %-10s -> subgraph {", ex->Name().c_str());
+      for (size_t i = 0; i < res.subgraph_nodes.size(); ++i) {
+        std::printf("%s%d", i ? "," : "", res.subgraph_nodes[i]);
+      }
+      std::printf("} score=%.3f witness_overlap=%d/%zu evals=%d\n",
+                  res.score, covered, witness.size(),
+                  res.model_evaluations);
+    }
+  }
+  std::printf(
+      "\nShape check: FexIoT's subgraph is concise and overlaps the\n"
+      "ground-truth witness chain; the baselines tend to keep more\n"
+      "peripheral nodes for the same witness coverage.\n");
+  return 0;
+}

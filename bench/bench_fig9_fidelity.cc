@@ -1,0 +1,97 @@
+// Figure 9: fidelity / sparsity trade-off of the explanation methods.
+//
+// Paper: over 50 randomly-picked vulnerable graphs, half the cases have
+// fidelity > 0.3 at sparsity < 0.7; FexIoT strikes the best balance
+// between high fidelity (explanation matters to the prediction) and high
+// sparsity (explanation is concise).
+
+#include <memory>
+
+#include "bench_common.h"
+#include "explain/explainer.h"
+#include "gnn/trainer.h"
+#include "graph/corpus.h"
+#include "ml/linear_model.h"
+#include "ml/metrics.h"
+
+using namespace fexiot;
+using namespace fexiot::bench;
+
+int main() {
+  PrintHeader("Figure 9", "explanation fidelity vs sparsity");
+
+  Rng rng(99);
+  CorpusOptions copt;
+  copt.platforms = {Platform::kIfttt};
+  copt.min_nodes = 6;
+  copt.max_nodes = 14;
+  copt.vulnerable_fraction = 0.5;
+  GraphCorpusGenerator gen(copt, &rng);
+  GraphDataset train(gen.GenerateDataset(Scaled(300, 150)));
+
+  GnnConfig gc;
+  gc.type = GnnType::kGcn;
+  gc.hidden_dim = 24;
+  gc.embedding_dim = 24;
+  GnnModel model(gc);
+  TrainConfig tc;
+  tc.epochs = Scaled(18, 12);
+  tc.learning_rate = 0.02;
+  tc.margin = 3.0;
+  tc.pairs_per_sample = 2.0;
+  GnnTrainer trainer(&model, tc);
+  const auto prepared = PrepareDataset(train, gc);
+  trainer.Train(prepared, &rng);
+  SgdClassifier head;
+  std::vector<int> y = train.Labels();
+  (void)head.Fit(trainer.Embed(prepared), y);
+
+  const int num_graphs = Scaled(12, 8);  // paper: 50
+  std::vector<InteractionGraph> cases;
+  for (int i = 0; i < num_graphs; ++i) {
+    cases.push_back(gen.GenerateVulnerable(gen.SampleVulnerabilityType()));
+  }
+
+  SearchOptions sopt;
+  sopt.iterations = Scaled(6, 4);
+  sopt.beam_width = 3;
+  sopt.max_subgraph_nodes = 4;
+  sopt.shap_samples = 12;
+
+  TablePrinter table({"method", "fidelity_mean", "fidelity_std",
+                      "sparsity_mean", "avg_subgraph", "avg_evals",
+                      "time_per_graph"});
+  std::vector<std::unique_ptr<Explainer>> explainers;
+  explainers.push_back(std::make_unique<ShapMcbsExplainer>(sopt));
+  explainers.push_back(std::make_unique<SubgraphXExplainer>(sopt));
+  explainers.push_back(std::make_unique<MctsGnnExplainer>(sopt));
+
+  for (auto& ex : explainers) {
+    std::vector<double> fidelities, sparsities;
+    double total_nodes = 0.0, total_evals = 0.0;
+    Stopwatch watch;
+    for (const auto& g : cases) {
+      GnnGraphScorer scorer(&model, &head, &g);
+      const ExplanationResult res = ex->Explain(scorer, &rng);
+      const FidelitySparsity fs =
+          EvaluateExplanation(scorer, res.subgraph_nodes);
+      fidelities.push_back(fs.fidelity);
+      sparsities.push_back(fs.sparsity);
+      total_nodes += static_cast<double>(res.subgraph_nodes.size());
+      total_evals += res.model_evaluations;
+    }
+    const MeanStd fid = ComputeMeanStd(fidelities);
+    const MeanStd spa = ComputeMeanStd(sparsities);
+    table.AddRow({ex->Name(), Fmt(fid.mean), Fmt(fid.stddev),
+                  Fmt(spa.mean), Fmt(total_nodes / num_graphs, 1),
+                  Fmt(total_evals / num_graphs, 0),
+                  Fmt(watch.ElapsedSeconds() / num_graphs, 2) + "s"});
+  }
+  table.Print();
+  std::printf(
+      "\nPaper reference: FexIoT balances fidelity and sparsity (both high)\n"
+      "while SubgraphX / MCTS_GNN trade one for the other. Shape check:\n"
+      "at matched sparsity (same max subgraph size) FexIoT's fidelity\n"
+      "should be the highest of the three.\n");
+  return 0;
+}

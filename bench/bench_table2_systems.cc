@@ -1,0 +1,88 @@
+// Table II: comparison with existing detection systems on testbed data.
+//
+// Paper:                 Accuracy Precision Recall F1
+//   HAWatcher            0.82     0.83      0.87   0.85
+//   DeepLog              0.74     0.78      0.79   0.78
+//   IsolationForest      0.63     0.74      0.61   0.67
+//   FexIoT               0.90     0.90      0.93   0.91
+
+#include <memory>
+
+#include "bench_common.h"
+#include "baselines/deeplog.h"
+#include "baselines/hawatcher.h"
+#include "core/fexiot.h"
+#include "core/testbed.h"
+#include "ml/metrics.h"
+
+using namespace fexiot;
+using namespace fexiot::bench;
+
+int main() {
+  PrintHeader("Table II", "system comparison on simulated testbed data");
+
+  Rng rng(22);
+  TestbedOptions topt;
+  topt.num_samples = Scaled(240, 120);  // paper: 600
+  topt.attacked_fraction = 0.5;
+  Stopwatch watch;
+  std::vector<TestbedSample> samples = GenerateTestbed(topt, &rng);
+  std::printf("generated %zu testbed samples (%d attacked) in %.1fs\n",
+              samples.size(),
+              static_cast<int>(topt.attacked_fraction * topt.num_samples),
+              watch.ElapsedSeconds());
+
+  // 60/40 train/test split.
+  const size_t n_train = samples.size() * 3 / 5;
+  std::vector<TestbedSample> train(samples.begin(),
+                                   samples.begin() + static_cast<long>(n_train));
+  std::vector<TestbedSample> test(samples.begin() + static_cast<long>(n_train),
+                                  samples.end());
+
+  FexIotConfig fconfig;
+  fconfig.gnn.type = GnnType::kGin;
+  fconfig.gnn.hidden_dim = 24;
+  fconfig.gnn.embedding_dim = 24;
+  fconfig.train.epochs = Scaled(35, 25);
+  fconfig.train.learning_rate = 0.02;
+  fconfig.train.margin = 3.0;
+  fconfig.train.pairs_per_sample = 4.0;
+
+  std::vector<std::unique_ptr<SystemDetector>> systems;
+  systems.push_back(std::make_unique<HaWatcherDetector>());
+  systems.push_back(std::make_unique<DeepLogDetector>());
+  systems.push_back(std::make_unique<IsolationForestDetector>());
+  systems.push_back(std::make_unique<FexIotSystemDetector>(fconfig));
+
+  const std::map<std::string, double> paper_acc = {
+      {"HAWatcher", 0.82},
+      {"DeepLog", 0.74},
+      {"IsolationForest", 0.63},
+      {"FexIoT", 0.90},
+  };
+
+  TablePrinter table({"system", "paper_acc", "accuracy", "precision",
+                      "recall", "f1", "fit_time"});
+  for (auto& system : systems) {
+    watch.Restart();
+    system->Fit(train);
+    const double fit_secs = watch.ElapsedSeconds();
+    std::vector<int> labels, preds;
+    for (const auto& s : test) {
+      labels.push_back(s.label);
+      preds.push_back(system->Predict(s));
+    }
+    const ClassificationMetrics m = ComputeMetrics(labels, preds);
+    table.AddRow({system->Name(),
+                  Fmt(paper_acc.at(system->Name()), 2), Fmt(m.accuracy),
+                  Fmt(m.precision), Fmt(m.recall), Fmt(m.f1),
+                  Fmt(fit_secs, 1) + "s"});
+  }
+  table.Print();
+  std::printf(
+      "\nShape check: FexIoT > HAWatcher > DeepLog > IsolationForest in\n"
+      "accuracy. HAWatcher's binary templates miss long-chain\n"
+      "correlations; DeepLog and IsolationForest cannot mine cross-event\n"
+      "interaction logic from sequences alone.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Drift monitoring: a deployed detector watches incoming interaction
+// graphs and separates (a) known-benign, (b) known-vulnerable and (c)
+// drifting samples — new interaction patterns outside the training space
+// that the MAD filter routes to manual inspection (Section III-B3).
+//
+//   ./build/examples/drift_monitoring
+
+#include <cstdio>
+
+#include "core/fexiot.h"
+
+using namespace fexiot;
+
+int main() {
+  Rng rng(31337);
+
+  CorpusOptions copt;
+  copt.platforms = {Platform::kIfttt};
+  copt.min_nodes = 4;
+  copt.max_nodes = 14;
+  copt.vulnerable_fraction = 0.5;
+  GraphCorpusGenerator gen(copt, &rng);
+
+  FexIotConfig config;
+  config.gnn.type = GnnType::kGin;
+  config.gnn.hidden_dim = 24;
+  config.gnn.embedding_dim = 24;
+  config.train.epochs = 15;
+  FexIoT fexiot(config);
+  const Status st = fexiot.TrainLocal(GraphDataset(gen.GenerateDataset(400)));
+  if (!st.ok()) {
+    std::printf("training failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("detector trained; monitoring a stream of %d graphs...\n\n", 60);
+
+  int normal = 0, vulnerable = 0, drifting = 0, drift_truth_hits = 0;
+  for (int i = 0; i < 60; ++i) {
+    InteractionGraph g;
+    const bool is_novel = i % 10 == 9;  // every 10th sample is a new pattern
+    if (is_novel) {
+      g = gen.GenerateDrifting();
+    } else if (i % 3 == 0) {
+      g = gen.GenerateVulnerable(gen.SampleVulnerabilityType());
+    } else {
+      g = gen.GenerateBenign();
+    }
+    const FexIoT::Verdict v = fexiot.Analyze(g);
+    if (v.drifting) {
+      ++drifting;
+      if (is_novel) ++drift_truth_hits;
+      std::printf("  [sample %2d] DRIFTING (score %.1f, %d rules) -> "
+                  "queued for manual inspection%s\n",
+                  i, v.drift_score, g.num_nodes(),
+                  is_novel ? "  [truly novel]" : "");
+    } else if (v.label == 1) {
+      ++vulnerable;
+    } else {
+      ++normal;
+    }
+  }
+  std::printf(
+      "\nstream summary: %d normal, %d vulnerable, %d drifting "
+      "(%d of %d planted novel patterns caught)\n",
+      normal, vulnerable, drifting, drift_truth_hits, 6);
+  std::printf(
+      "\nDrifting samples bypass the (stale) classifier and go to a human —\n"
+      "this is how the paper discovered its three new vulnerability\n"
+      "patterns in the unlabeled IFTTT data.\n");
+  return 0;
+}

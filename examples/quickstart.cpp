@@ -1,0 +1,76 @@
+// Quickstart: generate a small interaction-graph corpus, train the FexIoT
+// pipeline locally, detect a vulnerable interaction and explain it.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "common/stopwatch.h"
+#include "core/fexiot.h"
+#include "graph/vuln_checker.h"
+
+using namespace fexiot;
+
+int main() {
+  Rng rng(2026);
+  Stopwatch watch;
+
+  // 1. Generate a labeled offline interaction-graph corpus (IFTTT rules).
+  CorpusOptions copt;
+  copt.platforms = {Platform::kIfttt};
+  copt.min_nodes = 4;
+  copt.max_nodes = 14;
+  copt.vulnerable_fraction = 0.4;
+  GraphCorpusGenerator generator(copt, &rng);
+  GraphDataset all(generator.GenerateDataset(160));
+  std::printf("generated %zu graphs (%.0f%% vulnerable) in %.2fs\n",
+              all.size(), 100.0 * all.VulnerableFraction(),
+              watch.ElapsedSeconds());
+
+  GraphDataset train, test;
+  all.Split(0.8, &rng, &train, &test);
+
+  // 2. Train the pipeline: contrastive GNN + SGD head + MAD drift stats.
+  FexIotConfig config;
+  config.gnn.type = GnnType::kGin;
+  config.gnn.hidden_dim = 16;
+  config.gnn.embedding_dim = 16;
+  config.train.epochs = 12;
+  config.train.learning_rate = 0.02;
+  watch.Restart();
+  FexIoT fexiot(config);
+  const Status st = fexiot.TrainLocal(train);
+  if (!st.ok()) {
+    std::printf("training failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("trained in %.2fs\n", watch.ElapsedSeconds());
+
+  // 3. Evaluate detection on the held-out split.
+  std::vector<int> labels, preds;
+  for (const auto& g : test.graphs()) {
+    labels.push_back(g.label());
+    preds.push_back(fexiot.Predict(g));
+  }
+  const ClassificationMetrics m = ComputeMetrics(labels, preds);
+  std::printf("held-out detection: %s\n", m.ToString().c_str());
+
+  // 4. Pick a vulnerable test graph and explain it.
+  for (const auto& g : test.graphs()) {
+    if (g.label() != 1 || g.num_nodes() < 4) continue;
+    const FexIoT::Verdict verdict = fexiot.Analyze(g);
+    std::printf("\nanalyzing a %s graph with %d rules: p(vulnerable)=%.2f\n",
+                VulnerabilityTypeName(g.vulnerability()), g.num_nodes(),
+                verdict.probability);
+    if (verdict.explanation.has_value()) {
+      std::printf("%s", verdict.explanation_text.c_str());
+      std::printf("ground-truth witness nodes:");
+      for (int w : g.witness()) std::printf(" %d", w);
+      std::printf("\n");
+    }
+    break;
+  }
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Smart-home audit: the end-to-end "one house" workflow of the paper's
+// motivation — deploy rules, collect a day of event logs, clean and fuse
+// them into an online interaction graph, detect and explain the vulnerable
+// interaction (the smoke/water-valve scenario from the introduction).
+//
+//   ./build/examples/smart_home_audit
+
+#include <cstdio>
+#include <set>
+
+#include "core/fexiot.h"
+#include "core/testbed.h"
+#include "graph/vuln_checker.h"
+
+using namespace fexiot;
+
+int main() {
+  Rng rng(7);
+
+  // 1. A house with the paper's introduction rules plus filler automation.
+  Home home;
+  RuleGenerator st(Platform::kSmartThings, &rng);
+  RuleGenerator ifttt(Platform::kIfttt, &rng);
+  // R1: "If smoke is detected, turn on the water valve and start alarm".
+  home.rules.push_back(st.Materialize(
+      Trigger{DeviceType::kSmokeDetector, "detected"},
+      {Action{DeviceType::kWaterValve, "open"},
+       Action{DeviceType::kAlarm, "on"}}));
+  // R2: "Close the water valve when a water leak is detected".
+  home.rules.push_back(st.Materialize(
+      Trigger{DeviceType::kLeakSensor, "wet"},
+      {Action{DeviceType::kWaterValve, "closed"}}));
+  // Benign automation around them.
+  home.rules.push_back(ifttt.Materialize(
+      Trigger{DeviceType::kMotionSensor, "active"},
+      {Action{DeviceType::kLight, "on"}}));
+  home.rules.push_back(ifttt.Materialize(
+      Trigger{DeviceType::kLight, "on"},
+      {Action{DeviceType::kCamera, "on"}}));
+  for (size_t i = 0; i < home.rules.size(); ++i) {
+    home.rules[i].id = static_cast<int>(i) + 1;
+  }
+  {  // Instantiate devices.
+    Home wired = BuildRandomHome(1, {Platform::kSmartThings}, &rng);
+    home.devices.clear();
+    std::set<DeviceType> used;
+    for (const auto& r : home.rules) {
+      used.insert(r.trigger.device);
+      for (const auto& a : r.actions) used.insert(a.device);
+    }
+    int id = 1;
+    for (DeviceType t : used) {
+      home.devices.push_back(Device{id++, t, "kitchen", DeviceNoun(t)});
+    }
+  }
+
+  std::printf("Deployed rules:\n");
+  for (const auto& r : home.rules) {
+    std::printf("  [%d] (%s) %s\n", r.id, PlatformName(r.platform),
+                r.description.c_str());
+  }
+
+  // 2. Simulate a day of living and collect logs.
+  SimulationConfig sc;
+  sc.duration_seconds = 24 * 3600.0;
+  sc.exogenous_mean_gap = 400.0;
+  HomeSimulator sim(home, sc, &rng);
+  const EventLog raw = sim.Run();
+  const EventLog cleaned = raw.Cleaned();
+  std::printf("\ncollected %zu raw log entries (%zu after cleaning)\n",
+              raw.size(), cleaned.size());
+  for (size_t i = 0; i < cleaned.size() && i < 8; ++i) {
+    std::printf("  %s\n", cleaned.entries()[i].ToString().c_str());
+  }
+
+  // 3. Train a detection pipeline on an offline corpus, then fuse + audit.
+  FexIotConfig config;
+  config.gnn.type = GnnType::kGin;
+  config.gnn.hidden_dim = 16;
+  config.gnn.embedding_dim = 16;
+  config.train.epochs = 25;
+  config.train.pairs_per_sample = 3.0;
+  CorpusOptions copt;
+  copt.platforms = {Platform::kSmartThings, Platform::kIfttt};
+  copt.min_nodes = 3;
+  copt.max_nodes = 10;
+  copt.vulnerable_fraction = 0.5;
+  GraphCorpusGenerator gen(copt, &rng);
+  FexIoT fexiot(config);
+  const Status st_train = fexiot.TrainLocal(GraphDataset(gen.GenerateDataset(300)));
+  if (!st_train.ok()) {
+    std::printf("training failed: %s\n", st_train.ToString().c_str());
+    return 1;
+  }
+
+  const InteractionGraph online = fexiot.Fuse(home, raw);
+  std::printf("\nfused online interaction graph: %d fired rules, %d edges\n",
+              online.num_nodes(), online.num_edges());
+  const auto findings = VulnerabilityChecker::Check(online);
+  for (const auto& f : findings) {
+    std::printf("  ground-truth finding: %s (nodes:",
+                VulnerabilityTypeName(f.type));
+    for (int v : f.witness_nodes) std::printf(" %d", v);
+    std::printf(")\n");
+  }
+
+  const FexIoT::Verdict verdict = fexiot.Analyze(online);
+  std::printf("\nFexIoT verdict: p(vulnerable)=%.2f label=%d drift=%.1f\n",
+              verdict.probability, verdict.label, verdict.drift_score);
+  if (!verdict.explanation_text.empty()) {
+    std::printf("%s", verdict.explanation_text.c_str());
+  }
+  std::printf(
+      "\nThe R1/R2 pair is the paper's introduction vulnerability: smoke\n"
+      "opens the water valve, the resulting leak event closes it again\n"
+      "(action revert), so fire suppression silently fails.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <memory>
+
+#include "baselines/lstm.h"
+#include "baselines/testbed.h"
+
+namespace fexiot {
+
+/// \brief DeepLog-style detector: models cleaned event logs as a language
+/// of discrete keys (device type x logical value), trains the LSTM on
+/// benign logs only, and flags a log whose fraction of next-key misses
+/// (outside top-k) exceeds a threshold.
+class DeepLogDetector : public SystemDetector {
+ public:
+  struct Options {
+    LstmLanguageModel::Options lstm;
+    int top_k = 5;
+    /// Anomaly-rate threshold above the benign calibration quantile.
+    double rate_margin = 0.05;
+  };
+
+  DeepLogDetector() : DeepLogDetector(Options()) {}
+  explicit DeepLogDetector(Options options) : options_(options) {}
+
+  void Fit(const std::vector<TestbedSample>& train) override;
+  int Predict(const TestbedSample& sample) const override;
+  const char* Name() const override { return "DeepLog"; }
+
+  /// Log-key encoding shared with tests: device type x logical value.
+  static std::vector<int> EncodeLog(const EventLog& log, int vocab_size);
+
+ private:
+  Options options_;
+  std::unique_ptr<LstmLanguageModel> model_;
+  double threshold_ = 0.2;
+};
+
+/// \brief IsolationForest baseline: featurizes each log into a device-
+/// status vector (per-device-type state-change counts and rates) and
+/// scores it with an isolation forest fit on the training features.
+class IsolationForestDetector : public SystemDetector {
+ public:
+  struct Options {
+    double score_threshold = 0.0;  ///< 0 = calibrate on train quantile
+    double quantile = 0.92;
+  };
+
+  IsolationForestDetector() : IsolationForestDetector(Options()) {}
+  explicit IsolationForestDetector(Options options) : options_(options) {}
+
+  void Fit(const std::vector<TestbedSample>& train) override;
+  int Predict(const TestbedSample& sample) const override;
+  const char* Name() const override { return "IsolationForest"; }
+
+  /// Device-status feature vector of a log.
+  static std::vector<double> Featurize(const EventLog& log);
+
+ private:
+  Options options_;
+  class Impl;
+  std::shared_ptr<Impl> impl_;
+  double threshold_ = 0.6;
+};
+
+}  // namespace fexiot

@@ -1,0 +1,181 @@
+#include "baselines/hawatcher.h"
+
+#include <algorithm>
+
+#include "graph/fusion.h"
+
+namespace fexiot {
+
+HaWatcherDetector::LogViolationRates HaWatcherDetector::MineLogViolations(
+    const EventLog& log) {
+  // Single-hop event<->command correlation templates, checked directly on
+  // the log (HAWatcher's runtime verification): every actuator state
+  // change should follow a command for that state within a short window,
+  // and every command should produce its state change.
+  constexpr double kWindow = 5.0;
+  LogViolationRates rates;
+  const auto& entries = log.entries();
+  std::map<int, std::pair<int, int>> changes;   // type -> (orphans, total)
+  std::map<int, std::pair<int, int>> commands;  // type -> (failed, total)
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const LogEntry& e = entries[i];
+    const int type = static_cast<int>(e.device);
+    if (e.kind == LogKind::kStateChange &&
+        !GetDeviceTypeInfo(e.device).is_sensor &&
+        e.device != DeviceType::kClock && e.device != DeviceType::kVoice) {
+      bool has_command = false;
+      for (size_t j = i; j-- > 0;) {
+        if (e.timestamp - entries[j].timestamp > kWindow) break;
+        if (entries[j].kind == LogKind::kCommand &&
+            entries[j].device_id == e.device_id &&
+            entries[j].value == e.value) {
+          has_command = true;
+          break;
+        }
+      }
+      changes[type].second += 1;
+      changes[type].first += has_command ? 0 : 1;
+    } else if (e.kind == LogKind::kCommand) {
+      bool has_effect = false;
+      for (size_t j = i + 1; j < entries.size(); ++j) {
+        if (entries[j].timestamp - e.timestamp > kWindow) break;
+        if (entries[j].kind == LogKind::kStateChange &&
+            entries[j].device_id == e.device_id &&
+            entries[j].value == e.value) {
+          has_effect = true;
+          break;
+        }
+      }
+      commands[type].second += 1;
+      commands[type].first += has_effect ? 0 : 1;
+    }
+  }
+  for (const auto& [type, counts] : changes) {
+    rates.orphan_by_type[type] = {
+        static_cast<double>(counts.first) / counts.second, counts.second};
+  }
+  for (const auto& [type, counts] : commands) {
+    rates.failed_by_type[type] = {
+        static_cast<double>(counts.first) / counts.second, counts.second};
+  }
+  return rates;
+}
+
+void HaWatcherDetector::Fit(const std::vector<TestbedSample>& train) {
+  templates_.clear();
+  // Calibrate per-device-type violation-rate thresholds on benign logs:
+  // max benign rate per type plus a small margin.
+  orphan_threshold_.clear();
+  failure_threshold_.clear();
+  // Calibrate the graph consistency-feature floor on benign samples: the
+  // minimum benign consistency minus a margin (re-commands to devices
+  // already in the target state make benign consistency < 1).
+  double min_cmd = 1.0, min_eff = 1.0;
+  for (const auto& sample : train) {
+    if (sample.label != 0) continue;
+    for (int i = 0; i < sample.graph.num_nodes(); ++i) {
+      const auto& f = sample.graph.node(i).features;
+      if (f.size() < 4) continue;
+      min_cmd = std::min(
+          min_cmd, 1.0 + f[f.size() - kFeatureDimCommandConsistency] /
+                             kConsistencyScale);
+      min_eff = std::min(
+          min_eff, 1.0 + f[f.size() - kFeatureDimEffectConsistency] /
+                             kConsistencyScale);
+    }
+  }
+  cmd_floor_ = std::max(0.0, min_cmd - 0.03);
+  eff_floor_ = std::max(0.0, min_eff - 0.03);
+  for (const auto& sample : train) {
+    if (sample.label != 0) continue;
+    const LogViolationRates r = MineLogViolations(sample.log);
+    for (const auto& [type, rate] : r.orphan_by_type) {
+      auto& t = orphan_threshold_[type];
+      t = std::max(t, rate.first);
+    }
+    for (const auto& [type, rate] : r.failed_by_type) {
+      auto& t = failure_threshold_[type];
+      t = std::max(t, rate.first);
+    }
+  }
+  // Extract single-hop trigger->action templates from the rules behind
+  // the fused graphs (HAWatcher's "semantic analysis" of the installed
+  // apps — rule descriptions are static, so all samples contribute).
+  for (const auto& sample : train) {
+    const InteractionGraph& g = sample.graph;
+    for (int i = 0; i < g.num_nodes(); ++i) {
+      const Rule& r = g.node(i).rule;
+      for (const Action& a : r.actions) {
+        templates_.insert(Template{static_cast<int>(r.trigger.device),
+                                   r.trigger.state,
+                                   static_cast<int>(a.device), a.state});
+      }
+    }
+  }
+}
+
+int HaWatcherDetector::Predict(const TestbedSample& sample) const {
+  // (0) Log-level correlation templates, per device type. Types never
+  // seen in benign training get threshold 0 (any orphan is suspicious).
+  const LogViolationRates rates = MineLogViolations(sample.log);
+  constexpr double kMargin = 0.06;
+  constexpr int kMinObservations = 3;
+  for (const auto& [type, rate] : rates.orphan_by_type) {
+    if (rate.second < kMinObservations) continue;
+    const auto it = orphan_threshold_.find(type);
+    const double threshold = it == orphan_threshold_.end() ? 0.0 : it->second;
+    if (rate.first > threshold + kMargin) return 1;
+  }
+  for (const auto& [type, rate] : rates.failed_by_type) {
+    if (rate.second < kMinObservations) continue;
+    const auto it = failure_threshold_.find(type);
+    const double threshold =
+        it == failure_threshold_.end() ? 0.0 : it->second;
+    if (rate.first > threshold + kMargin) return 1;
+  }
+  const InteractionGraph& g = sample.graph;
+  if (g.num_nodes() == 0) return 0;
+
+  // (1) Correlation violations: mined consistency features below the
+  // benign-calibrated floor mean logged behavior deviates from the
+  // templates (fake / stealthy commands, command failures).
+  for (int i = 0; i < g.num_nodes(); ++i) {
+    const auto& f = g.node(i).features;
+    if (f.size() < 4) continue;
+    const double cmd =
+        1.0 + f[f.size() - kFeatureDimCommandConsistency] / kConsistencyScale;
+    const double eff =
+        1.0 + f[f.size() - kFeatureDimEffectConsistency] / kConsistencyScale;
+    if (cmd < cmd_floor_ || eff < eff_floor_) return 1;
+  }
+
+  // (2) Unknown single-hop interactions: an observed rule whose
+  // trigger->action pair never appeared in a benign template.
+  for (int i = 0; i < g.num_nodes(); ++i) {
+    const Rule& r = g.node(i).rule;
+    for (const Action& a : r.actions) {
+      const Template t{static_cast<int>(r.trigger.device), r.trigger.state,
+                       static_cast<int>(a.device), a.state};
+      if (!templates_.count(t)) return 1;
+    }
+  }
+
+  // (3) Single-hop conflicts: two observed rules with the same trigger
+  // driving one device to different states. (Binary templates cannot see
+  // multi-hop reverts or loops — the blind spot the paper calls out.)
+  for (int i = 0; i < g.num_nodes(); ++i) {
+    for (int j = i + 1; j < g.num_nodes(); ++j) {
+      const Rule& a = g.node(i).rule;
+      const Rule& b = g.node(j).rule;
+      if (!(a.trigger == b.trigger)) continue;
+      for (const Action& aa : a.actions) {
+        for (const Action& ab : b.actions) {
+          if (aa.device == ab.device && aa.state != ab.state) return 1;
+        }
+      }
+    }
+  }
+  return 0;
+}
+
+}  // namespace fexiot

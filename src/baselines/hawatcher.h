@@ -1,0 +1,60 @@
+#pragma once
+
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "baselines/testbed.h"
+
+namespace fexiot {
+
+/// \brief HAWatcher-style detector: mines *binary* correlation templates
+/// (single-hop "event A correlates with event B" rules) from benign
+/// training data plus app semantics, then flags deviations at test time.
+///
+/// Faithful limitations reproduced from the paper's discussion: templates
+/// are binary, so long-chain correlations (multi-hop action reverts,
+/// loops) are invisible, and normal user interruptions look like template
+/// violations (false positives).
+class HaWatcherDetector : public SystemDetector {
+ public:
+  struct Options {
+    /// Minimum fraction of consistent observations to accept a template.
+    double min_confidence = 0.9;
+    /// Consistency-feature threshold below which a node is a violation.
+    double consistency_threshold = 0.75;
+  };
+
+  HaWatcherDetector() : HaWatcherDetector(Options()) {}
+  explicit HaWatcherDetector(Options options) : options_(options) {}
+
+  void Fit(const std::vector<TestbedSample>& train) override;
+  int Predict(const TestbedSample& sample) const override;
+  const char* Name() const override { return "HAWatcher"; }
+
+ private:
+  /// (trigger device, trigger state, action device, action state).
+  using Template = std::tuple<int, std::string, int, std::string>;
+
+  /// Per-device-type violation statistics for one log: fraction of the
+  /// type's state changes lacking a causal command record, and fraction of
+  /// its commands lacking their effect. count = observations.
+  struct LogViolationRates {
+    std::map<int, std::pair<double, int>> orphan_by_type;
+    std::map<int, std::pair<double, int>> failed_by_type;
+  };
+  static LogViolationRates MineLogViolations(const EventLog& log);
+
+  Options options_;
+  std::set<Template> templates_;
+  /// Violation-rate thresholds per device type, calibrated on benign
+  /// training logs (exogenous/user events make some types "naturally"
+  /// command-less — doors, motion; automated types are near zero).
+  std::map<int, double> orphan_threshold_;
+  std::map<int, double> failure_threshold_;
+  /// Benign-calibrated floors for the fused consistency features.
+  double cmd_floor_ = 0.5;
+  double eff_floor_ = 0.5;
+};
+
+}  // namespace fexiot

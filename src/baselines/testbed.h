@@ -1,0 +1,33 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/interaction_graph.h"
+#include "smarthome/event_log.h"
+#include "smarthome/vulnerability.h"
+
+namespace fexiot {
+
+/// \brief One testbed sample for the Table II system comparison: a cleaned
+/// event log from a simulated home together with the fused online
+/// interaction graph and ground truth.
+struct TestbedSample {
+  EventLog log;            ///< cleaned log (input to DeepLog/IsolationForest)
+  InteractionGraph graph;  ///< fused online graph (input to graph methods)
+  int label = 0;           ///< 1 = vulnerable (attacked or internal vuln)
+  bool attacked = false;
+  AttackType attack = AttackType::kFakeEvent;
+};
+
+/// \brief Common interface of the Table II comparison systems.
+class SystemDetector {
+ public:
+  virtual ~SystemDetector() = default;
+  /// Trains on (mostly benign) samples.
+  virtual void Fit(const std::vector<TestbedSample>& train) = 0;
+  /// 1 = vulnerable.
+  virtual int Predict(const TestbedSample& sample) const = 0;
+  virtual const char* Name() const = 0;
+};
+
+}  // namespace fexiot

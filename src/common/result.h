@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace fexiot {
+
+/// \brief Value-or-Status outcome of a fallible operation.
+///
+/// A Result either holds a value of type T (status is OK) or an error
+/// Status. Accessing the value of an errored Result aborts in debug builds.
+template <typename T>
+class Result {
+ public:
+  /// Constructs an OK result holding \p value.
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  /// Constructs an errored result. \p status must not be OK.
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok() && "accessing value of errored Result");
+    return *value_;
+  }
+  T& value() & {
+    assert(ok() && "accessing value of errored Result");
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok() && "accessing value of errored Result");
+    return std::move(*value_);
+  }
+
+  /// \brief Returns the value if OK, otherwise the provided default.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace fexiot
+
+/// \brief Assigns the value of a Result expression or returns its Status.
+#define FEXIOT_ASSIGN_OR_RETURN(lhs, expr)          \
+  auto _res_##__LINE__ = (expr);                    \
+  if (!_res_##__LINE__.ok()) {                      \
+    return _res_##__LINE__.status();                \
+  }                                                 \
+  lhs = std::move(_res_##__LINE__).value()

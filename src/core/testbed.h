@@ -1,0 +1,37 @@
+#pragma once
+
+#include <vector>
+
+#include "baselines/testbed.h"
+#include "common/rng.h"
+#include "graph/fusion.h"
+#include "smarthome/attacks.h"
+#include "smarthome/home.h"
+
+namespace fexiot {
+
+/// \brief Options for generating the Table II testbed corpus: ONE
+/// simulated home (as in the paper's one-week volunteer deployment) runs
+/// its rules over many time windows; each window becomes one sample, and
+/// half the windows are tampered with one of the five HAWatcher attack
+/// classes before cleaning + fusion.
+struct TestbedOptions {
+  int num_samples = 600;       ///< paper: 600 online graphs
+  double attacked_fraction = 0.5;  ///< paper: 300 vulnerable
+  int rules_per_home = 14;
+  double window_hours = 3.0;   ///< simulated duration per sample window
+  double attack_intensity = 0.45;
+  std::vector<Platform> platforms = {Platform::kSmartThings,
+                                     Platform::kIfttt};
+};
+
+/// \brief Generates testbed samples (cleaned log + fused online graph +
+/// ground truth) from one chained-rule home.
+std::vector<TestbedSample> GenerateTestbed(const TestbedOptions& options,
+                                           Rng* rng);
+
+/// \brief The home used by GenerateTestbed for a given options/seed (for
+/// inspection and examples).
+Home BuildTestbedHome(const TestbedOptions& options, Rng* rng);
+
+}  // namespace fexiot

@@ -1,0 +1,97 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "explain/scorer.h"
+#include "explain/shap.h"
+
+namespace fexiot {
+
+/// \brief Result of an explanation search: the most responsible connected
+/// subgraph and its risk score.
+struct ExplanationResult {
+  std::vector<int> subgraph_nodes;
+  double score = 0.0;
+  int model_evaluations = 0;
+  /// Leaf subgraphs examined (diagnostics).
+  int subgraphs_scored = 0;
+};
+
+/// \brief Common interface of the Section IV-D explanation methods.
+class Explainer {
+ public:
+  virtual ~Explainer() = default;
+  /// Finds the highest-risk connected subgraph of the scorer's graph.
+  virtual ExplanationResult Explain(const GnnGraphScorer& scorer,
+                                    Rng* rng) = 0;
+  virtual std::string Name() const = 0;
+};
+
+/// \brief Shared search options.
+struct SearchOptions {
+  /// Monte Carlo iterations I.
+  int iterations = 8;
+  /// Beam width per level (FexIoT's MCBS; ignored by pure MCTS).
+  int beam_width = 4;
+  /// Maximum explanation subgraph size ("least node number" N_min of
+  /// Algorithm 2: pruning stops when the subgraph reaches this size).
+  int max_subgraph_nodes = 5;
+  /// Exploration-exploitation balance lambda of Eq. 7.
+  double lambda = 0.5;
+  /// Kernel SHAP samples K (FexIoT) / Shapley MC samples (SubgraphX).
+  int shap_samples = 16;
+};
+
+/// \brief FexIoT's explanation method: Monte Carlo beam search over
+/// connected subgraphs with the kernel-SHAP subgraph score as the
+/// immediate reward (Algorithm 2).
+class ShapMcbsExplainer : public Explainer {
+ public:
+  explicit ShapMcbsExplainer(SearchOptions options) : options_(options) {}
+  ExplanationResult Explain(const GnnGraphScorer& scorer, Rng* rng) override;
+  std::string Name() const override { return "FexIoT"; }
+
+ private:
+  SearchOptions options_;
+};
+
+/// \brief SubgraphX baseline: Monte Carlo tree search scored by a sampled
+/// Shapley value that treats node players as independent (coalition
+/// sampling without the joint regression).
+class SubgraphXExplainer : public Explainer {
+ public:
+  explicit SubgraphXExplainer(SearchOptions options) : options_(options) {}
+  ExplanationResult Explain(const GnnGraphScorer& scorer, Rng* rng) override;
+  std::string Name() const override { return "SubgraphX"; }
+
+ private:
+  SearchOptions options_;
+};
+
+/// \brief MCTS_GNN baseline: the same tree search rewarded directly by the
+/// GNN prediction score of the subgraph.
+class MctsGnnExplainer : public Explainer {
+ public:
+  explicit MctsGnnExplainer(SearchOptions options) : options_(options) {}
+  ExplanationResult Explain(const GnnGraphScorer& scorer, Rng* rng) override;
+  std::string Name() const override { return "MCTS_GNN"; }
+
+ private:
+  SearchOptions options_;
+};
+
+/// \brief Explanation quality metrics (Pope et al.): Fidelity is the
+/// prediction drop after removing the explanation subgraph; Sparsity is
+/// the fraction of the graph NOT in the explanation.
+struct FidelitySparsity {
+  double fidelity = 0.0;
+  double sparsity = 0.0;
+};
+
+FidelitySparsity EvaluateExplanation(const GnnGraphScorer& scorer,
+                                     const std::vector<int>& subgraph_nodes);
+
+}  // namespace fexiot

@@ -1,0 +1,18 @@
+#include "explain/scorer.h"
+
+namespace fexiot {
+
+double GnnGraphScorer::Score(const std::vector<int>& active_nodes) const {
+  ++evaluations_;
+  if (active_nodes.empty()) {
+    const std::vector<double> zero(
+        static_cast<size_t>(model_->config().embedding_dim), 0.0);
+    return head_->PredictProba(zero);
+  }
+  const InteractionGraph sub = graph_->InducedSubgraph(active_nodes);
+  const PreparedGraph prepared = PrepareGraph(sub, model_->config());
+  const std::vector<double> z = model_->Forward(prepared, nullptr);
+  return head_->PredictProba(z);
+}
+
+}  // namespace fexiot

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "gnn/gnn_model.h"
+#include "graph/interaction_graph.h"
+#include "ml/linear_model.h"
+
+namespace fexiot {
+
+/// \brief Black-box scorer h(.) used by the explanation methods: the
+/// probability that the graph restricted to \p active_nodes is vulnerable.
+/// An empty node set scores the model's base prediction (zero embedding).
+using GraphScoreFn =
+    std::function<double(const std::vector<int>& active_nodes)>;
+
+/// \brief Scorer backed by a trained GNN + linear head (the deployed
+/// detection model of Section III-C). Masking = evaluating the induced
+/// subgraph.
+class GnnGraphScorer {
+ public:
+  GnnGraphScorer(const GnnModel* model, const SgdClassifier* head,
+                 const InteractionGraph* graph)
+      : model_(model), head_(head), graph_(graph) {}
+
+  /// h(induced subgraph on active_nodes); counts model evaluations.
+  double Score(const std::vector<int>& active_nodes) const;
+
+  /// Number of model evaluations performed so far.
+  int evaluations() const { return evaluations_; }
+
+  const InteractionGraph& graph() const { return *graph_; }
+
+  /// Bindable closure for the explainers.
+  GraphScoreFn AsFn() const {
+    return [this](const std::vector<int>& nodes) { return Score(nodes); };
+  }
+
+ private:
+  const GnnModel* model_;
+  const SgdClassifier* head_;
+  const InteractionGraph* graph_;
+  mutable int evaluations_ = 0;
+};
+
+}  // namespace fexiot

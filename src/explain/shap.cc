@@ -1,0 +1,114 @@
+#include "explain/shap.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "tensor/ops.h"
+
+namespace fexiot {
+namespace {
+
+double LogChoose(int n, int k) {
+  return std::lgamma(n + 1.0) - std::lgamma(k + 1.0) -
+         std::lgamma(n - k + 1.0);
+}
+
+// Shapley kernel weight for coalition size s out of M players.
+double KernelWeight(int m, int s) {
+  if (s <= 0 || s >= m) return 0.0;  // handled by anchor constraints
+  const double log_c = LogChoose(m, s);
+  return (m - 1.0) /
+         (std::exp(log_c) * static_cast<double>(s) *
+          static_cast<double>(m - s));
+}
+
+}  // namespace
+
+double KernelShap::SubgraphShap(const GnnGraphScorer& scorer,
+                                const std::vector<int>& subgraph_nodes,
+                                Rng* rng) const {
+  const InteractionGraph& g = scorer.graph();
+  // Players: index 0 = the subgraph coalition; 1..m-1 = remaining nodes.
+  std::set<int> sub(subgraph_nodes.begin(), subgraph_nodes.end());
+  std::vector<int> others;
+  for (int v = 0; v < g.num_nodes(); ++v) {
+    if (!sub.count(v)) others.push_back(v);
+  }
+  const int m = 1 + static_cast<int>(others.size());
+  if (m == 1) {
+    // Whole graph is the player: phi = h(G) - h(empty).
+    return scorer.Score(subgraph_nodes) - scorer.Score({});
+  }
+
+  auto player_nodes = [&](const std::vector<int>& coalition) {
+    std::vector<int> nodes;
+    for (int p : coalition) {
+      if (p == 0) {
+        nodes.insert(nodes.end(), subgraph_nodes.begin(),
+                     subgraph_nodes.end());
+      } else {
+        nodes.push_back(others[static_cast<size_t>(p - 1)]);
+      }
+    }
+    std::sort(nodes.begin(), nodes.end());
+    return nodes;
+  };
+
+  const double v_empty = scorer.Score({});
+  std::vector<int> all_players(static_cast<size_t>(m));
+  for (int p = 0; p < m; ++p) all_players[static_cast<size_t>(p)] = p;
+  const double v_full = scorer.Score(player_nodes(all_players));
+
+  // Design matrix over sampled coalitions; columns = players (intercept is
+  // eliminated by regressing y - v_empty on z with the constraint absorbed
+  // via the full-coalition anchor, here approximated by adding both
+  // anchors with large weight).
+  const int k = std::max(4, options_.num_samples);
+  Matrix x(static_cast<size_t>(k) + 2, static_cast<size_t>(m) + 1);
+  std::vector<double> y(static_cast<size_t>(k) + 2, 0.0);
+  std::vector<double> w(static_cast<size_t>(k) + 2, 0.0);
+
+  for (int i = 0; i < k; ++i) {
+    // Sample coalition size by the kernel distribution (sizes near 1 and
+    // m-1 carry most weight), then a uniform subset of that size.
+    std::vector<double> size_weights(static_cast<size_t>(m) - 1);
+    for (int s = 1; s < m; ++s) {
+      // Mass of size s: C(m,s) * kernel(s) ~ (m-1)/(s(m-s)).
+      size_weights[static_cast<size_t>(s - 1)] =
+          1.0 / (static_cast<double>(s) * static_cast<double>(m - s));
+    }
+    const int s = 1 + static_cast<int>(rng->Categorical(size_weights));
+    std::vector<size_t> chosen = rng->SampleWithoutReplacement(
+        static_cast<size_t>(m), static_cast<size_t>(s));
+    std::vector<int> coalition;
+    for (size_t c : chosen) coalition.push_back(static_cast<int>(c));
+    x.At(static_cast<size_t>(i), 0) = 1.0;  // intercept
+    for (int p : coalition) {
+      x.At(static_cast<size_t>(i), static_cast<size_t>(p) + 1) = 1.0;
+    }
+    y[static_cast<size_t>(i)] = scorer.Score(player_nodes(coalition));
+    w[static_cast<size_t>(i)] = KernelWeight(m, s);
+  }
+  // Anchors: empty and full coalitions with dominating weight, enforcing
+  // g(0) = v_empty and g(1) = v_full.
+  const double anchor_w = 1e6;
+  x.At(static_cast<size_t>(k), 0) = 1.0;
+  y[static_cast<size_t>(k)] = v_empty;
+  w[static_cast<size_t>(k)] = anchor_w;
+  x.At(static_cast<size_t>(k) + 1, 0) = 1.0;
+  for (int p = 0; p < m; ++p) {
+    x.At(static_cast<size_t>(k) + 1, static_cast<size_t>(p) + 1) = 1.0;
+  }
+  y[static_cast<size_t>(k) + 1] = v_full;
+  w[static_cast<size_t>(k) + 1] = anchor_w;
+
+  const std::vector<double> beta = WeightedLeastSquares(x, y, w, 1e-6);
+  if (beta.empty()) {
+    // Regression failed; fall back to the marginal contribution.
+    return scorer.Score(subgraph_nodes) - v_empty;
+  }
+  return beta[1];  // phi of the subgraph player
+}
+
+}  // namespace fexiot

@@ -1,0 +1,446 @@
+#include "federated/fl_simulator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <numeric>
+
+#include "common/logging.h"
+#include "ml/kmeans.h"
+#include "ml/metrics.h"
+#include "tensor/ops.h"
+
+namespace fexiot {
+
+FederatedSimulator::FederatedSimulator(GnnConfig model_config,
+                                       FlConfig fl_config)
+    : model_config_(model_config),
+      fl_config_(fl_config),
+      rng_(fl_config.seed),
+      pool_(std::make_unique<ThreadPool>(
+          static_cast<size_t>(std::max(0, fl_config.threads)))) {}
+
+void FederatedSimulator::SetupClients(
+    const GraphDataset& data, const ClientPartition& part,
+    const std::vector<GraphDataset>& cluster_tests) {
+  clients_.clear();
+  client_weight_.clear();
+  size_t total = 0;
+  for (const auto& shard : part.indices) total += shard.size();
+  assert(total > 0);
+  for (size_t c = 0; c < part.indices.size(); ++c) {
+    std::vector<InteractionGraph> train_graphs;
+    for (size_t i : part.indices[c]) train_graphs.push_back(data.graph(i));
+    const int cluster =
+        part.client_cluster.empty() ? 0 : part.client_cluster[c];
+    const GraphDataset& test_pool =
+        cluster_tests[static_cast<size_t>(cluster) % cluster_tests.size()];
+    clients_.push_back(std::make_unique<FlClient>(
+        static_cast<int>(c), model_config_, fl_config_.local,
+        PrepareGraphs(train_graphs, model_config_),
+        PrepareDataset(test_pool, model_config_), rng_.Fork()));
+    client_weight_.push_back(static_cast<double>(part.indices[c].size()) /
+                             static_cast<double>(total));
+  }
+  whole_model_clusters_.clear();
+  gradient_sequences_.assign(clients_.size(), {});
+  unlocked_layers_ = 1;
+  fexiot_partition_.clear();
+}
+
+void FederatedSimulator::SetupClients(const GraphDataset& data,
+                                      const ClientPartition& part) {
+  clients_.clear();
+  client_weight_.clear();
+  size_t total = 0;
+  for (const auto& shard : part.indices) total += shard.size();
+  assert(total > 0);
+
+  for (size_t c = 0; c < part.indices.size(); ++c) {
+    std::vector<size_t> shard = part.indices[c];
+    rng_.Shuffle(&shard);
+    const size_t n_train = std::max<size_t>(
+        1, static_cast<size_t>(fl_config_.local_train_fraction *
+                               static_cast<double>(shard.size())));
+    std::vector<InteractionGraph> train_graphs, test_graphs;
+    for (size_t i = 0; i < shard.size(); ++i) {
+      (i < n_train ? train_graphs : test_graphs)
+          .push_back(data.graph(shard[i]));
+    }
+    if (test_graphs.empty() && train_graphs.size() > 1) {
+      test_graphs.push_back(train_graphs.back());
+      train_graphs.pop_back();
+    }
+    clients_.push_back(std::make_unique<FlClient>(
+        static_cast<int>(c), model_config_, fl_config_.local,
+        PrepareGraphs(train_graphs, model_config_),
+        PrepareGraphs(test_graphs, model_config_), rng_.Fork()));
+    client_weight_.push_back(static_cast<double>(shard.size()) /
+                             static_cast<double>(total));
+  }
+  whole_model_clusters_.clear();
+  gradient_sequences_.assign(clients_.size(), {});
+  unlocked_layers_ = 1;
+  fexiot_partition_.clear();
+}
+
+Matrix FederatedSimulator::SimilarityMatrix(
+    const std::vector<std::vector<double>>& v) {
+  Matrix m(v.size(), v.size());
+  for (size_t i = 0; i < v.size(); ++i) {
+    m.At(i, i) = 1.0;
+    for (size_t j = i + 1; j < v.size(); ++j) {
+      const double s = CosineSimilarity(v[i], v[j]);
+      m.At(i, j) = s;
+      m.At(j, i) = s;
+    }
+  }
+  return m;
+}
+
+void FederatedSimulator::AverageLayer(int layer,
+                                      const std::vector<int>& group) {
+  if (group.empty()) return;
+  double weight_sum = 0.0;
+  for (int c : group) weight_sum += client_weight_[static_cast<size_t>(c)];
+  std::vector<double> avg;
+  for (int c : group) {
+    const std::vector<double> w =
+        clients_[static_cast<size_t>(c)]->LayerWeights(layer);
+    const double wc = client_weight_[static_cast<size_t>(c)] / weight_sum;
+    if (avg.empty()) avg.assign(w.size(), 0.0);
+    for (size_t i = 0; i < w.size(); ++i) avg[i] += wc * w[i];
+  }
+  for (int c : group) {
+    clients_[static_cast<size_t>(c)]->SetLayerWeights(layer, avg);
+  }
+}
+
+double FederatedSimulator::LayerExchangeBytes(int layer,
+                                              size_t group_size) const {
+  // Upload + download of the layer for each group member.
+  return 2.0 * static_cast<double>(group_size) *
+         static_cast<double>(clients_.front()->LayerBytes(layer));
+}
+
+std::vector<double> FederatedSimulator::ConcatAllLayers(int client) const {
+  std::vector<double> out;
+  const auto& cl = clients_[static_cast<size_t>(client)];
+  for (int l = 0; l < cl->num_layers(); ++l) {
+    const std::vector<double> w = cl->LayerWeights(l);
+    out.insert(out.end(), w.begin(), w.end());
+  }
+  return out;
+}
+
+std::vector<double> FederatedSimulator::ConcatAllDeltas(int client) const {
+  std::vector<double> out;
+  const auto& cl = clients_[static_cast<size_t>(client)];
+  for (int l = 0; l < cl->num_layers(); ++l) {
+    const std::vector<double>& d = cl->LayerDelta(l);
+    out.insert(out.end(), d.begin(), d.end());
+  }
+  return out;
+}
+
+bool FederatedSimulator::FexiotRound(double* bytes) {
+  const int num_layers = clients_.front()->num_layers();
+  if (fexiot_partition_.empty()) {
+    std::vector<int> all(clients_.size());
+    std::iota(all.begin(), all.end(), 0);
+    fexiot_partition_.assign(static_cast<size_t>(num_layers), {all});
+    layer_stable_rounds_.assign(static_cast<size_t>(num_layers), 0);
+    fexiot_round_counter_ = 0;
+  }
+  ++fexiot_round_counter_;
+  bool split_happened = false;
+  for (int l = 0; l < std::min(unlocked_layers_, num_layers); ++l) {
+    // Stable layers sync lazily: once a layer's partition has been
+    // unchanged for >= 3 rounds, it is exchanged only every other round.
+    if (layer_stable_rounds_[static_cast<size_t>(l)] >= 3 &&
+        fexiot_round_counter_ % 2 == 1) {
+      ++layer_stable_rounds_[static_cast<size_t>(l)];
+      continue;
+    }
+    bool layer_changed = false;
+    // Work on a copy: splits replace groups in this and deeper layers.
+    const std::vector<std::vector<int>> groups =
+        fexiot_partition_[static_cast<size_t>(l)];
+    for (const auto& group : groups) {
+      *bytes += LayerExchangeBytes(l, group.size());
+      AverageLayer(l, group);
+
+      // Gate of Eq. 3 on this layer's deltas within the group.
+      double weight_sum = 0.0;
+      for (int c : group) {
+        weight_sum += client_weight_[static_cast<size_t>(c)];
+      }
+      std::vector<double> weighted_delta;
+      double max_norm = 0.0;
+      std::vector<std::vector<double>> deltas;
+      for (int c : group) {
+        const std::vector<double>& d =
+            clients_[static_cast<size_t>(c)]->LayerDelta(l);
+        if (weighted_delta.empty()) weighted_delta.assign(d.size(), 0.0);
+        const double wc = client_weight_[static_cast<size_t>(c)] / weight_sum;
+        for (size_t i = 0; i < d.size(); ++i) weighted_delta[i] += wc * d[i];
+        max_norm = std::max(max_norm, VectorNorm(d));
+        // Cluster on the stable cross-round drift direction.
+        deltas.push_back(clients_[static_cast<size_t>(c)]->LayerDeltaEma(l));
+      }
+      const double mean_norm = VectorNorm(weighted_delta);
+      const bool should_split =
+          static_cast<int>(group.size()) >= fl_config_.min_cluster_size &&
+          mean_norm < fl_config_.epsilon1 && max_norm > fl_config_.epsilon2;
+      if (std::getenv("FEXIOT_DEBUG_FL") != nullptr) {
+        std::fprintf(stderr,
+                     "[fexiot-fl] layer=%d group=%zu mean_norm=%.4f "
+                     "max_norm=%.4f split=%d\n",
+                     l, group.size(), mean_norm, max_norm,
+                     should_split ? 1 : 0);
+      }
+      if (!should_split) continue;
+
+      // Lines 13-16: bisect by cosine similarity of the layer's local
+      // updates. (The pseudocode writes similarity over W^l; all group
+      // members share the aggregated W^l, so the informative signal is
+      // the local update DeltaW^l, as in Sattler et al.)
+      const Matrix sim = SimilarityMatrix(deltas);
+      const std::vector<int> split = BinaryClusterSimilarity(sim);
+      std::vector<int> g0, g1;
+      for (size_t i = 0; i < group.size(); ++i) {
+        (split[i] == 0 ? g0 : g1).push_back(group[i]);
+      }
+      if (g0.empty() || g1.empty()) continue;
+      // Split-quality check: only commit the bisection when real cluster
+      // structure exists — the mean within-half similarity must clearly
+      // exceed the mean cross-half similarity. Label-skew noise alone
+      // fails this and the group stays whole.
+      double within = 0.0, cross = 0.0;
+      int n_within = 0, n_cross = 0;
+      for (size_t i = 0; i < group.size(); ++i) {
+        for (size_t j = i + 1; j < group.size(); ++j) {
+          if (split[i] == split[j]) {
+            within += sim.At(i, j);
+            ++n_within;
+          } else {
+            cross += sim.At(i, j);
+            ++n_cross;
+          }
+        }
+      }
+      if (n_within == 0 || n_cross == 0) continue;
+      if (within / n_within - cross / n_cross <
+          fl_config_.split_quality_margin) {
+        continue;
+      }
+      split_happened = true;
+      layer_changed = true;
+      // The split permanently refines this layer and all deeper layers.
+      for (int l2 = l; l2 < num_layers; ++l2) {
+        auto& part = fexiot_partition_[static_cast<size_t>(l2)];
+        std::vector<std::vector<int>> next;
+        for (const auto& existing : part) {
+          // Intersect the existing group with the two halves.
+          std::vector<int> h0, h1;
+          for (int c : existing) {
+            const bool in0 =
+                std::find(g0.begin(), g0.end(), c) != g0.end();
+            const bool in1 =
+                std::find(g1.begin(), g1.end(), c) != g1.end();
+            if (in0) {
+              h0.push_back(c);
+            } else if (in1) {
+              h1.push_back(c);
+            } else {
+              h0.push_back(c);
+              h1.push_back(c);
+            }
+          }
+          // A group untouched by the split stays intact.
+          if (h0.size() == existing.size() || h1.size() == existing.size()) {
+            next.push_back(existing);
+            continue;
+          }
+          if (!h0.empty()) next.push_back(h0);
+          if (!h1.empty()) next.push_back(h1);
+        }
+        part = std::move(next);
+        if (l2 > l) layer_stable_rounds_[static_cast<size_t>(l2)] = 0;
+      }
+    }
+    layer_stable_rounds_[static_cast<size_t>(l)] =
+        layer_changed ? 0 : layer_stable_rounds_[static_cast<size_t>(l)] + 1;
+  }
+  return split_happened;
+}
+
+void FederatedSimulator::ClusteredWholeModelRound(FlAlgorithm algorithm,
+                                                  double* bytes) {
+  if (whole_model_clusters_.empty()) {
+    std::vector<int> all(clients_.size());
+    std::iota(all.begin(), all.end(), 0);
+    whole_model_clusters_.push_back(std::move(all));
+  }
+  // Whole model exchanged by every client regardless of clusters.
+  for (const auto& cluster : whole_model_clusters_) {
+    for (int l = 0; l < clients_.front()->num_layers(); ++l) {
+      *bytes += LayerExchangeBytes(l, cluster.size());
+    }
+  }
+
+  std::vector<std::vector<int>> next_clusters;
+  for (const auto& cluster : whole_model_clusters_) {
+    // Aggregate whole model within the cluster.
+    for (int l = 0; l < clients_.front()->num_layers(); ++l) {
+      AverageLayer(l, cluster);
+    }
+    // Split test (Eq. 3 over whole-model deltas).
+    double weight_sum = 0.0;
+    for (int c : cluster) weight_sum += client_weight_[static_cast<size_t>(c)];
+    std::vector<double> weighted;
+    double max_norm = 0.0;
+    std::vector<std::vector<double>> sims;
+    for (int c : cluster) {
+      std::vector<double> d = ConcatAllDeltas(c);
+      max_norm = std::max(max_norm, VectorNorm(d));
+      if (weighted.empty()) weighted.assign(d.size(), 0.0);
+      const double wc = client_weight_[static_cast<size_t>(c)] / weight_sum;
+      for (size_t i = 0; i < d.size(); ++i) weighted[i] += wc * d[i];
+      if (algorithm == FlAlgorithm::kGcfl) {
+        // GCFL+: similarity over the recent gradient *sequence*.
+        auto& seq = gradient_sequences_[static_cast<size_t>(c)];
+        seq.push_back(d);
+        if (seq.size() > 3) seq.pop_front();
+        std::vector<double> concat;
+        for (const auto& past : seq) {
+          concat.insert(concat.end(), past.begin(), past.end());
+        }
+        sims.push_back(std::move(concat));
+      } else {
+        sims.push_back(std::move(d));
+      }
+    }
+    const bool should_split =
+        static_cast<int>(cluster.size()) >= fl_config_.min_cluster_size &&
+        VectorNorm(weighted) < fl_config_.epsilon1 &&
+        max_norm > fl_config_.epsilon2;
+    if (should_split) {
+      // GCFL+ sequences can have different lengths early on; pad.
+      size_t max_len = 0;
+      for (const auto& s : sims) max_len = std::max(max_len, s.size());
+      for (auto& s : sims) s.resize(max_len, 0.0);
+      const std::vector<int> split =
+          BinaryClusterSimilarity(SimilarityMatrix(sims));
+      std::vector<int> g0, g1;
+      for (size_t i = 0; i < cluster.size(); ++i) {
+        (split[i] == 0 ? g0 : g1).push_back(cluster[i]);
+      }
+      if (!g0.empty() && !g1.empty()) {
+        next_clusters.push_back(std::move(g0));
+        next_clusters.push_back(std::move(g1));
+        continue;
+      }
+    }
+    next_clusters.push_back(cluster);
+  }
+  whole_model_clusters_ = std::move(next_clusters);
+}
+
+FlResult FederatedSimulator::Run(FlAlgorithm algorithm) {
+  assert(!clients_.empty());
+  FlResult result;
+  whole_model_clusters_.clear();
+  for (auto& seq : gradient_sequences_) seq.clear();
+  unlocked_layers_ = 1;
+  fexiot_partition_.clear();
+  double bytes = 0.0;
+
+  const int num_layers = clients_.front()->num_layers();
+  for (int round = 0; round < fl_config_.num_rounds; ++round) {
+    // Parallel local training.
+    std::vector<double> losses(clients_.size(), 0.0);
+    pool_->ParallelFor(clients_.size(), [&](size_t c) {
+      losses[c] = clients_[c]->LocalTrain();
+    });
+
+    // Aggregation.
+    switch (algorithm) {
+      case FlAlgorithm::kLocalOnly:
+        break;
+      case FlAlgorithm::kFedAvg: {
+        std::vector<int> all(clients_.size());
+        std::iota(all.begin(), all.end(), 0);
+        for (int l = 0; l < num_layers; ++l) {
+          AverageLayer(l, all);
+          bytes += LayerExchangeBytes(l, all.size());
+        }
+        break;
+      }
+      case FlAlgorithm::kFmtl:
+      case FlAlgorithm::kGcfl:
+        ClusteredWholeModelRound(algorithm, &bytes);
+        break;
+      case FlAlgorithm::kFexiot: {
+        const bool split = FexiotRound(&bytes);
+        // Progressive unlock: once the current layers' clustering is
+        // stable (no split this round), start exchanging the next layer.
+        if (!split && unlocked_layers_ < num_layers) ++unlocked_layers_;
+        break;
+      }
+    }
+
+    FlRoundStats stats;
+    stats.round = round;
+    stats.mean_local_loss =
+        std::accumulate(losses.begin(), losses.end(), 0.0) /
+        static_cast<double>(losses.size());
+    stats.cumulative_comm_bytes = bytes;
+    stats.num_clusters = static_cast<int>(std::max<size_t>(
+        1, algorithm == FlAlgorithm::kFexiot
+               ? (fexiot_partition_.empty() ? 1
+                                            : fexiot_partition_.back().size())
+               : whole_model_clusters_.size()));
+    result.rounds.push_back(stats);
+  }
+
+  // Final evaluation (parallel across clients).
+  result.client_metrics.resize(clients_.size());
+  pool_->ParallelFor(clients_.size(), [&](size_t c) {
+    result.client_metrics[c] = clients_[c]->EvaluateLocal();
+  });
+
+  std::vector<double> accs;
+  for (const auto& m : result.client_metrics) {
+    result.mean.accuracy += m.accuracy;
+    result.mean.precision += m.precision;
+    result.mean.recall += m.recall;
+    result.mean.f1 += m.f1;
+    accs.push_back(m.accuracy);
+  }
+  const double n = static_cast<double>(clients_.size());
+  result.mean.accuracy /= n;
+  result.mean.precision /= n;
+  result.mean.recall /= n;
+  result.mean.f1 /= n;
+  result.accuracy_std = ComputeMeanStd(accs).stddev;
+  result.total_comm_bytes = bytes;
+
+  // Final cluster assignment per client (bottom layer).
+  result.client_cluster.assign(clients_.size(), 0);
+  static const std::vector<std::vector<int>> kEmpty;
+  const auto& clusters =
+      algorithm == FlAlgorithm::kFexiot
+          ? (fexiot_partition_.empty() ? kEmpty : fexiot_partition_.back())
+          : whole_model_clusters_;
+  for (size_t k = 0; k < clusters.size(); ++k) {
+    for (int c : clusters[k]) {
+      result.client_cluster[static_cast<size_t>(c)] = static_cast<int>(k);
+    }
+  }
+  return result;
+}
+
+}  // namespace fexiot

@@ -1,0 +1,91 @@
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "federated/fl_client.h"
+#include "graph/dataset.h"
+
+namespace fexiot {
+
+/// \brief In-process federated learning simulator.
+///
+/// Hosts n FlClients and a logical server, runs synchronous rounds of
+/// local training + aggregation under one of five strategies, and accounts
+/// every byte exchanged (Figure 7). The FexIoT strategy implements the
+/// paper's Algorithm 1: bottom-up layer-wise recursive clustering with the
+/// (epsilon1, epsilon2) stationarity/heterogeneity gate, progressive layer
+/// unlocking ("at the initial stage only the first layer's parameters are
+/// uploaded"), and per-cluster FedAvg.
+class FederatedSimulator {
+ public:
+  FederatedSimulator(GnnConfig model_config, FlConfig fl_config);
+
+  /// \brief Builds clients from a dataset + partition. Each client splits
+  /// its shard into local train/test by fl_config.local_train_fraction.
+  void SetupClients(const GraphDataset& data, const ClientPartition& part);
+
+  /// \brief Builds clients whose entire shard is training data and whose
+  /// evaluation set is the held-out pool of the client's latent cluster
+  /// (the Section IV-C 80/20 protocol).
+  void SetupClients(const GraphDataset& data, const ClientPartition& part,
+                    const std::vector<GraphDataset>& cluster_tests);
+
+  /// \brief Runs \p algorithm for the configured rounds and evaluates.
+  FlResult Run(FlAlgorithm algorithm);
+
+  size_t num_clients() const { return clients_.size(); }
+  FlClient* client(size_t i) { return clients_[i].get(); }
+
+ private:
+  /// Weighted FedAvg of one layer over a client group; installs result.
+  void AverageLayer(int layer, const std::vector<int>& group);
+  /// Bytes for exchanging (up + down) one layer with a client group.
+  double LayerExchangeBytes(int layer, size_t group_size) const;
+
+  /// One FexIoT round (Algorithm 1 with a persistent layer-wise cluster
+  /// tree): aggregates every unlocked layer within its current groups,
+  /// evaluates the (epsilon1, epsilon2) gate per group, and permanently
+  /// bisects a group when the gate fires — the split refines the partition
+  /// of that layer and all deeper layers. Returns true if any split
+  /// happened this round.
+  bool FexiotRound(double* bytes);
+
+  /// Whole-model clustered aggregation step used by FMTL / GCFL+.
+  void ClusteredWholeModelRound(FlAlgorithm algorithm, double* bytes);
+
+  /// Cosine-similarity matrix over per-client vectors.
+  static Matrix SimilarityMatrix(const std::vector<std::vector<double>>& v);
+
+  std::vector<double> ConcatAllLayers(int client) const;
+  std::vector<double> ConcatAllDeltas(int client) const;
+
+  GnnConfig model_config_;
+  FlConfig fl_config_;
+  Rng rng_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::vector<std::unique_ptr<FlClient>> clients_;
+  std::vector<double> client_weight_;  // |G_c| / |G|
+
+  // FMTL / GCFL+ persistent cluster state.
+  std::vector<std::vector<int>> whole_model_clusters_;
+  // GCFL+ per-client gradient sequences (flattened deltas, truncated).
+  std::vector<std::deque<std::vector<double>>> gradient_sequences_;
+  // FexIoT persistent layer-wise cluster tree: fexiot_partition_[l] is the
+  // client partition used when aggregating layer l (deeper layers refine
+  // shallower ones). Progressive unlocking: only layers < unlocked_layers_
+  // are exchanged, starting from the first layer (paper Section IV-C,
+  // communication cost discussion).
+  std::vector<std::vector<std::vector<int>>> fexiot_partition_;
+  int unlocked_layers_ = 1;
+  // Rounds since the partition of each layer last changed; stable layers
+  // (>= 3 rounds unchanged) are exchanged only every other round — the
+  // steady-state component of FexIoT's communication saving ("clients in
+  // the same cluster share more layers").
+  std::vector<int> layer_stable_rounds_;
+  int fexiot_round_counter_ = 0;
+};
+
+}  // namespace fexiot

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gnn/trainer.h"
+#include "ml/metrics.h"
+
+namespace fexiot {
+
+/// \brief Federated aggregation strategies compared in Figure 4.
+enum class FlAlgorithm {
+  kFedAvg,     ///< McMahan et al.: global weighted averaging
+  kFmtl,       ///< clustered FL (Sattler et al.): whole-model bisection
+  kGcfl,       ///< GCFL+ (Xie et al.): gradient-sequence clustering
+  kFexiot,     ///< this paper: layer-wise recursive clustering (Alg. 1)
+  kLocalOnly,  ///< "Client": self-training, no communication
+};
+
+const char* FlAlgorithmName(FlAlgorithm algorithm);
+
+/// \brief Federated simulation configuration.
+struct FlConfig {
+  int num_rounds = 10;
+  /// Local training done by every client each round.
+  TrainConfig local;
+  /// Algorithm 1 thresholds: clustering starts when the weighted global
+  /// update is stationary (norm < epsilon1) while some client still moves
+  /// a lot (max norm > epsilon2). The paper uses 1.2 / 0.8 and notes the
+  /// values are "related to the size of model weights"; our layer deltas
+  /// live at a smaller scale (see EXPERIMENTS.md), hence smaller defaults.
+  double epsilon1 = 0.5;
+  double epsilon2 = 0.2;
+  /// Fraction of each client's data used for local training (rest tests).
+  double local_train_fraction = 0.8;
+  /// Minimum cluster size eligible for further bisection.
+  int min_cluster_size = 4;
+  /// A bisection is committed only when mean within-half cosine similarity
+  /// exceeds mean cross-half similarity by this margin (guards against
+  /// splitting on label-skew noise).
+  double split_quality_margin = 0.05;
+  /// Worker threads for parallel client training (0 = hardware).
+  int threads = 0;
+  uint64_t seed = 59;
+};
+
+/// \brief Per-round telemetry.
+struct FlRoundStats {
+  int round = 0;
+  double mean_local_loss = 0.0;
+  /// Cumulative bytes transferred (upload + download) up to this round.
+  double cumulative_comm_bytes = 0.0;
+  /// Number of leaf clusters at the bottom layer after this round.
+  int num_clusters = 1;
+};
+
+/// \brief Outcome of one federated run.
+struct FlResult {
+  /// Final metrics of each client's model on its local test split.
+  std::vector<ClassificationMetrics> client_metrics;
+  /// Averages over clients.
+  ClassificationMetrics mean;
+  /// Std-dev of client accuracies (stability evaluation).
+  double accuracy_std = 0.0;
+  double total_comm_bytes = 0.0;
+  std::vector<FlRoundStats> rounds;
+  /// Final first-layer cluster assignment per client.
+  std::vector<int> client_cluster;
+
+  std::string Summary() const;
+};
+
+}  // namespace fexiot

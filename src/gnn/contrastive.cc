@@ -1,0 +1,58 @@
+#include "gnn/contrastive.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstddef>
+
+namespace fexiot {
+
+ContrastivePair ContrastiveLoss(const std::vector<double>& z_i,
+                                const std::vector<double>& z_j,
+                                bool different_class, double margin,
+                                ContrastiveForm form) {
+  assert(z_i.size() == z_j.size());
+  ContrastivePair out;
+  out.grad_i.assign(z_i.size(), 0.0);
+  double d2 = 0.0;
+  for (size_t k = 0; k < z_i.size(); ++k) {
+    const double diff = z_i[k] - z_j[k];
+    d2 += diff * diff;
+  }
+  if (!different_class) {
+    // Pull together: L = d^2, dL/dz_i = 2 (z_i - z_j).
+    out.loss = d2;
+    for (size_t k = 0; k < z_i.size(); ++k) {
+      out.grad_i[k] = 2.0 * (z_i[k] - z_j[k]);
+    }
+    return out;
+  }
+  if (form == ContrastiveForm::kSquaredMargin) {
+    if (d2 < margin) {
+      out.loss = margin - d2;
+      for (size_t k = 0; k < z_i.size(); ++k) {
+        out.grad_i[k] = -2.0 * (z_i[k] - z_j[k]);
+      }
+    }
+    return out;
+  }
+  // Hadsell margin: L = max(0, m - d)^2 with d Euclidean.
+  const double d = std::sqrt(d2);
+  if (d < margin) {
+    const double gap = margin - d;
+    out.loss = gap * gap;
+    // dL/dz_i = -2 gap * (z_i - z_j) / d; bounded unit push at d -> 0.
+    const double scale = d > 1e-9 ? -2.0 * gap / d : 0.0;
+    if (d > 1e-9) {
+      for (size_t k = 0; k < z_i.size(); ++k) {
+        out.grad_i[k] = scale * (z_i[k] - z_j[k]);
+      }
+    } else {
+      // Exactly coincident embeddings: push along a fixed direction so the
+      // pair can separate at all.
+      out.grad_i[0] = -2.0 * gap;
+    }
+  }
+  return out;
+}
+
+}  // namespace fexiot

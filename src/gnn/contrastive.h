@@ -1,0 +1,33 @@
+#pragma once
+
+#include <vector>
+
+namespace fexiot {
+
+/// \brief Margin contrastive loss variants on a pair of graph embeddings.
+///
+/// The paper's Eq. 2 is L = d^2 (1 - y) + max(0, k - d^2) y with y = 1 iff
+/// the graphs are from *different* classes: same-class pairs are pulled
+/// together, different-class pairs pushed until d^2 >= k. The push gradient
+/// of that form, -2 (z_i - z_j), vanishes as embeddings collapse to a
+/// point, so pure SGD degenerates (all embeddings identical). The classic
+/// Hadsell et al. form max(0, k - d)^2 keeps a non-vanishing push of
+/// magnitude ~2k near collapse; it is the numerically stable default here,
+/// with the paper's literal form available for the ablation bench.
+enum class ContrastiveForm {
+  kHadsellMargin,   ///< y max(0, k - d)^2 (stable default)
+  kSquaredMargin,   ///< y max(0, k - d^2) (Eq. 2 literal)
+};
+
+struct ContrastivePair {
+  double loss = 0.0;
+  /// dL/dz_i (dL/dz_j is its negation).
+  std::vector<double> grad_i;
+};
+
+ContrastivePair ContrastiveLoss(
+    const std::vector<double>& z_i, const std::vector<double>& z_j,
+    bool different_class, double margin,
+    ContrastiveForm form = ContrastiveForm::kHadsellMargin);
+
+}  // namespace fexiot

@@ -1,0 +1,338 @@
+#include "gnn/gnn_model.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace fexiot {
+
+const char* GnnTypeName(GnnType type) {
+  switch (type) {
+    case GnnType::kGcn:
+      return "GCN";
+    case GnnType::kGin:
+      return "GIN";
+    case GnnType::kMagnn:
+      return "MAGNN";
+  }
+  return "?";
+}
+
+PreparedGraph PrepareGraph(const InteractionGraph& g,
+                           const GnnConfig& config) {
+  PreparedGraph p;
+  p.num_nodes = g.num_nodes();
+  p.label = g.label();
+  const size_t n = static_cast<size_t>(g.num_nodes());
+
+  // Propagation matrix.
+  if (config.type == GnnType::kGin) {
+    // S = (1 + eps) I + A over the undirected skeleton, eps = 0.
+    Matrix s(n, n);
+    for (size_t i = 0; i < n; ++i) s.At(i, i) = 1.0;
+    for (const auto& [u, v] : g.edges()) {
+      s.At(static_cast<size_t>(u), static_cast<size_t>(v)) = 1.0;
+      s.At(static_cast<size_t>(v), static_cast<size_t>(u)) = 1.0;
+    }
+    p.propagation = std::move(s);
+  } else {
+    p.propagation = g.NormalizedAdjacency();
+  }
+
+  // Feature matrices. Word-space nodes go into `features`; sentence-space
+  // nodes (voice platforms) into `features_hetero` (only consumed by
+  // MAGNN; GCN/GIN on heterogeneous graphs would assert in FeatureMatrix,
+  // so we pad/truncate to input_dim for them).
+  p.features = Matrix(n, static_cast<size_t>(config.input_dim));
+  p.features_hetero = Matrix(n, static_cast<size_t>(config.hetero_input_dim));
+  p.node_space.resize(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    const auto& f = g.node(static_cast<int>(i)).features;
+    const bool sentence_space =
+        static_cast<int>(f.size()) == config.hetero_input_dim &&
+        config.hetero_input_dim != config.input_dim;
+    if (sentence_space) {
+      p.node_space[i] = 1;
+      for (size_t c = 0; c < f.size(); ++c) p.features_hetero.At(i, c) = f[c];
+      // For homogeneous models, fold the sentence embedding into the word
+      // slot by truncation so GCN/GIN still run on hetero graphs.
+      const size_t copy = std::min(f.size(),
+                                   static_cast<size_t>(config.input_dim));
+      for (size_t c = 0; c < copy; ++c) p.features.At(i, c) = f[c];
+    } else {
+      const size_t copy = std::min(f.size(),
+                                   static_cast<size_t>(config.input_dim));
+      for (size_t c = 0; c < copy; ++c) p.features.At(i, c) = f[c];
+    }
+  }
+  return p;
+}
+
+GnnModel::GnnModel(const GnnConfig& config) : config_(config) {
+  Rng rng(config.seed);
+  const size_t in = static_cast<size_t>(config.input_dim);
+  const size_t hin = static_cast<size_t>(config.hetero_input_dim);
+  const size_t h = static_cast<size_t>(config.hidden_dim);
+  const size_t e = static_cast<size_t>(config.embedding_dim);
+
+  auto make_layer = [&](std::vector<Matrix> params) {
+    Layer layer;
+    layer.grads.reserve(params.size());
+    for (const auto& m : params) layer.grads.emplace_back(m.rows(), m.cols());
+    layer.params = std::move(params);
+    layers_.push_back(std::move(layer));
+  };
+
+  if (config.type == GnnType::kMagnn) {
+    // Layer 0: dual input projections (word space, sentence space).
+    make_layer({Matrix::GlorotUniform(in, h, &rng), Matrix(1, h),
+                Matrix::GlorotUniform(hin, h, &rng), Matrix(1, h)});
+    for (int l = 0; l < config.num_layers; ++l) {
+      make_layer({Matrix::GlorotUniform(h, h, &rng), Matrix(1, h)});
+    }
+  } else {
+    for (int l = 0; l < config.num_layers; ++l) {
+      const size_t lin = l == 0 ? in : h;
+      make_layer({Matrix::GlorotUniform(lin, h, &rng), Matrix(1, h)});
+    }
+  }
+  // Readout projection over the [mean | max] pooled representation.
+  make_layer({Matrix::GlorotUniform(2 * h, e, &rng), Matrix(1, e)});
+}
+
+Matrix GnnModel::InputProjection(const PreparedGraph& g,
+                                 ForwardCache* cache) const {
+  // MAGNN-lite: project each node from its feature space into the shared
+  // hidden space, ReLU activation.
+  const Layer& proj = layers_[0];
+  const size_t n = static_cast<size_t>(g.num_nodes);
+  const size_t h = static_cast<size_t>(config_.hidden_dim);
+  Matrix z(n, h);
+  for (size_t i = 0; i < n; ++i) {
+    const bool sent = g.node_space[i] == 1;
+    const Matrix& w = sent ? proj.params[2] : proj.params[0];
+    const Matrix& b = sent ? proj.params[3] : proj.params[1];
+    const Matrix& x = sent ? g.features_hetero : g.features;
+    for (size_t c = 0; c < h; ++c) {
+      double s = b.At(0, c);
+      for (size_t k = 0; k < w.rows(); ++k) s += x.At(i, k) * w.At(k, c);
+      z.At(i, c) = s;
+    }
+  }
+  if (cache) cache->pre.push_back(z);
+  return Relu(z);
+}
+
+std::vector<double> GnnModel::Forward(const PreparedGraph& g,
+                                      ForwardCache* cache) const {
+  assert(g.num_nodes > 0);
+  if (cache) {
+    cache->graph = &g;
+    cache->pre.clear();
+    cache->post.clear();
+  }
+
+  size_t first_mp = 0;
+  Matrix h;
+  if (config_.type == GnnType::kMagnn) {
+    h = InputProjection(g, cache);
+    first_mp = 1;
+  } else {
+    h = g.features;
+  }
+  if (cache) cache->post.push_back(h);
+
+  const size_t readout_index = layers_.size() - 1;
+  for (size_t l = first_mp; l < readout_index; ++l) {
+    const Matrix m = MatMul(g.propagation, h);
+    Matrix z = MatMul(m, layers_[l].params[0]);
+    AddBiasRow(&z, layers_[l].params[1]);
+    if (cache) cache->pre.push_back(z);
+    h = Relu(z);
+    if (cache) cache->post.push_back(h);
+  }
+
+  // [mean | max] readout.
+  const size_t hd = h.cols();
+  Matrix pooled(1, 2 * hd);
+  std::vector<size_t> argmax(hd, 0);
+  {
+    const Matrix mean = ColumnMean(h);
+    for (size_t c = 0; c < hd; ++c) pooled.At(0, c) = mean.At(0, c);
+    for (size_t c = 0; c < hd; ++c) {
+      double best = h.At(0, c);
+      size_t best_row = 0;
+      for (size_t r = 1; r < h.rows(); ++r) {
+        if (h.At(r, c) > best) {
+          best = h.At(r, c);
+          best_row = r;
+        }
+      }
+      pooled.At(0, hd + c) = best;
+      argmax[c] = best_row;
+    }
+  }
+  Matrix emb = MatMul(pooled, layers_[readout_index].params[0]);
+  AddBiasRow(&emb, layers_[readout_index].params[1]);
+  if (cache) {
+    cache->pooled = pooled;
+    cache->argmax = std::move(argmax);
+  }
+
+  std::vector<double> out = emb.Row(0);
+  if (cache) cache->embedding = out;
+  return out;
+}
+
+void GnnModel::Backward(const ForwardCache& cache,
+                        const std::vector<double>& grad_embedding) {
+  assert(cache.graph != nullptr);
+  const PreparedGraph& g = *cache.graph;
+  const size_t readout_index = layers_.size() - 1;
+  const size_t n = static_cast<size_t>(g.num_nodes);
+
+  // Readout projection backward.
+  Matrix demb(1, grad_embedding.size());
+  demb.SetRow(0, grad_embedding);
+  Layer& readout = layers_[readout_index];
+  readout.grads[0] += MatMulTransA(cache.pooled, demb);
+  readout.grads[1] += demb;
+  const Matrix dpooled = MatMulTransB(demb, readout.params[0]);
+
+  // [mean | max] readout backward: the mean half broadcasts /n to every
+  // node row; the max half routes to the argmax row per dim.
+  const size_t hdim = dpooled.cols() / 2;
+  Matrix dh(n, hdim);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t c = 0; c < hdim; ++c) {
+      dh.At(i, c) = dpooled.At(0, c) / static_cast<double>(n);
+    }
+  }
+  for (size_t c = 0; c < hdim; ++c) {
+    dh.At(cache.argmax[c], c) += dpooled.At(0, hdim + c);
+  }
+
+  const size_t first_mp = config_.type == GnnType::kMagnn ? 1 : 0;
+  // Message-passing layers, top-down. cache.pre[k]/cache.post[k+1] hold the
+  // k-th recorded activation pair; for MAGNN, index 0 is the projection.
+  for (size_t l = readout_index; l-- > first_mp;) {
+    // pre[l] is layer l's pre-activation in both modes (MAGNN's projection
+    // occupies pre[0]); the layer's *input* activation is post[l - first_mp]
+    // (post[0] is the raw features for GCN/GIN, the projected features for
+    // MAGNN).
+    Matrix dz = ReluBackward(dh, cache.pre[l]);
+    const Matrix& h_in = cache.post[l - first_mp];
+    const Matrix m = MatMul(g.propagation, h_in);
+    layers_[l].grads[0] += MatMulTransA(m, dz);
+    layers_[l].grads[1] += ColumnSum(dz);
+    if (l > first_mp || config_.type == GnnType::kMagnn) {
+      // Propagation matrices are symmetric: dH_in = P (dZ W^T).
+      const Matrix tmp = MatMulTransB(dz, layers_[l].params[0]);
+      dh = MatMul(g.propagation, tmp);
+    }
+  }
+
+  if (config_.type == GnnType::kMagnn) {
+    // Projection backward (per node space).
+    Matrix dz = ReluBackward(dh, cache.pre[0]);
+    Layer& proj = layers_[0];
+    for (size_t i = 0; i < n; ++i) {
+      const bool sent = g.node_space[i] == 1;
+      Matrix& gw = sent ? proj.grads[2] : proj.grads[0];
+      Matrix& gb = sent ? proj.grads[3] : proj.grads[1];
+      const Matrix& x = sent ? g.features_hetero : g.features;
+      for (size_t c = 0; c < dz.cols(); ++c) {
+        const double d = dz.At(i, c);
+        if (d == 0.0) continue;
+        gb.At(0, c) += d;
+        for (size_t k = 0; k < gw.rows(); ++k) {
+          gw.At(k, c) += x.At(i, k) * d;
+        }
+      }
+    }
+  }
+}
+
+void GnnModel::ZeroGrad() {
+  for (auto& layer : layers_) {
+    for (auto& g : layer.grads) g.Fill(0.0);
+  }
+}
+
+void GnnModel::ApplyGrads(double learning_rate, double batch_size,
+                          double weight_decay) {
+  double scale = learning_rate / std::max(1.0, batch_size);
+  // Global-norm gradient clipping: GIN's sum aggregation over hub nodes
+  // can produce huge activations; unclipped contrastive pushes then
+  // diverge.
+  constexpr double kMaxGradNorm = 5.0;
+  double norm2 = 0.0;
+  for (const auto& layer : layers_) {
+    for (const auto& g : layer.grads) {
+      for (size_t k = 0; k < g.size(); ++k) {
+        const double v = g.data()[k] / std::max(1.0, batch_size);
+        norm2 += v * v;
+      }
+    }
+  }
+  const double norm = std::sqrt(norm2);
+  if (norm > kMaxGradNorm) scale *= kMaxGradNorm / norm;
+  for (auto& layer : layers_) {
+    for (size_t i = 0; i < layer.params.size(); ++i) {
+      Matrix& p = layer.params[i];
+      const Matrix& g = layer.grads[i];
+      for (size_t k = 0; k < p.size(); ++k) {
+        p.data()[k] -= scale * g.data()[k] +
+                       learning_rate * weight_decay * p.data()[k];
+      }
+    }
+  }
+  ZeroGrad();
+}
+
+std::vector<double> GnnModel::GetLayerFlat(int l) const {
+  const Layer& layer = layers_[static_cast<size_t>(l)];
+  std::vector<double> out;
+  out.reserve(LayerSize(l));
+  for (const auto& m : layer.params) {
+    out.insert(out.end(), m.data(), m.data() + m.size());
+  }
+  return out;
+}
+
+std::vector<double> GnnModel::GetLayerGradFlat(int l) const {
+  const Layer& layer = layers_[static_cast<size_t>(l)];
+  std::vector<double> out;
+  out.reserve(LayerSize(l));
+  for (const auto& m : layer.grads) {
+    out.insert(out.end(), m.data(), m.data() + m.size());
+  }
+  return out;
+}
+
+void GnnModel::SetLayerFlat(int l, const std::vector<double>& flat) {
+  Layer& layer = layers_[static_cast<size_t>(l)];
+  assert(flat.size() == LayerSize(l));
+  size_t cursor = 0;
+  for (auto& m : layer.params) {
+    std::copy(flat.begin() + static_cast<long>(cursor),
+              flat.begin() + static_cast<long>(cursor + m.size()), m.data());
+    cursor += m.size();
+  }
+}
+
+size_t GnnModel::LayerSize(int l) const {
+  const Layer& layer = layers_[static_cast<size_t>(l)];
+  size_t total = 0;
+  for (const auto& m : layer.params) total += m.size();
+  return total;
+}
+
+size_t GnnModel::TotalParams() const {
+  size_t total = 0;
+  for (int l = 0; l < num_layers(); ++l) total += LayerSize(l);
+  return total;
+}
+
+}  // namespace fexiot

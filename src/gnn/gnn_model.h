@@ -1,0 +1,129 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/interaction_graph.h"
+#include "tensor/matrix.h"
+
+namespace fexiot {
+
+/// \brief GNN architectures evaluated in the paper (Section IV-C).
+enum class GnnType {
+  kGcn,    ///< graph convolutional network (Kipf & Welling)
+  kGin,    ///< graph isomorphism network (Xu et al.)
+  kMagnn,  ///< metapath-aggregated heterogeneous GNN (Fu et al.), -lite:
+           ///< per-feature-space input projections + shared propagation
+};
+
+const char* GnnTypeName(GnnType type);
+
+/// \brief Model hyperparameters.
+struct GnnConfig {
+  GnnType type = GnnType::kGcn;
+  /// Input feature dim of word-embedding platforms (homogeneous graphs).
+  int input_dim = kHomoFeatureDim;
+  /// Second feature space (sentence encoder); only used by kMagnn.
+  int hetero_input_dim = kHeteroFeatureDim;
+  int hidden_dim = 16;
+  /// Number of message-passing layers (the paper uses 3 GCN layers).
+  int num_layers = 3;
+  /// Final graph-embedding dimensionality (readout projection output).
+  int embedding_dim = 16;
+  uint64_t seed = 47;
+};
+
+/// \brief A graph pre-processed for GNN consumption: cached propagation
+/// matrix + stacked features. Build once per dataset, reuse every epoch.
+struct PreparedGraph {
+  Matrix features;    ///< n x input_dim (homogeneous part)
+  Matrix propagation; ///< n x n (normalized adjacency or GIN aggregation)
+  /// Raw (padded) per-node features for MAGNN plus per-node space id
+  /// (0 = word space, 1 = sentence space).
+  std::vector<int> node_space;
+  Matrix features_hetero;  ///< n x hetero_input_dim (zero rows for space 0)
+  int label = 0;
+  int num_nodes = 0;
+};
+
+/// \brief Prepares a graph for \p config (computes the propagation matrix
+/// appropriate to the architecture and splits features by space).
+PreparedGraph PrepareGraph(const InteractionGraph& g, const GnnConfig& config);
+
+/// \brief Activation/pre-activation caches recorded by a forward pass,
+/// consumed by Backward().
+struct ForwardCache {
+  const PreparedGraph* graph = nullptr;
+  std::vector<Matrix> pre;    ///< pre-activation per layer
+  std::vector<Matrix> post;   ///< post-activation per layer (input to next)
+  Matrix pooled;              ///< 1 x 2*hidden [mean | max] readout
+  std::vector<size_t> argmax; ///< row index of the max per hidden dim
+  std::vector<double> embedding;
+};
+
+/// \brief Graph neural network with explicit manual backpropagation, a
+/// [mean | max] pooling readout (max pooling preserves the few-node
+/// vulnerability witnesses that mean pooling dilutes in large graphs) and
+/// a linear projection head producing the graph embedding used by the
+/// contrastive loss (Section III-B1).
+///
+/// Parameters are organized into indexed *layers* so the layer-wise
+/// clustered federated aggregation (Algorithm 1) can exchange them layer
+/// by layer: layer 0 is the input projection(s), layers 1..L are
+/// message-passing layers, layer L+1 is the readout projection.
+class GnnModel {
+ public:
+  explicit GnnModel(const GnnConfig& config);
+
+  const GnnConfig& config() const { return config_; }
+
+  /// Number of parameter layers (for layer-wise FL exchange).
+  int num_layers() const { return static_cast<int>(layers_.size()); }
+
+  /// \brief Forward pass producing the graph embedding; records caches for
+  /// Backward when \p cache is non-null.
+  std::vector<double> Forward(const PreparedGraph& g,
+                              ForwardCache* cache) const;
+
+  /// \brief Accumulates parameter gradients given dL/d(embedding).
+  void Backward(const ForwardCache& cache,
+                const std::vector<double>& grad_embedding);
+
+  /// Zeroes accumulated gradients.
+  void ZeroGrad();
+  /// SGD step over accumulated gradients (scaled by 1/batch), then zeroes.
+  void ApplyGrads(double learning_rate, double batch_size,
+                  double weight_decay = 0.0);
+
+  /// \brief Flattened parameters of layer \p l (concatenated matrices).
+  std::vector<double> GetLayerFlat(int l) const;
+  /// \brief Flattened accumulated gradients of layer \p l (testing /
+  /// diagnostics; unscaled, as accumulated by Backward).
+  std::vector<double> GetLayerGradFlat(int l) const;
+  /// \brief Restores layer \p l from a flat vector (size must match).
+  void SetLayerFlat(int l, const std::vector<double>& flat);
+  /// Parameter count of layer \p l.
+  size_t LayerSize(int l) const;
+  /// Total parameter count.
+  size_t TotalParams() const;
+
+  /// Serialized byte size of one layer (doubles; used for the Figure 7
+  /// communication accounting).
+  size_t LayerBytes(int l) const { return LayerSize(l) * sizeof(double); }
+
+ private:
+  /// One parameter layer: a list of (matrix, gradient) pairs. MAGNN's
+  /// input layer holds two projections; all other layers hold W and b.
+  struct Layer {
+    std::vector<Matrix> params;
+    std::vector<Matrix> grads;
+  };
+
+  Matrix InputProjection(const PreparedGraph& g, ForwardCache* cache) const;
+
+  GnnConfig config_;
+  std::vector<Layer> layers_;
+};
+
+}  // namespace fexiot

@@ -1,0 +1,104 @@
+#include "gnn/serialization.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+namespace fexiot {
+namespace {
+
+constexpr char kMagic[8] = {'F', 'E', 'X', 'G', 'N', 'N', '0', '1'};
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+bool WriteU64(std::FILE* f, uint64_t v) {
+  return std::fwrite(&v, sizeof(v), 1, f) == 1;
+}
+bool ReadU64(std::FILE* f, uint64_t* v) {
+  return std::fread(v, sizeof(*v), 1, f) == 1;
+}
+
+}  // namespace
+
+Status SaveGnnModel(const GnnModel& model, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return Status::IOError("cannot open for writing: " + path);
+  if (std::fwrite(kMagic, sizeof(kMagic), 1, f.get()) != 1) {
+    return Status::IOError("write failed: " + path);
+  }
+  const GnnConfig& c = model.config();
+  const uint64_t header[] = {
+      static_cast<uint64_t>(c.type),
+      static_cast<uint64_t>(c.input_dim),
+      static_cast<uint64_t>(c.hetero_input_dim),
+      static_cast<uint64_t>(c.hidden_dim),
+      static_cast<uint64_t>(c.num_layers),
+      static_cast<uint64_t>(c.embedding_dim),
+      c.seed,
+      static_cast<uint64_t>(model.num_layers()),
+  };
+  for (uint64_t v : header) {
+    if (!WriteU64(f.get(), v)) return Status::IOError("write failed");
+  }
+  for (int l = 0; l < model.num_layers(); ++l) {
+    const std::vector<double> flat = model.GetLayerFlat(l);
+    if (!WriteU64(f.get(), flat.size())) return Status::IOError("write failed");
+    if (!flat.empty() &&
+        std::fwrite(flat.data(), sizeof(double), flat.size(), f.get()) !=
+            flat.size()) {
+      return Status::IOError("write failed: " + path);
+    }
+  }
+  return Status::OK();
+}
+
+Result<GnnModel> LoadGnnModel(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Status::IOError("cannot open: " + path);
+  char magic[8];
+  if (std::fread(magic, sizeof(magic), 1, f.get()) != 1 ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("not a FexIoT GNN model file: " + path);
+  }
+  uint64_t header[8];
+  for (auto& v : header) {
+    if (!ReadU64(f.get(), &v)) return Status::IOError("truncated: " + path);
+  }
+  GnnConfig c;
+  if (header[0] > static_cast<uint64_t>(GnnType::kMagnn)) {
+    return Status::InvalidArgument("unknown model type in: " + path);
+  }
+  c.type = static_cast<GnnType>(header[0]);
+  c.input_dim = static_cast<int>(header[1]);
+  c.hetero_input_dim = static_cast<int>(header[2]);
+  c.hidden_dim = static_cast<int>(header[3]);
+  c.num_layers = static_cast<int>(header[4]);
+  c.embedding_dim = static_cast<int>(header[5]);
+  c.seed = header[6];
+  GnnModel model(c);
+  if (static_cast<int>(header[7]) != model.num_layers()) {
+    return Status::InvalidArgument("layer count mismatch in: " + path);
+  }
+  for (int l = 0; l < model.num_layers(); ++l) {
+    uint64_t n = 0;
+    if (!ReadU64(f.get(), &n)) return Status::IOError("truncated: " + path);
+    if (n != model.LayerSize(l)) {
+      return Status::InvalidArgument("layer size mismatch in: " + path);
+    }
+    std::vector<double> flat(n);
+    if (n > 0 &&
+        std::fread(flat.data(), sizeof(double), n, f.get()) != n) {
+      return Status::IOError("truncated: " + path);
+    }
+    model.SetLayerFlat(l, flat);
+  }
+  return model;
+}
+
+}  // namespace fexiot

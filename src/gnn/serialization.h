@@ -1,0 +1,20 @@
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "gnn/gnn_model.h"
+
+namespace fexiot {
+
+/// \brief Saves a trained GNN (config + all layer parameters) to a binary
+/// file. The format is versioned ("FEXGNN01" magic); a server can persist
+/// the federally-trained model and ship it to new houses, which restore
+/// it with LoadGnnModel and fit their local head via FexIoT::AdoptModel.
+Status SaveGnnModel(const GnnModel& model, const std::string& path);
+
+/// \brief Restores a model saved by SaveGnnModel. Fails with IOError /
+/// InvalidArgument on missing files or format mismatches.
+Result<GnnModel> LoadGnnModel(const std::string& path);
+
+}  // namespace fexiot

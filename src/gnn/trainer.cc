@@ -1,0 +1,170 @@
+#include "gnn/trainer.h"
+
+#include <cmath>
+
+#include "gnn/contrastive.h"
+
+namespace fexiot {
+
+std::vector<PreparedGraph> PrepareGraphs(
+    const std::vector<InteractionGraph>& graphs, const GnnConfig& config) {
+  std::vector<PreparedGraph> out;
+  out.reserve(graphs.size());
+  for (const auto& g : graphs) out.push_back(PrepareGraph(g, config));
+  return out;
+}
+
+std::vector<PreparedGraph> PrepareDataset(const GraphDataset& data,
+                                          const GnnConfig& config) {
+  return PrepareGraphs(data.graphs(), config);
+}
+
+double GnnTrainer::Train(const std::vector<PreparedGraph>& graphs, Rng* rng) {
+  if (graphs.size() < 2) return 0.0;
+  return config_.contrastive ? TrainContrastive(graphs, rng)
+                             : TrainSupervised(graphs, rng);
+}
+
+double GnnTrainer::TrainContrastive(const std::vector<PreparedGraph>& graphs,
+                                    Rng* rng) {
+  double total_loss = 0.0;
+  int total_pairs = 0;
+  // Index graphs by class for balanced pair sampling.
+  std::vector<size_t> pos, neg;
+  for (size_t i = 0; i < graphs.size(); ++i) {
+    (graphs[i].label == 1 ? pos : neg).push_back(i);
+  }
+  const int pairs_per_epoch = std::max(
+      4, static_cast<int>(config_.pairs_per_sample *
+                          static_cast<double>(graphs.size())));
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    int in_batch = 0;
+    model_->ZeroGrad();
+    for (int p = 0; p < pairs_per_epoch; ++p) {
+      // Half the pairs are same-class, half different-class when possible.
+      size_t i, j;
+      const bool want_different =
+          rng->Bernoulli(0.5) && !pos.empty() && !neg.empty();
+      if (want_different) {
+        i = pos[rng->UniformInt(pos.size())];
+        j = neg[rng->UniformInt(neg.size())];
+      } else {
+        const auto& side = (!pos.empty() && (neg.empty() || rng->Bernoulli(
+                                                                0.5)))
+                               ? pos
+                               : neg;
+        if (side.size() < 2) continue;
+        i = side[rng->UniformInt(side.size())];
+        do {
+          j = side[rng->UniformInt(side.size())];
+        } while (j == i);
+      }
+      ForwardCache ci, cj;
+      const std::vector<double> zi = model_->Forward(graphs[i], &ci);
+      const std::vector<double> zj = model_->Forward(graphs[j], &cj);
+      const bool different = graphs[i].label != graphs[j].label;
+      const ContrastivePair pair =
+          ContrastiveLoss(zi, zj, different, config_.margin, config_.form);
+      total_loss += pair.loss;
+      ++total_pairs;
+      if (pair.loss > 0.0) {
+        std::vector<double> grad_j(pair.grad_i.size());
+        for (size_t k = 0; k < grad_j.size(); ++k) {
+          grad_j[k] = -pair.grad_i[k];
+        }
+        model_->Backward(ci, pair.grad_i);
+        model_->Backward(cj, grad_j);
+      }
+      if (++in_batch >= config_.batch_pairs) {
+        model_->ApplyGrads(config_.learning_rate, 2.0 * in_batch,
+                           config_.weight_decay);
+        in_batch = 0;
+      }
+    }
+    if (in_batch > 0) {
+      model_->ApplyGrads(config_.learning_rate, 2.0 * in_batch,
+                         config_.weight_decay);
+    }
+  }
+  return total_pairs > 0 ? total_loss / total_pairs : 0.0;
+}
+
+double GnnTrainer::TrainSupervised(const std::vector<PreparedGraph>& graphs,
+                                   Rng* rng) {
+  // Ablation objective: logistic loss through a jointly-trained virtual
+  // linear head on the embedding (no pairwise structure).
+  const size_t e = static_cast<size_t>(model_->config().embedding_dim);
+  std::vector<double> w(e, 0.0);
+  double b = 0.0;
+  double total_loss = 0.0;
+  int count = 0;
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    std::vector<size_t> order(graphs.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    rng->Shuffle(&order);
+    int in_batch = 0;
+    model_->ZeroGrad();
+    for (size_t i : order) {
+      ForwardCache cache;
+      const std::vector<double> z = model_->Forward(graphs[i], &cache);
+      double logit = b;
+      for (size_t k = 0; k < e; ++k) logit += w[k] * z[k];
+      const double p = 1.0 / (1.0 + std::exp(-logit));
+      const double y = static_cast<double>(graphs[i].label);
+      total_loss += -(y * std::log(p + 1e-12) +
+                      (1.0 - y) * std::log(1.0 - p + 1e-12));
+      ++count;
+      const double err = p - y;
+      std::vector<double> dz(e);
+      for (size_t k = 0; k < e; ++k) dz[k] = err * w[k];
+      model_->Backward(cache, dz);
+      // Head update (plain SGD, same LR).
+      for (size_t k = 0; k < e; ++k) {
+        w[k] -= config_.learning_rate * err * z[k];
+      }
+      b -= config_.learning_rate * err;
+      if (++in_batch >= config_.batch_pairs) {
+        model_->ApplyGrads(config_.learning_rate, in_batch,
+                           config_.weight_decay);
+        in_batch = 0;
+      }
+    }
+    if (in_batch > 0) {
+      model_->ApplyGrads(config_.learning_rate, in_batch,
+                         config_.weight_decay);
+    }
+  }
+  return count > 0 ? total_loss / count : 0.0;
+}
+
+Matrix GnnTrainer::Embed(const std::vector<PreparedGraph>& graphs) const {
+  Matrix out(graphs.size(),
+             static_cast<size_t>(model_->config().embedding_dim));
+  for (size_t i = 0; i < graphs.size(); ++i) {
+    out.SetRow(i, model_->Forward(graphs[i], nullptr));
+  }
+  return out;
+}
+
+ClassificationMetrics GnnTrainer::Evaluate(
+    const std::vector<PreparedGraph>& train_graphs,
+    const std::vector<PreparedGraph>& test_graphs) const {
+  const Matrix train_emb = Embed(train_graphs);
+  std::vector<int> train_y;
+  train_y.reserve(train_graphs.size());
+  for (const auto& g : train_graphs) train_y.push_back(g.label);
+
+  SgdClassifier head;
+  const Status st = head.Fit(train_emb, train_y);
+  std::vector<int> labels, preds;
+  if (st.ok()) {
+    for (const auto& g : test_graphs) {
+      labels.push_back(g.label);
+      preds.push_back(head.Predict(model_->Forward(g, nullptr)));
+    }
+  }
+  return ComputeMetrics(labels, preds);
+}
+
+}  // namespace fexiot

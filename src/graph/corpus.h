@@ -1,0 +1,125 @@
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/dataset.h"
+#include "graph/interaction_graph.h"
+#include "smarthome/platform.h"
+
+namespace fexiot {
+
+/// \brief Options for offline interaction-graph corpus generation.
+struct CorpusOptions {
+  /// Platforms rules are drawn from. {kIfttt} reproduces the homogeneous
+  /// IFTTT dataset; all five platforms reproduce the heterogeneous one.
+  std::vector<Platform> platforms = {Platform::kIfttt};
+  int min_nodes = 2;
+  int max_nodes = 50;
+  /// Fraction of vulnerable graphs in labeled corpora (Table I: ~0.25 for
+  /// IFTTT, ~0.30 for the heterogeneous dataset).
+  double vulnerable_fraction = 0.25;
+  /// Probability that each relational feature dim is flipped, modeling the
+  /// ~2% per-pair NLP extraction error of Figure 3 compounded over the
+  /// pairs a node participates in.
+  double extraction_noise = 0.04;
+  /// Optional per-dimension override of extraction_noise (all-negative =
+  /// use the uniform value). Household clusters with different platform
+  /// text styles extract different relations with different reliability.
+  std::array<double, 4> relational_noise = {-1.0, -1.0, -1.0, -1.0};
+};
+
+/// \brief Generates labeled offline interaction-graph corpora
+/// (Section III-A3: random chaining of "trigger-action" / "action-trigger"
+/// pairs, plus planted vulnerability witnesses for the vulnerable class).
+class GraphCorpusGenerator {
+ public:
+  GraphCorpusGenerator(CorpusOptions options, Rng* rng);
+
+  /// \brief Generates a benign interaction graph: a random chained rule
+  /// graph that the ground-truth checker certifies vulnerability-free
+  /// (offending rules are repaired until clean).
+  InteractionGraph GenerateBenign();
+
+  /// \brief Generates a graph containing a planted witness of \p type
+  /// (label 1, witness recorded).
+  InteractionGraph GenerateVulnerable(VulnerabilityType type);
+
+  /// \brief Generates \p count graphs with the configured vulnerable
+  /// fraction; vulnerability types cycle uniformly.
+  std::vector<InteractionGraph> GenerateDataset(int count);
+
+  /// \brief Random vulnerability type (uniform over the six).
+  VulnerabilityType SampleVulnerabilityType();
+
+  /// \brief Generates a *drifting* sample: an interaction pattern outside
+  /// the six known vulnerability classes (Section III-B3 / Figure 6), such
+  /// as a long multi-hop action cycle, a dense conflicting hub, or a
+  /// compound graph carrying several simultaneous witnesses. These land
+  /// away from both class centroids in embedding space and should be
+  /// flagged by the MAD detector.
+  InteractionGraph GenerateDrifting();
+
+  /// \brief Skews every platform generator's device vocabulary (see
+  /// RuleGenerator::ApplyDeviceProfile).
+  void ApplyDeviceProfile(uint64_t profile_seed, double strength);
+
+ private:
+  /// Grows a random chained graph of target size (no labels yet).
+  InteractionGraph GrowRandomGraph(int target_nodes);
+  /// Adds edges implied by ActionTriggersRule between every node pair.
+  static void FinalizeEdges(InteractionGraph* g);
+  /// Recomputes node features from rules (offline: no time info),
+  /// including relational dims with the configured extraction noise.
+  void ComputeFeatures(InteractionGraph* g);
+  /// Mutates rules until the checker reports no findings. Returns false if
+  /// the repair budget was exhausted.
+  bool RepairToBenign(InteractionGraph* g);
+  /// Injects a witness of \p type into \p g; returns witness node ids.
+  std::vector<int> InjectVulnerability(InteractionGraph* g,
+                                       VulnerabilityType type);
+
+  RuleGenerator* GeneratorFor(Platform p);
+  RuleGenerator* RandomGenerator();
+
+  CorpusOptions options_;
+  Rng* rng_;
+  std::vector<RuleGenerator> generators_;
+  int vuln_type_cursor_ = 0;
+};
+
+/// \brief Dataset statistics matching Table I of the paper.
+struct CorpusStats {
+  int total_graphs = 0;
+  int vulnerable_graphs = 0;
+  int min_nodes = 0;
+  int max_nodes = 0;
+  double avg_nodes = 0.0;
+  double avg_edges = 0.0;
+};
+
+CorpusStats ComputeCorpusStats(const std::vector<InteractionGraph>& graphs);
+
+/// \brief A federated corpus: the pooled training dataset, the client
+/// partition that induced it, and one held-out test pool per latent
+/// cluster (the 20% evaluation split of Section IV-C — drawn from the same
+/// household-cluster distribution as the clients it evaluates, with the
+/// corpus-wide vulnerable fraction).
+struct FederatedCorpus {
+  GraphDataset data;
+  ClientPartition partition;
+  std::vector<GraphDataset> cluster_tests;
+};
+
+/// \brief Builds the non-i.i.d. federated evaluation corpus of
+/// Section IV-C: \p num_clusters latent household clusters, each with its
+/// own device profile (covariate shift, strength \p profile_strength) and
+/// preferred vulnerability types (concept shift); within a cluster,
+/// samples spread over its clients with Dirichlet(\p alpha) label skew.
+/// Test pools are class-balanced (50% vulnerable).
+FederatedCorpus BuildClusteredFederatedCorpus(
+    const CorpusOptions& base, int total_graphs, int num_clients,
+    int num_clusters, double alpha, double profile_strength, Rng* rng);
+
+}  // namespace fexiot

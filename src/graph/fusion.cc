@@ -1,0 +1,134 @@
+#include "graph/fusion.h"
+
+#include <algorithm>
+#include <map>
+
+namespace fexiot {
+namespace {
+
+/// A device's logical state-change timeline mined from the log.
+struct DeviceTimeline {
+  std::vector<double> times;
+  std::vector<std::string> values;
+  std::vector<LogKind> kinds;
+};
+
+}  // namespace
+
+InteractionGraph OnlineGraphBuilder::Build(const EventLog& cleaned_log) const {
+  const auto& entries = cleaned_log.entries();
+
+  // Index log entries per device type.
+  std::map<DeviceType, DeviceTimeline> timeline;
+  for (const auto& e : entries) {
+    auto& t = timeline[e.device];
+    t.times.push_back(e.timestamp);
+    t.values.push_back(e.value);
+    t.kinds.push_back(e.kind);
+  }
+
+  auto has_record = [&](DeviceType d, const std::string& value, double lo,
+                        double hi, LogKind kind) {
+    auto it = timeline.find(d);
+    if (it == timeline.end()) return false;
+    const auto& t = it->second;
+    for (size_t i = 0; i < t.times.size(); ++i) {
+      if (t.times[i] < lo || t.times[i] > hi) continue;
+      if (t.kinds[i] == kind && t.values[i] == value) return true;
+    }
+    return false;
+  };
+
+  InteractionGraph g;
+  std::map<int, int> rule_to_node;  // rule id -> node id
+
+  // Pass 1: detect rule firings. A rule fired at time t if its trigger
+  // event appears at t and each action's state appears within the window.
+  for (const auto& rule : home_.rules) {
+    auto it = timeline.find(rule.trigger.device);
+    if (it == timeline.end()) continue;
+    const auto& t = it->second;
+    double last_fire = -1.0;
+    int fires = 0;
+    int command_hits = 0, command_total = 0;
+    int effect_hits = 0, effect_total = 0;
+    for (size_t i = 0; i < t.times.size(); ++i) {
+      if (t.kinds[i] != LogKind::kStateChange) continue;
+      if (t.values[i] != rule.trigger.state) continue;
+      // Do all actions materialize in the window?
+      bool all_actions = true;
+      for (const auto& a : rule.actions) {
+        if (!has_record(a.device, a.state, t.times[i],
+                        t.times[i] + options_.firing_window,
+                        LogKind::kStateChange)) {
+          all_actions = false;
+        }
+      }
+      if (!all_actions) continue;
+      ++fires;
+      last_fire = t.times[i];
+      // Consistency mining around this firing.
+      for (const auto& a : rule.actions) {
+        ++command_total;
+        if (has_record(a.device, a.state,
+                       t.times[i] - options_.consistency_window,
+                       t.times[i] + options_.firing_window,
+                       LogKind::kCommand)) {
+          ++command_hits;
+        }
+      }
+    }
+    // Effect consistency: commands for this rule's action devices followed
+    // by the commanded state.
+    for (const auto& a : rule.actions) {
+      auto at = timeline.find(a.device);
+      if (at == timeline.end()) continue;
+      for (size_t i = 0; i < at->second.times.size(); ++i) {
+        if (at->second.kinds[i] != LogKind::kCommand) continue;
+        if (at->second.values[i] != a.state) continue;
+        ++effect_total;
+        if (has_record(a.device, a.state, at->second.times[i],
+                       at->second.times[i] + options_.consistency_window,
+                       LogKind::kStateChange)) {
+          ++effect_hits;
+        }
+      }
+    }
+    if (fires == 0) continue;
+
+    GraphNode node;
+    node.rule = rule;
+    node.event_time = last_fire;
+    node.features = ComputeNodeFeatures(rule, last_fire);
+    const double cmd_consistency =
+        command_total > 0
+            ? static_cast<double>(command_hits) / command_total
+            : 1.0;
+    const double eff_consistency =
+        effect_total > 0 ? static_cast<double>(effect_hits) / effect_total
+                         : 1.0;
+    node.features[node.features.size() - kFeatureDimCommandConsistency] =
+        kConsistencyScale * (cmd_consistency - 1.0);
+    node.features[node.features.size() - kFeatureDimEffectConsistency] =
+        kConsistencyScale * (eff_consistency - 1.0);
+    rule_to_node[rule.id] = g.AddNode(std::move(node));
+  }
+
+  // Pass 2: edges from the deployed rules' trigger-action logic, restricted
+  // to rules that actually fired, honoring time order.
+  for (const auto& ra : home_.rules) {
+    auto ia = rule_to_node.find(ra.id);
+    if (ia == rule_to_node.end()) continue;
+    for (const auto& rb : home_.rules) {
+      if (ra.id == rb.id) continue;
+      auto ib = rule_to_node.find(rb.id);
+      if (ib == rule_to_node.end()) continue;
+      if (!ActionTriggersRule(ra, rb)) continue;
+      g.AddEdge(ia->second, ib->second);
+    }
+  }
+  AugmentRelationalFeatures(&g);
+  return g;
+}
+
+}  // namespace fexiot

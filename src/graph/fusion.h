@@ -1,0 +1,57 @@
+#pragma once
+
+#include "common/rng.h"
+#include "graph/interaction_graph.h"
+#include "smarthome/event_log.h"
+#include "smarthome/home.h"
+
+namespace fexiot {
+
+/// \brief Cross-modality data fusion (Section III-A3): combines app rule
+/// descriptions (trigger-action logic) with cleaned event logs (real-time
+/// device status) into *online* interaction graphs.
+///
+/// For every deployed rule the builder mines the log for firings — a
+/// trigger event followed by the rule's action states within a window.
+/// Fired rules become nodes (with the firing time encoded in the feature
+/// time dims); edges come from the action-trigger logic of the deployed
+/// rules. Two causal-consistency scores are folded into the reserved
+/// feature dims, which is where log-tampering attacks (fake events,
+/// stealthy commands, command failures, event losses) leave their marks:
+///  - command consistency: fraction of the rule's devices' state changes
+///    preceded by a matching command record;
+///  - effect consistency: fraction of the rule's command records followed
+///    by the commanded state change.
+class OnlineGraphBuilder {
+ public:
+  struct Options {
+    /// Max delay between a trigger event and the rule's action effect.
+    double firing_window = 10.0;
+    /// Matching window for command <-> state-change consistency.
+    double consistency_window = 5.0;
+  };
+
+  explicit OnlineGraphBuilder(const Home& home)
+      : OnlineGraphBuilder(home, Options()) {}
+  OnlineGraphBuilder(const Home& home, Options options)
+      : home_(home), options_(options) {}
+
+  /// \brief Builds one online interaction graph from a cleaned log.
+  /// Nodes are rules observed firing at least once; label is left 0 (the
+  /// caller sets it from attack ground truth / the checker).
+  InteractionGraph Build(const EventLog& cleaned_log) const;
+
+ private:
+  const Home& home_;
+  Options options_;
+};
+
+/// Index (from the back of a feature vector) of the command-consistency
+/// slot and the effect-consistency slot. The slots hold
+/// kConsistencyScale * (consistency - 1): zero when every observation was
+/// causally consistent, increasingly negative under log tampering.
+constexpr int kFeatureDimCommandConsistency = 2;
+constexpr int kFeatureDimEffectConsistency = 1;
+constexpr double kConsistencyScale = 5.0;
+
+}  // namespace fexiot

@@ -1,0 +1,241 @@
+#include "graph/vuln_checker.h"
+
+#include <algorithm>
+#include <set>
+
+namespace fexiot {
+namespace {
+
+// Collects (device, state) pairs over all actions of a node's rule.
+const std::vector<Action>& ActionsOf(const InteractionGraph& g, int node) {
+  return g.node(node).rule.actions;
+}
+
+// Appends a finding if `nodes` is non-empty.
+void Emit(std::vector<VulnerabilityFinding>* out, VulnerabilityType type,
+          std::vector<int> nodes) {
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  out->push_back(VulnerabilityFinding{type, std::move(nodes)});
+}
+
+void CheckSiblingPairs(const InteractionGraph& g,
+                       std::vector<VulnerabilityFinding>* out,
+                       bool want_conflict) {
+  // Conflict/duplicate: two children of one parent act on one device with
+  // different (conflict) or identical (duplicate) states. Also covers two
+  // rules sharing the same trigger event.
+  for (int p = 0; p < g.num_nodes(); ++p) {
+    const auto& children = g.OutNeighbors(p);
+    for (size_t i = 0; i < children.size(); ++i) {
+      for (size_t j = i + 1; j < children.size(); ++j) {
+        const int a = children[i];
+        const int b = children[j];
+        for (const Action& aa : ActionsOf(g, a)) {
+          for (const Action& ab : ActionsOf(g, b)) {
+            if (aa.device != ab.device) continue;
+            const bool same = aa.state == ab.state;
+            if (want_conflict && !same) {
+              Emit(out, VulnerabilityType::kActionConflict, {p, a, b});
+            } else if (!want_conflict && same) {
+              Emit(out, VulnerabilityType::kActionDuplicate, {p, a, b});
+            }
+          }
+        }
+      }
+    }
+  }
+  // Same-trigger pairs (no explicit parent edge).
+  for (int a = 0; a < g.num_nodes(); ++a) {
+    for (int b = a + 1; b < g.num_nodes(); ++b) {
+      if (!(g.node(a).rule.trigger == g.node(b).rule.trigger)) continue;
+      for (const Action& aa : ActionsOf(g, a)) {
+        for (const Action& ab : ActionsOf(g, b)) {
+          if (aa.device != ab.device) continue;
+          const bool same = aa.state == ab.state;
+          if (want_conflict && !same) {
+            Emit(out, VulnerabilityType::kActionConflict, {a, b});
+          } else if (!want_conflict && same) {
+            Emit(out, VulnerabilityType::kActionDuplicate, {a, b});
+          }
+        }
+      }
+    }
+  }
+}
+
+void CheckActionRevert(const InteractionGraph& g,
+                       std::vector<VulnerabilityFinding>* out) {
+  // BFS from each node; a reachable node acting oppositely on the same
+  // device reverts the upstream action.
+  for (int src = 0; src < g.num_nodes(); ++src) {
+    std::vector<int> parent(static_cast<size_t>(g.num_nodes()), -2);
+    std::vector<int> queue = {src};
+    parent[static_cast<size_t>(src)] = -1;
+    size_t head = 0;
+    while (head < queue.size()) {
+      const int u = queue[head++];
+      for (int v : g.OutNeighbors(u)) {
+        if (parent[static_cast<size_t>(v)] != -2) continue;
+        parent[static_cast<size_t>(v)] = u;
+        queue.push_back(v);
+      }
+    }
+    for (int dst = 0; dst < g.num_nodes(); ++dst) {
+      if (dst == src || parent[static_cast<size_t>(dst)] == -2) continue;
+      bool reverts = false;
+      for (const Action& as : ActionsOf(g, src)) {
+        for (const Action& ad : ActionsOf(g, dst)) {
+          if (as.device == ad.device && as.state != ad.state) reverts = true;
+        }
+      }
+      if (!reverts) continue;
+      // Recover the path as the witness chain.
+      std::vector<int> path;
+      for (int cur = dst; cur != -1; cur = parent[static_cast<size_t>(cur)]) {
+        path.push_back(cur);
+      }
+      Emit(out, VulnerabilityType::kActionRevert, std::move(path));
+    }
+  }
+}
+
+void CheckActionLoop(const InteractionGraph& g,
+                     std::vector<VulnerabilityFinding>* out) {
+  if (!g.HasDirectedCycle()) return;
+  // Witness: nodes on some cycle = nodes in non-trivial SCCs (found via
+  // simple reachability: u and v are in one SCC if u->*v and v->*u).
+  const int n = g.num_nodes();
+  std::vector<std::vector<bool>> reach(static_cast<size_t>(n),
+                                       std::vector<bool>(static_cast<size_t>(n), false));
+  for (int s = 0; s < n; ++s) {
+    std::vector<int> stack = {s};
+    reach[static_cast<size_t>(s)][static_cast<size_t>(s)] = true;
+    while (!stack.empty()) {
+      const int u = stack.back();
+      stack.pop_back();
+      for (int v : g.OutNeighbors(u)) {
+        if (!reach[static_cast<size_t>(s)][static_cast<size_t>(v)]) {
+          reach[static_cast<size_t>(s)][static_cast<size_t>(v)] = true;
+          stack.push_back(v);
+        }
+      }
+    }
+  }
+  std::vector<int> cyc;
+  for (int u = 0; u < n; ++u) {
+    for (int v : g.OutNeighbors(u)) {
+      if (reach[static_cast<size_t>(v)][static_cast<size_t>(u)]) {
+        cyc.push_back(u);
+        cyc.push_back(v);
+      }
+    }
+  }
+  if (!cyc.empty()) {
+    Emit(out, VulnerabilityType::kActionLoop, std::move(cyc));
+  }
+}
+
+void CheckConditionBlock(const InteractionGraph& g,
+                         std::vector<VulnerabilityFinding>* out) {
+  // A rule `a` drives device X to the opposite of rule `b`'s trigger
+  // state: b's condition can no longer be satisfied. The relation is
+  // pairwise over deployed rules — the blocked rule need not be reachable
+  // from the blocker in the trigger-action graph (it is exactly the rule
+  // that never fires).
+  for (int a = 0; a < g.num_nodes(); ++a) {
+    for (int b = 0; b < g.num_nodes(); ++b) {
+      if (a == b) continue;
+      const Trigger& tb = g.node(b).rule.trigger;
+      const auto& info = GetDeviceTypeInfo(tb.device);
+      if (info.is_sensor) continue;  // only actuatable conditions
+      for (const Action& aa : ActionsOf(g, a)) {
+        if (aa.device == tb.device && aa.state != tb.state &&
+            aa.state == OppositeState(tb.device, tb.state)) {
+          Emit(out, VulnerabilityType::kConditionBlock, {a, b});
+        }
+      }
+    }
+  }
+}
+
+void CheckConditionBypass(const InteractionGraph& g,
+                          std::vector<VulnerabilityFinding>* out) {
+  // Edge u -> v where the causal link is an environment channel fabricating
+  // a *safety sensor* condition, and v controls a security device: a
+  // mundane actuator can bypass the sensor-guarded condition.
+  for (const auto& [u, v] : g.edges()) {
+    const Trigger& tv = g.node(v).rule.trigger;
+    if (!IsSafetySensor(tv.device)) continue;
+    bool via_channel = false;
+    for (const Action& au : ActionsOf(g, u)) {
+      // Channel-mediated but not a direct device match.
+      if (au.device != tv.device && ActionCausesTrigger(au, tv)) {
+        via_channel = true;
+      }
+    }
+    if (!via_channel) continue;
+    bool touches_security = false;
+    for (const Action& av : ActionsOf(g, v)) {
+      if (IsSecurityDevice(av.device)) touches_security = true;
+    }
+    if (touches_security) {
+      Emit(out, VulnerabilityType::kConditionBypass, {u, v});
+    }
+  }
+}
+
+}  // namespace
+
+bool IsSecurityDevice(DeviceType type) {
+  switch (type) {
+    case DeviceType::kDoorLock:
+    case DeviceType::kGarageDoor:
+    case DeviceType::kDoor:
+    case DeviceType::kAlarm:
+    case DeviceType::kWaterValve:
+    case DeviceType::kCamera:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsSafetySensor(DeviceType type) {
+  switch (type) {
+    case DeviceType::kSmokeDetector:
+    case DeviceType::kCoDetector:
+    case DeviceType::kLeakSensor:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::vector<VulnerabilityFinding> VulnerabilityChecker::Check(
+    const InteractionGraph& g) {
+  std::vector<VulnerabilityFinding> out;
+  CheckSiblingPairs(g, &out, /*want_conflict=*/true);
+  CheckSiblingPairs(g, &out, /*want_conflict=*/false);
+  CheckActionRevert(g, &out);
+  CheckActionLoop(g, &out);
+  CheckConditionBlock(g, &out);
+  CheckConditionBypass(g, &out);
+  return out;
+}
+
+bool VulnerabilityChecker::IsVulnerable(const InteractionGraph& g) {
+  return !Check(g).empty();
+}
+
+std::vector<VulnerabilityFinding> VulnerabilityChecker::CheckType(
+    const InteractionGraph& g, VulnerabilityType type) {
+  std::vector<VulnerabilityFinding> all = Check(g);
+  std::vector<VulnerabilityFinding> out;
+  for (auto& f : all) {
+    if (f.type == type) out.push_back(std::move(f));
+  }
+  return out;
+}
+
+}  // namespace fexiot

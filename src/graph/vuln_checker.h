@@ -1,0 +1,58 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/interaction_graph.h"
+#include "smarthome/vulnerability.h"
+
+namespace fexiot {
+
+/// \brief One detected vulnerability instance with its witness nodes.
+struct VulnerabilityFinding {
+  VulnerabilityType type = VulnerabilityType::kNone;
+  /// Node ids participating in the vulnerable interaction (the causal
+  /// chain the explanation methods should recover).
+  std::vector<int> witness_nodes;
+};
+
+/// \brief Ground-truth interaction-vulnerability checker.
+///
+/// Plays the role of the paper's human labelers: scans an interaction graph
+/// for structural/semantic witnesses of the six vulnerability types of
+/// Definition 2. Used (a) to label generated corpora, (b) as evaluation
+/// ground truth for detection and explanation experiments.
+///
+/// Signatures checked:
+///  - action_conflict:  siblings under one parent acting on one device with
+///                      different target states;
+///  - action_duplicate: siblings issuing the identical action;
+///  - action_revert:    a directed path whose endpoint undoes an upstream
+///                      action on the same device;
+///  - action_loop:      a directed trigger-action cycle;
+///  - condition_block:  a rule drives a device to the opposite of a
+///                      connected rule's trigger state (its condition can
+///                      no longer be met);
+///  - condition_bypass: a mundane actuator fabricates a safety-sensor
+///                      condition (via an environment channel) that fires a
+///                      rule controlling a security device.
+class VulnerabilityChecker {
+ public:
+  /// All findings in the graph (possibly several types).
+  static std::vector<VulnerabilityFinding> Check(const InteractionGraph& g);
+
+  /// Convenience: true if any vulnerability exists.
+  static bool IsVulnerable(const InteractionGraph& g);
+
+  /// The first finding of \p type, if present.
+  static std::vector<VulnerabilityFinding> CheckType(
+      const InteractionGraph& g, VulnerabilityType type);
+};
+
+/// \brief True for device types whose state is security-critical
+/// (locks, valves, alarms, garage/entry doors).
+bool IsSecurityDevice(DeviceType type);
+
+/// \brief True for safety sensors (smoke / CO / leak).
+bool IsSafetySensor(DeviceType type);
+
+}  // namespace fexiot

@@ -1,0 +1,66 @@
+#include "ml/classifier.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace fexiot {
+
+std::vector<int> Classifier::PredictBatch(const Matrix& x) const {
+  std::vector<int> out;
+  out.reserve(x.rows());
+  for (size_t r = 0; r < x.rows(); ++r) out.push_back(Predict(x.Row(r)));
+  return out;
+}
+
+void StandardScaler::Fit(const Matrix& x) {
+  const size_t d = x.cols();
+  mean_.assign(d, 0.0);
+  inv_std_.assign(d, 1.0);
+  if (x.rows() == 0) return;
+  for (size_t r = 0; r < x.rows(); ++r) {
+    const double* row = x.RowPtr(r);
+    for (size_t c = 0; c < d; ++c) mean_[c] += row[c];
+  }
+  for (auto& m : mean_) m /= static_cast<double>(x.rows());
+  std::vector<double> var(d, 0.0);
+  for (size_t r = 0; r < x.rows(); ++r) {
+    const double* row = x.RowPtr(r);
+    for (size_t c = 0; c < d; ++c) {
+      const double diff = row[c] - mean_[c];
+      var[c] += diff * diff;
+    }
+  }
+  for (size_t c = 0; c < d; ++c) {
+    const double sd = std::sqrt(var[c] / static_cast<double>(x.rows()));
+    inv_std_[c] = sd > 1e-9 ? 1.0 / sd : 1.0;
+  }
+}
+
+Matrix StandardScaler::Transform(const Matrix& x) const {
+  assert(fitted() && x.cols() == mean_.size());
+  Matrix out = x;
+  for (size_t r = 0; r < out.rows(); ++r) {
+    double* row = out.RowPtr(r);
+    for (size_t c = 0; c < out.cols(); ++c) {
+      row[c] = (row[c] - mean_[c]) * inv_std_[c];
+    }
+  }
+  return out;
+}
+
+std::vector<double> StandardScaler::Transform(
+    const std::vector<double>& row) const {
+  assert(fitted() && row.size() == mean_.size());
+  std::vector<double> out(row.size());
+  for (size_t c = 0; c < row.size(); ++c) {
+    out[c] = (row[c] - mean_[c]) * inv_std_[c];
+  }
+  return out;
+}
+
+Matrix StandardScaler::FitTransform(const Matrix& x) {
+  Fit(x);
+  return Transform(x);
+}
+
+}  // namespace fexiot

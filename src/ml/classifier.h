@@ -1,0 +1,53 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "tensor/matrix.h"
+
+namespace fexiot {
+
+/// \brief Common interface of the classical classifiers (the repo's
+/// scikit-learn substitute). Labels are non-negative ints; all built-in
+/// users are binary (0 = normal, 1 = vulnerable / correlated).
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  /// Trains on rows of \p x with labels \p y.
+  virtual Status Fit(const Matrix& x, const std::vector<int>& y) = 0;
+
+  /// Predicts the label of one sample.
+  virtual int Predict(const std::vector<double>& sample) const = 0;
+
+  /// Probability of class 1 for one sample (0.5 +- margin heuristics for
+  /// models without calibrated probabilities).
+  virtual double PredictProba(const std::vector<double>& sample) const = 0;
+
+  /// Model display name.
+  virtual std::string Name() const = 0;
+
+  /// Batch helper.
+  std::vector<int> PredictBatch(const Matrix& x) const;
+};
+
+/// \brief Feature standardizer (zero mean, unit variance per column).
+class StandardScaler {
+ public:
+  /// Learns per-column statistics.
+  void Fit(const Matrix& x);
+  /// Applies the transform (columns with ~0 variance pass through).
+  Matrix Transform(const Matrix& x) const;
+  std::vector<double> Transform(const std::vector<double>& row) const;
+  Matrix FitTransform(const Matrix& x);
+
+  bool fitted() const { return !mean_.empty(); }
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> inv_std_;
+};
+
+}  // namespace fexiot

@@ -1,0 +1,241 @@
+#include "ml/decision_tree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace fexiot {
+namespace {
+
+// Variance-based impurity works for both modes: for 0/1 targets, variance
+// p(1-p) orders splits identically to Gini impurity.
+struct SplitStat {
+  double sum = 0.0;
+  double sum2 = 0.0;
+  int count = 0;
+
+  void Add(double v) {
+    sum += v;
+    sum2 += v * v;
+    ++count;
+  }
+  void Remove(double v) {
+    sum -= v;
+    sum2 -= v * v;
+    --count;
+  }
+  double Sse() const {
+    if (count == 0) return 0.0;
+    return sum2 - sum * sum / count;
+  }
+};
+
+}  // namespace
+
+int DecisionTree::Build(const Matrix& x, const std::vector<double>& targets,
+                        std::vector<size_t>& idx, int depth, Rng* rng) {
+  Node node;
+  double mean = 0.0;
+  for (size_t i : idx) mean += targets[i];
+  mean /= static_cast<double>(idx.size());
+  node.value = mean;
+
+  // Stop conditions.
+  bool pure = true;
+  for (size_t i : idx) {
+    if (std::fabs(targets[i] - targets[idx.front()]) > 1e-12) pure = false;
+  }
+  if (depth >= options_.max_depth || pure ||
+      static_cast<int>(idx.size()) < options_.min_samples_split) {
+    nodes_.push_back(node);
+    return static_cast<int>(nodes_.size()) - 1;
+  }
+
+  // Candidate features.
+  const size_t d = x.cols();
+  std::vector<size_t> features(d);
+  std::iota(features.begin(), features.end(), 0);
+  if (options_.max_features > 0 &&
+      static_cast<size_t>(options_.max_features) < d) {
+    rng->Shuffle(&features);
+    features.resize(static_cast<size_t>(options_.max_features));
+  }
+
+  double best_gain = 1e-12;
+  int best_feature = -1;
+  double best_threshold = 0.0;
+
+  // Parent SSE.
+  SplitStat total;
+  for (size_t i : idx) total.Add(targets[i]);
+  const double parent_sse = total.Sse();
+
+  std::vector<std::pair<double, double>> vals;  // (feature value, target)
+  vals.reserve(idx.size());
+  for (size_t f : features) {
+    vals.clear();
+    for (size_t i : idx) vals.emplace_back(x.At(i, f), targets[i]);
+    std::sort(vals.begin(), vals.end());
+    SplitStat left, right = total;
+    for (size_t k = 0; k + 1 < vals.size(); ++k) {
+      left.Add(vals[k].second);
+      right.Remove(vals[k].second);
+      if (vals[k].first == vals[k + 1].first) continue;  // no valid cut here
+      if (left.count < options_.min_samples_leaf ||
+          right.count < options_.min_samples_leaf) {
+        continue;
+      }
+      const double gain = parent_sse - left.Sse() - right.Sse();
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<int>(f);
+        best_threshold = 0.5 * (vals[k].first + vals[k + 1].first);
+      }
+    }
+  }
+
+  if (best_feature < 0) {
+    nodes_.push_back(node);
+    return static_cast<int>(nodes_.size()) - 1;
+  }
+
+  std::vector<size_t> left_idx, right_idx;
+  for (size_t i : idx) {
+    if (x.At(i, static_cast<size_t>(best_feature)) <= best_threshold) {
+      left_idx.push_back(i);
+    } else {
+      right_idx.push_back(i);
+    }
+  }
+  node.feature = best_feature;
+  node.threshold = best_threshold;
+  nodes_.push_back(node);
+  const int me = static_cast<int>(nodes_.size()) - 1;
+  const int left = Build(x, targets, left_idx, depth + 1, rng);
+  const int right = Build(x, targets, right_idx, depth + 1, rng);
+  nodes_[static_cast<size_t>(me)].left = left;
+  nodes_[static_cast<size_t>(me)].right = right;
+  return me;
+}
+
+Status DecisionTree::FitClassification(
+    const Matrix& x, const std::vector<int>& y,
+    const std::vector<size_t>& sample_indices) {
+  std::vector<double> targets(y.size());
+  for (size_t i = 0; i < y.size(); ++i) targets[i] = y[i];
+  return FitRegression(x, targets, sample_indices);
+}
+
+Status DecisionTree::FitRegression(const Matrix& x,
+                                   const std::vector<double>& y,
+                                   const std::vector<size_t>& sample_indices) {
+  if (x.rows() != y.size()) {
+    return Status::InvalidArgument("X rows must match y length");
+  }
+  if (x.rows() == 0) return Status::InvalidArgument("empty training set");
+  nodes_.clear();
+  std::vector<size_t> idx = sample_indices;
+  if (idx.empty()) {
+    idx.resize(x.rows());
+    std::iota(idx.begin(), idx.end(), 0);
+  }
+  Rng rng(options_.seed);
+  Build(x, y, idx, 0, &rng);
+  return Status::OK();
+}
+
+double DecisionTree::PredictValue(const std::vector<double>& sample) const {
+  assert(!nodes_.empty());
+  int cur = 0;
+  for (;;) {
+    const Node& n = nodes_[static_cast<size_t>(cur)];
+    if (n.feature < 0) return n.value;
+    cur = sample[static_cast<size_t>(n.feature)] <= n.threshold ? n.left
+                                                                : n.right;
+  }
+}
+
+Status RandomForestClassifier::Fit(const Matrix& x,
+                                   const std::vector<int>& y) {
+  if (x.rows() != y.size() || x.rows() == 0) {
+    return Status::InvalidArgument("bad training set");
+  }
+  trees_.clear();
+  Rng rng(options_.seed);
+  DecisionTree::Options topt = options_.tree;
+  if (topt.max_features == 0) {
+    topt.max_features = std::max(
+        1, static_cast<int>(std::sqrt(static_cast<double>(x.cols()))));
+  }
+  for (int t = 0; t < options_.num_trees; ++t) {
+    // Bootstrap sample.
+    std::vector<size_t> idx(x.rows());
+    for (auto& i : idx) i = static_cast<size_t>(rng.UniformInt(x.rows()));
+    topt.seed = rng.NextU64();
+    DecisionTree tree(topt);
+    FEXIOT_RETURN_NOT_OK(tree.FitClassification(x, y, idx));
+    trees_.push_back(std::move(tree));
+  }
+  return Status::OK();
+}
+
+double RandomForestClassifier::PredictProba(
+    const std::vector<double>& sample) const {
+  if (trees_.empty()) return 0.5;
+  double sum = 0.0;
+  for (const auto& t : trees_) sum += t.PredictValue(sample);
+  return sum / static_cast<double>(trees_.size());
+}
+
+int RandomForestClassifier::Predict(const std::vector<double>& sample) const {
+  return PredictProba(sample) >= 0.5 ? 1 : 0;
+}
+
+Status GradientBoostClassifier::Fit(const Matrix& x,
+                                    const std::vector<int>& y) {
+  if (x.rows() != y.size() || x.rows() == 0) {
+    return Status::InvalidArgument("bad training set");
+  }
+  trees_.clear();
+  const size_t n = x.rows();
+  const double pos =
+      static_cast<double>(std::accumulate(y.begin(), y.end(), 0));
+  const double p0 = std::clamp(pos / static_cast<double>(n), 1e-4, 1.0 - 1e-4);
+  base_logit_ = std::log(p0 / (1.0 - p0));
+
+  std::vector<double> logit(n, base_logit_);
+  Rng rng(options_.seed);
+  DecisionTree::Options topt = options_.tree;
+  for (int round = 0; round < options_.num_rounds; ++round) {
+    // Negative gradient of log-loss: y - p.
+    std::vector<double> residual(n);
+    for (size_t i = 0; i < n; ++i) {
+      const double p = 1.0 / (1.0 + std::exp(-logit[i]));
+      residual[i] = static_cast<double>(y[i]) - p;
+    }
+    topt.seed = rng.NextU64();
+    DecisionTree tree(topt);
+    FEXIOT_RETURN_NOT_OK(tree.FitRegression(x, residual));
+    for (size_t i = 0; i < n; ++i) {
+      logit[i] += options_.learning_rate * tree.PredictValue(x.Row(i));
+    }
+    trees_.push_back(std::move(tree));
+  }
+  return Status::OK();
+}
+
+double GradientBoostClassifier::PredictProba(
+    const std::vector<double>& sample) const {
+  double z = base_logit_;
+  for (const auto& t : trees_) {
+    z += options_.learning_rate * t.PredictValue(sample);
+  }
+  return 1.0 / (1.0 + std::exp(-z));
+}
+
+int GradientBoostClassifier::Predict(const std::vector<double>& sample) const {
+  return PredictProba(sample) >= 0.5 ? 1 : 0;
+}
+
+}  // namespace fexiot

@@ -1,0 +1,107 @@
+#include "ml/isolation_forest.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace fexiot {
+namespace {
+
+// Average path length of an unsuccessful BST search over n points.
+double HarmonicPath(int n) {
+  if (n <= 1) return 0.0;
+  const double h = std::log(static_cast<double>(n - 1)) + 0.5772156649;
+  return 2.0 * h - 2.0 * static_cast<double>(n - 1) / static_cast<double>(n);
+}
+
+}  // namespace
+
+int IsolationForest::BuildNode(Tree* tree, const Matrix& x,
+                               std::vector<size_t>& idx, int depth,
+                               int max_depth, Rng* rng) {
+  Node node;
+  if (depth >= max_depth || idx.size() <= 1) {
+    node.size = static_cast<int>(idx.size());
+    tree->nodes.push_back(node);
+    return static_cast<int>(tree->nodes.size()) - 1;
+  }
+  // Random feature with non-degenerate range.
+  const size_t d = x.cols();
+  int feature = -1;
+  double lo = 0.0, hi = 0.0;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const size_t f = static_cast<size_t>(rng->UniformInt(d));
+    lo = hi = x.At(idx.front(), f);
+    for (size_t i : idx) {
+      lo = std::min(lo, x.At(i, f));
+      hi = std::max(hi, x.At(i, f));
+    }
+    if (hi - lo > 1e-12) {
+      feature = static_cast<int>(f);
+      break;
+    }
+  }
+  if (feature < 0) {
+    node.size = static_cast<int>(idx.size());
+    tree->nodes.push_back(node);
+    return static_cast<int>(tree->nodes.size()) - 1;
+  }
+  node.feature = feature;
+  node.threshold = rng->Uniform(lo, hi);
+  std::vector<size_t> left_idx, right_idx;
+  for (size_t i : idx) {
+    if (x.At(i, static_cast<size_t>(feature)) <= node.threshold) {
+      left_idx.push_back(i);
+    } else {
+      right_idx.push_back(i);
+    }
+  }
+  tree->nodes.push_back(node);
+  const int me = static_cast<int>(tree->nodes.size()) - 1;
+  const int left = BuildNode(tree, x, left_idx, depth + 1, max_depth, rng);
+  const int right = BuildNode(tree, x, right_idx, depth + 1, max_depth, rng);
+  tree->nodes[static_cast<size_t>(me)].left = left;
+  tree->nodes[static_cast<size_t>(me)].right = right;
+  return me;
+}
+
+void IsolationForest::Fit(const Matrix& x) {
+  trees_.clear();
+  if (x.rows() == 0) return;
+  Rng rng(options_.seed);
+  const size_t sub = std::min(static_cast<size_t>(options_.subsample_size),
+                              x.rows());
+  const int max_depth =
+      static_cast<int>(std::ceil(std::log2(std::max<size_t>(2, sub))));
+  expected_path_ = HarmonicPath(static_cast<int>(sub));
+  for (int t = 0; t < options_.num_trees; ++t) {
+    std::vector<size_t> idx =
+        rng.SampleWithoutReplacement(x.rows(), sub);
+    Tree tree;
+    BuildNode(&tree, x, idx, 0, max_depth, &rng);
+    trees_.push_back(std::move(tree));
+  }
+}
+
+double IsolationForest::PathLength(const Tree& tree,
+                                   const std::vector<double>& sample) const {
+  int cur = 0;
+  double depth = 0.0;
+  for (;;) {
+    const Node& n = tree.nodes[static_cast<size_t>(cur)];
+    if (n.feature < 0) return depth + HarmonicPath(n.size);
+    cur = sample[static_cast<size_t>(n.feature)] <= n.threshold ? n.left
+                                                                : n.right;
+    depth += 1.0;
+  }
+}
+
+double IsolationForest::Score(const std::vector<double>& sample) const {
+  if (trees_.empty() || expected_path_ <= 0.0) return 0.5;
+  double avg = 0.0;
+  for (const auto& t : trees_) avg += PathLength(t, sample);
+  avg /= static_cast<double>(trees_.size());
+  return std::pow(2.0, -avg / expected_path_);
+}
+
+}  // namespace fexiot

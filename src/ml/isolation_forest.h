@@ -1,0 +1,58 @@
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/matrix.h"
+
+namespace fexiot {
+
+/// \brief Isolation forest anomaly detector (Liu et al. 2008) — one of the
+/// Table II comparison systems. Scores samples by average isolation path
+/// length over random trees; shorter paths = more anomalous.
+class IsolationForest {
+ public:
+  struct Options {
+    int num_trees = 100;
+    int subsample_size = 256;
+    uint64_t seed = 37;
+    /// Anomaly threshold on the score in [0,1] (0.5 = average point).
+    double threshold = 0.6;
+  };
+
+  IsolationForest() : IsolationForest(Options()) {}
+  explicit IsolationForest(Options options) : options_(options) {}
+
+  /// Fits on (presumably mostly normal) data.
+  void Fit(const Matrix& x);
+
+  /// Anomaly score in [0, 1]; higher = more anomalous.
+  double Score(const std::vector<double>& sample) const;
+
+  /// 1 = anomaly (score above threshold).
+  int Predict(const std::vector<double>& sample) const {
+    return Score(sample) >= options_.threshold ? 1 : 0;
+  }
+
+ private:
+  struct Node {
+    int feature = -1;
+    double threshold = 0.0;
+    int left = -1;
+    int right = -1;
+    int size = 0;  // leaf: number of training samples isolated here
+  };
+  struct Tree {
+    std::vector<Node> nodes;
+  };
+
+  int BuildNode(Tree* tree, const Matrix& x, std::vector<size_t>& idx,
+                int depth, int max_depth, Rng* rng);
+  double PathLength(const Tree& tree, const std::vector<double>& sample) const;
+
+  Options options_;
+  std::vector<Tree> trees_;
+  double expected_path_ = 1.0;
+};
+
+}  // namespace fexiot

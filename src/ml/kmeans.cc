@@ -1,0 +1,131 @@
+#include "ml/kmeans.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "tensor/ops.h"
+
+namespace fexiot {
+
+KMeans::Result KMeans::Fit(const Matrix& x) const {
+  Result res;
+  const size_t n = x.rows();
+  const size_t d = x.cols();
+  const size_t k = std::min(static_cast<size_t>(options_.k), n);
+  assert(k >= 1);
+  Rng rng(options_.seed);
+
+  // k-means++ seeding.
+  res.centroids = Matrix(k, d);
+  std::vector<size_t> chosen;
+  chosen.push_back(static_cast<size_t>(rng.UniformInt(n)));
+  std::vector<double> min_d2(n, std::numeric_limits<double>::infinity());
+  res.centroids.SetRow(0, x.Row(chosen[0]));
+  for (size_t c = 1; c < k; ++c) {
+    for (size_t i = 0; i < n; ++i) {
+      min_d2[i] = std::min(
+          min_d2[i], SquaredDistance(x.Row(i), x.Row(chosen.back())));
+    }
+    const size_t next = rng.Categorical(min_d2);
+    chosen.push_back(next);
+    res.centroids.SetRow(c, x.Row(next));
+  }
+
+  res.assignment.assign(n, 0);
+  for (int iter = 0; iter < options_.max_iters; ++iter) {
+    bool changed = false;
+    // Assign.
+    for (size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      int best_c = 0;
+      for (size_t c = 0; c < k; ++c) {
+        const double d2 = SquaredDistance(x.Row(i), res.centroids.Row(c));
+        if (d2 < best) {
+          best = d2;
+          best_c = static_cast<int>(c);
+        }
+      }
+      if (res.assignment[i] != best_c) {
+        res.assignment[i] = best_c;
+        changed = true;
+      }
+    }
+    res.iterations = iter + 1;
+    if (!changed && iter > 0) break;
+    // Update.
+    Matrix sums(k, d);
+    std::vector<int> counts(k, 0);
+    for (size_t i = 0; i < n; ++i) {
+      const size_t c = static_cast<size_t>(res.assignment[i]);
+      const double* row = x.RowPtr(i);
+      for (size_t j = 0; j < d; ++j) sums.At(c, j) += row[j];
+      ++counts[c];
+    }
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed empty cluster at a random point.
+        res.centroids.SetRow(c, x.Row(static_cast<size_t>(rng.UniformInt(n))));
+        continue;
+      }
+      for (size_t j = 0; j < d; ++j) {
+        res.centroids.At(c, j) = sums.At(c, j) / counts[c];
+      }
+    }
+  }
+  res.inertia = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    res.inertia += SquaredDistance(
+        x.Row(i), res.centroids.Row(static_cast<size_t>(res.assignment[i])));
+  }
+  return res;
+}
+
+std::vector<int> BinaryClusterSimilarity(const Matrix& similarity) {
+  assert(similarity.rows() == similarity.cols());
+  const size_t n = similarity.rows();
+  if (n == 0) return {};
+  if (n == 1) return {0};
+
+  // Power iteration on the mean-centered similarity matrix; the sign of the
+  // dominant eigenvector bisects the clients (spectral relaxation of the
+  // 2-way min-cut on the similarity graph).
+  Matrix m = similarity;
+  double mean = m.Sum() / static_cast<double>(n * n);
+  for (size_t i = 0; i < m.size(); ++i) m.data()[i] -= mean;
+
+  std::vector<double> v(n);
+  Rng rng(97);
+  for (auto& x : v) x = rng.Normal();
+  for (int iter = 0; iter < 60; ++iter) {
+    std::vector<double> nv(n, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      const double* row = m.RowPtr(i);
+      for (size_t j = 0; j < n; ++j) nv[i] += row[j] * v[j];
+    }
+    const double norm = VectorNorm(nv);
+    if (norm < 1e-12) break;
+    for (auto& x : nv) x /= norm;
+    v = std::move(nv);
+  }
+  std::vector<int> out(n);
+  for (size_t i = 0; i < n; ++i) out[i] = v[i] >= 0.0 ? 0 : 1;
+  // Guard: never return a single-cluster split (move the weakest member).
+  int c0 = 0;
+  for (int c : out) c0 += (c == 0);
+  if (c0 == 0 || c0 == static_cast<int>(n)) {
+    size_t weakest = 0;
+    double weakest_v = std::fabs(v[0]);
+    for (size_t i = 1; i < n; ++i) {
+      if (std::fabs(v[i]) < weakest_v) {
+        weakest_v = std::fabs(v[i]);
+        weakest = i;
+      }
+    }
+    out[weakest] = 1 - out[weakest];
+  }
+  return out;
+}
+
+}  // namespace fexiot

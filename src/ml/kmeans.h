@@ -1,0 +1,40 @@
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/matrix.h"
+
+namespace fexiot {
+
+/// \brief K-means clustering (k-means++ init, Lloyd iterations). Used for
+/// the Figure 6 cluster visualization of learned graph representations.
+class KMeans {
+ public:
+  struct Options {
+    int k = 7;
+    int max_iters = 100;
+    uint64_t seed = 41;
+  };
+
+  explicit KMeans(Options options) : options_(options) {}
+
+  struct Result {
+    Matrix centroids;            // k x d
+    std::vector<int> assignment; // per row of x
+    double inertia = 0.0;        // sum of squared distances to centroids
+    int iterations = 0;
+  };
+
+  Result Fit(const Matrix& x) const;
+
+ private:
+  Options options_;
+};
+
+/// \brief Binary clustering of a cosine-similarity matrix by its dominant
+/// eigenvector sign (spectral bisection). Used by the layer-wise federated
+/// clustering (Algorithm 1, line 14: BinaryClustering(M)).
+std::vector<int> BinaryClusterSimilarity(const Matrix& similarity);
+
+}  // namespace fexiot

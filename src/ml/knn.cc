@@ -1,0 +1,47 @@
+#include "ml/knn.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace fexiot {
+
+Status KnnClassifier::Fit(const Matrix& x, const std::vector<int>& y) {
+  if (x.rows() != y.size() || x.rows() == 0) {
+    return Status::InvalidArgument("bad training set");
+  }
+  train_x_ = scaler_.FitTransform(x);
+  train_y_ = y;
+  return Status::OK();
+}
+
+double KnnClassifier::PredictProba(const std::vector<double>& sample) const {
+  if (train_x_.rows() == 0) return 0.5;
+  const std::vector<double> q = scaler_.Transform(sample);
+  // Partial selection of the k nearest.
+  std::vector<std::pair<double, int>> dist;
+  dist.reserve(train_x_.rows());
+  for (size_t i = 0; i < train_x_.rows(); ++i) {
+    dist.emplace_back(SquaredDistance(q, train_x_.Row(i)), train_y_[i]);
+  }
+  const size_t k =
+      std::min(static_cast<size_t>(options_.k), dist.size());
+  std::partial_sort(dist.begin(), dist.begin() + static_cast<long>(k),
+                    dist.end());
+  double vote1 = 0.0, total = 0.0;
+  for (size_t i = 0; i < k; ++i) {
+    const double w = options_.distance_weighted
+                         ? 1.0 / (std::sqrt(dist[i].first) + 1e-6)
+                         : 1.0;
+    total += w;
+    if (dist[i].second == 1) vote1 += w;
+  }
+  return total > 0.0 ? vote1 / total : 0.5;
+}
+
+int KnnClassifier::Predict(const std::vector<double>& sample) const {
+  return PredictProba(sample) >= 0.5 ? 1 : 0;
+}
+
+}  // namespace fexiot

@@ -1,0 +1,32 @@
+#pragma once
+
+#include "ml/classifier.h"
+
+namespace fexiot {
+
+/// \brief K-nearest-neighbors classifier (Euclidean, distance-weighted
+/// vote). One of the Figure 3 correlation classifiers.
+class KnnClassifier : public Classifier {
+ public:
+  struct Options {
+    int k = 7;
+    /// Weight neighbors by inverse distance (vs. uniform vote).
+    bool distance_weighted = true;
+  };
+
+  KnnClassifier() : KnnClassifier(Options()) {}
+  explicit KnnClassifier(Options options) : options_(options) {}
+
+  Status Fit(const Matrix& x, const std::vector<int>& y) override;
+  int Predict(const std::vector<double>& sample) const override;
+  double PredictProba(const std::vector<double>& sample) const override;
+  std::string Name() const override { return "KNN"; }
+
+ private:
+  Options options_;
+  Matrix train_x_;
+  std::vector<int> train_y_;
+  StandardScaler scaler_;
+};
+
+}  // namespace fexiot

@@ -1,0 +1,78 @@
+#include "ml/linear_model.h"
+
+#include <cmath>
+#include <numeric>
+
+namespace fexiot {
+
+Status SgdClassifier::Fit(const Matrix& x, const std::vector<int>& y) {
+  if (x.rows() != y.size()) {
+    return Status::InvalidArgument("X rows must match y length");
+  }
+  if (x.rows() == 0) return Status::InvalidArgument("empty training set");
+  const size_t n = x.rows(), d = x.cols();
+  w_.assign(d, 0.0);
+  b_ = 0.0;
+
+  // Inverse-frequency class weights (weighted cross entropy).
+  double w_pos = 1.0, w_neg = 1.0;
+  if (options_.class_weighted) {
+    const double pos =
+        static_cast<double>(std::accumulate(y.begin(), y.end(), 0));
+    const double neg = static_cast<double>(n) - pos;
+    if (pos > 0 && neg > 0) {
+      w_pos = static_cast<double>(n) / (2.0 * pos);
+      w_neg = static_cast<double>(n) / (2.0 * neg);
+    }
+  }
+
+  Rng rng(options_.seed);
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    const double lr =
+        options_.learning_rate / (1.0 + 0.05 * static_cast<double>(epoch));
+    for (size_t start = 0; start < n;
+         start += static_cast<size_t>(options_.batch_size)) {
+      const size_t end =
+          std::min(n, start + static_cast<size_t>(options_.batch_size));
+      std::vector<double> grad(d, 0.0);
+      double grad_b = 0.0;
+      for (size_t k = start; k < end; ++k) {
+        const size_t i = order[k];
+        const double* row = x.RowPtr(i);
+        double z = b_;
+        for (size_t c = 0; c < d; ++c) z += w_[c] * row[c];
+        const double p = 1.0 / (1.0 + std::exp(-z));
+        const double weight = y[i] == 1 ? w_pos : w_neg;
+        const double err = (p - static_cast<double>(y[i])) * weight;
+        for (size_t c = 0; c < d; ++c) grad[c] += err * row[c];
+        grad_b += err;
+      }
+      const double scale = lr / static_cast<double>(end - start);
+      for (size_t c = 0; c < d; ++c) {
+        w_[c] -= scale * grad[c] + lr * options_.l2 * w_[c];
+      }
+      b_ -= scale * grad_b;
+    }
+  }
+  return Status::OK();
+}
+
+double SgdClassifier::Logit(const std::vector<double>& sample) const {
+  double z = b_;
+  const size_t d = std::min(sample.size(), w_.size());
+  for (size_t c = 0; c < d; ++c) z += w_[c] * sample[c];
+  return z;
+}
+
+double SgdClassifier::PredictProba(const std::vector<double>& sample) const {
+  return 1.0 / (1.0 + std::exp(-Logit(sample)));
+}
+
+int SgdClassifier::Predict(const std::vector<double>& sample) const {
+  return PredictProba(sample) >= 0.5 ? 1 : 0;
+}
+
+}  // namespace fexiot

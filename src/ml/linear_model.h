@@ -1,0 +1,46 @@
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/classifier.h"
+
+namespace fexiot {
+
+/// \brief Logistic-regression classifier trained with mini-batch SGD —
+/// the repo's SGDClassifier. Used as each client's *local* linear head on
+/// top of the federated graph representation (Section III-B), and as the
+/// linear explanation model g(z') = W z' of kernel SHAP (Eq. 6).
+class SgdClassifier : public Classifier {
+ public:
+  struct Options {
+    int epochs = 60;
+    double learning_rate = 0.05;
+    double l2 = 1e-4;
+    int batch_size = 16;
+    /// Weight classes inversely to frequency (paper's imbalance handling).
+    bool class_weighted = true;
+    uint64_t seed = 13;
+  };
+
+  SgdClassifier() : SgdClassifier(Options()) {}
+  explicit SgdClassifier(Options options) : options_(options) {}
+
+  Status Fit(const Matrix& x, const std::vector<int>& y) override;
+  int Predict(const std::vector<double>& sample) const override;
+  double PredictProba(const std::vector<double>& sample) const override;
+  std::string Name() const override { return "SGDClassifier"; }
+
+  /// Decision-function value w.x + b (pre-sigmoid logit).
+  double Logit(const std::vector<double>& sample) const;
+
+  const std::vector<double>& weights() const { return w_; }
+  double bias() const { return b_; }
+
+ private:
+  Options options_;
+  std::vector<double> w_;
+  double b_ = 0.0;
+};
+
+}  // namespace fexiot

@@ -1,0 +1,63 @@
+#include "ml/mad.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "ml/metrics.h"
+#include "tensor/ops.h"
+
+namespace fexiot {
+
+void MadDriftDetector::Fit(const Matrix& embeddings,
+                           const std::vector<int>& labels) {
+  assert(embeddings.rows() == labels.size());
+  int num_classes = 0;
+  for (int l : labels) num_classes = std::max(num_classes, l + 1);
+  centroids_.assign(static_cast<size_t>(num_classes),
+                    std::vector<double>(embeddings.cols(), 0.0));
+  std::vector<int> counts(static_cast<size_t>(num_classes), 0);
+  for (size_t i = 0; i < embeddings.rows(); ++i) {
+    const size_t c = static_cast<size_t>(labels[i]);
+    const double* row = embeddings.RowPtr(i);
+    for (size_t j = 0; j < embeddings.cols(); ++j) centroids_[c][j] += row[j];
+    ++counts[c];
+  }
+  for (size_t c = 0; c < centroids_.size(); ++c) {
+    if (counts[c] == 0) continue;
+    for (auto& v : centroids_[c]) v /= counts[c];
+  }
+
+  median_distance_.assign(static_cast<size_t>(num_classes), 0.0);
+  mad_.assign(static_cast<size_t>(num_classes), 1.0);
+  for (size_t c = 0; c < centroids_.size(); ++c) {
+    std::vector<double> dists;
+    for (size_t i = 0; i < embeddings.rows(); ++i) {
+      if (static_cast<size_t>(labels[i]) != c) continue;
+      dists.push_back(EuclideanDistance(embeddings.Row(i), centroids_[c]));
+    }
+    if (dists.empty()) continue;
+    const double med = Median(dists);
+    median_distance_[c] = med;
+    std::vector<double> devs;
+    devs.reserve(dists.size());
+    for (double d : dists) devs.push_back(std::fabs(d - med));
+    // Consistency constant 1.4826 makes MAD comparable to a stddev under
+    // normality (Leys et al. 2013).
+    mad_[c] = std::max(1e-9, 1.4826 * Median(devs));
+  }
+}
+
+double MadDriftDetector::Score(const std::vector<double>& embedding) const {
+  if (centroids_.empty()) return 0.0;
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t c = 0; c < centroids_.size(); ++c) {
+    const double d = EuclideanDistance(embedding, centroids_[c]);
+    const double a = std::fabs(d - median_distance_[c]) / mad_[c];
+    best = std::min(best, a);
+  }
+  return best;
+}
+
+}  // namespace fexiot

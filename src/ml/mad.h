@@ -1,0 +1,48 @@
+#pragma once
+
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace fexiot {
+
+/// \brief Median-absolute-deviation drift detector (Section III-B3).
+///
+/// Fit: embeds the training set per class, computes each class centroid,
+/// the per-sample distances to the centroid, their median and the MAD.
+/// Test: a sample whose deviation score A^k = min_i |d_i - median_i|/MAD_i
+/// exceeds the threshold (3, following Leys et al.) in *every* class is a
+/// potential drifting sample — a new interaction pattern outside the
+/// training space.
+class MadDriftDetector {
+ public:
+  struct Options {
+    double threshold = 3.0;
+  };
+
+  MadDriftDetector() : MadDriftDetector(Options()) {}
+  explicit MadDriftDetector(Options options) : options_(options) {}
+
+  /// \brief Fits per-class statistics from embeddings and labels
+  /// (labels index classes 0..k-1).
+  void Fit(const Matrix& embeddings, const std::vector<int>& labels);
+
+  /// \brief The drift score A^k = min over classes of the MAD-normalized
+  /// deviation of the sample's centroid distance.
+  double Score(const std::vector<double>& embedding) const;
+
+  /// True if the sample is a potential drifting sample.
+  bool IsDrifting(const std::vector<double>& embedding) const {
+    return Score(embedding) > options_.threshold;
+  }
+
+  int num_classes() const { return static_cast<int>(centroids_.size()); }
+
+ private:
+  Options options_;
+  std::vector<std::vector<double>> centroids_;
+  std::vector<double> median_distance_;
+  std::vector<double> mad_;
+};
+
+}  // namespace fexiot

@@ -1,0 +1,88 @@
+#include "ml/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace fexiot {
+
+std::string ClassificationMetrics::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "acc=%.3f prec=%.3f rec=%.3f f1=%.3f (tp=%d tn=%d fp=%d fn=%d)",
+                accuracy, precision, recall, f1, true_positive, true_negative,
+                false_positive, false_negative);
+  return buf;
+}
+
+ClassificationMetrics ComputeMetrics(const std::vector<int>& labels,
+                                     const std::vector<int>& predictions) {
+  assert(labels.size() == predictions.size());
+  ClassificationMetrics m;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    const bool actual = labels[i] == 1;
+    const bool pred = predictions[i] == 1;
+    if (actual && pred) ++m.true_positive;
+    if (!actual && !pred) ++m.true_negative;
+    if (!actual && pred) ++m.false_positive;
+    if (actual && !pred) ++m.false_negative;
+  }
+  const double n = static_cast<double>(labels.size());
+  if (n > 0) {
+    m.accuracy = (m.true_positive + m.true_negative) / n;
+  }
+  if (m.true_positive + m.false_positive > 0) {
+    m.precision = static_cast<double>(m.true_positive) /
+                  (m.true_positive + m.false_positive);
+  }
+  if (m.true_positive + m.false_negative > 0) {
+    m.recall = static_cast<double>(m.true_positive) /
+               (m.true_positive + m.false_negative);
+  }
+  if (m.precision + m.recall > 0) {
+    m.f1 = 2.0 * m.precision * m.recall / (m.precision + m.recall);
+  }
+  return m;
+}
+
+MeanStd ComputeMeanStd(const std::vector<double>& values) {
+  MeanStd out;
+  if (values.empty()) return out;
+  for (double v : values) out.mean += v;
+  out.mean /= static_cast<double>(values.size());
+  for (double v : values) {
+    out.stddev += (v - out.mean) * (v - out.mean);
+  }
+  out.stddev = std::sqrt(out.stddev / static_cast<double>(values.size()));
+  return out;
+}
+
+double Median(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const size_t n = values.size();
+  if (n % 2 == 1) return values[n / 2];
+  return 0.5 * (values[n / 2 - 1] + values[n / 2]);
+}
+
+BoxStats ComputeBoxStats(std::vector<double> values) {
+  BoxStats b;
+  if (values.empty()) return b;
+  std::sort(values.begin(), values.end());
+  auto quantile = [&](double q) {
+    const double pos = q * static_cast<double>(values.size() - 1);
+    const size_t lo = static_cast<size_t>(pos);
+    const size_t hi = std::min(lo + 1, values.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return values[lo] * (1.0 - frac) + values[hi] * frac;
+  };
+  b.min = values.front();
+  b.q1 = quantile(0.25);
+  b.median = quantile(0.5);
+  b.q3 = quantile(0.75);
+  b.max = values.back();
+  return b;
+}
+
+}  // namespace fexiot

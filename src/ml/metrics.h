@@ -1,0 +1,46 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fexiot {
+
+/// \brief Binary-classification quality metrics (positive class = 1).
+struct ClassificationMetrics {
+  double accuracy = 0.0;
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  int true_positive = 0;
+  int true_negative = 0;
+  int false_positive = 0;
+  int false_negative = 0;
+
+  std::string ToString() const;
+};
+
+/// \brief Computes binary metrics from labels and predictions.
+ClassificationMetrics ComputeMetrics(const std::vector<int>& labels,
+                                     const std::vector<int>& predictions);
+
+/// \brief Mean and (population) standard deviation of a sample.
+struct MeanStd {
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+MeanStd ComputeMeanStd(const std::vector<double>& values);
+
+/// \brief Median of a sample (by copy; empty input -> 0).
+double Median(std::vector<double> values);
+
+/// \brief Box-plot summary used by the scalability figure.
+struct BoxStats {
+  double min = 0.0;
+  double q1 = 0.0;
+  double median = 0.0;
+  double q3 = 0.0;
+  double max = 0.0;
+};
+BoxStats ComputeBoxStats(std::vector<double> values);
+
+}  // namespace fexiot

@@ -1,0 +1,129 @@
+#include "ml/mlp.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "tensor/ops.h"
+
+namespace fexiot {
+namespace {
+
+constexpr double kBeta1 = 0.9;
+constexpr double kBeta2 = 0.999;
+constexpr double kEps = 1e-8;
+
+void AdamUpdate(Matrix* param, const Matrix& grad, Matrix* m, Matrix* v,
+                int step, double lr, double l2) {
+  for (size_t i = 0; i < param->size(); ++i) {
+    const double g = grad.data()[i] + l2 * param->data()[i];
+    m->data()[i] = kBeta1 * m->data()[i] + (1.0 - kBeta1) * g;
+    v->data()[i] = kBeta2 * v->data()[i] + (1.0 - kBeta2) * g * g;
+    const double mhat = m->data()[i] / (1.0 - std::pow(kBeta1, step));
+    const double vhat = v->data()[i] / (1.0 - std::pow(kBeta2, step));
+    param->data()[i] -= lr * mhat / (std::sqrt(vhat) + kEps);
+  }
+}
+
+}  // namespace
+
+Matrix MlpClassifier::Forward(const Matrix& x, std::vector<Matrix>* pre,
+                              std::vector<Matrix>* post) const {
+  Matrix h = x;
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    Matrix z = MatMul(h, layers_[l].w);
+    AddBiasRow(&z, layers_[l].b);
+    if (pre) pre->push_back(z);
+    if (l + 1 < layers_.size()) {
+      h = Relu(z);
+    } else {
+      h = Sigmoid(z);  // output layer: 1 unit, probability of class 1
+    }
+    if (post) post->push_back(h);
+  }
+  return h;
+}
+
+Status MlpClassifier::Fit(const Matrix& x_raw, const std::vector<int>& y) {
+  if (x_raw.rows() != y.size()) {
+    return Status::InvalidArgument("X rows must match y length");
+  }
+  if (x_raw.rows() == 0) return Status::InvalidArgument("empty training set");
+  const Matrix x = scaler_.FitTransform(x_raw);
+
+  Rng rng(options_.seed);
+  layers_.clear();
+  adam_step_ = 0;
+  std::vector<int> sizes;
+  sizes.push_back(static_cast<int>(x.cols()));
+  for (int h : options_.hidden_sizes) sizes.push_back(h);
+  sizes.push_back(1);
+  for (size_t l = 0; l + 1 < sizes.size(); ++l) {
+    Layer layer;
+    layer.w = Matrix::GlorotUniform(static_cast<size_t>(sizes[l]),
+                                    static_cast<size_t>(sizes[l + 1]), &rng);
+    layer.b = Matrix(1, static_cast<size_t>(sizes[l + 1]));
+    layer.m_w = Matrix(layer.w.rows(), layer.w.cols());
+    layer.v_w = Matrix(layer.w.rows(), layer.w.cols());
+    layer.m_b = Matrix(1, layer.b.cols());
+    layer.v_b = Matrix(1, layer.b.cols());
+    layers_.push_back(std::move(layer));
+  }
+
+  const size_t n = x.rows();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    for (size_t start = 0; start < n;
+         start += static_cast<size_t>(options_.batch_size)) {
+      const size_t end =
+          std::min(n, start + static_cast<size_t>(options_.batch_size));
+      const size_t bs = end - start;
+      Matrix xb(bs, x.cols());
+      Matrix yb(bs, 1);
+      for (size_t k = 0; k < bs; ++k) {
+        xb.SetRow(k, x.Row(order[start + k]));
+        yb.At(k, 0) = static_cast<double>(y[order[start + k]]);
+      }
+
+      std::vector<Matrix> pre, post;
+      const Matrix out = Forward(xb, &pre, &post);
+
+      // BCE + sigmoid gradient at the output: (p - y) / batch.
+      Matrix delta = out;
+      delta -= yb;
+      delta *= 1.0 / static_cast<double>(bs);
+
+      ++adam_step_;
+      for (size_t l = layers_.size(); l-- > 0;) {
+        const Matrix& input = l == 0 ? xb : post[l - 1];
+        const Matrix grad_w = MatMulTransA(input, delta);
+        const Matrix grad_b = ColumnSum(delta);
+        if (l > 0) {
+          Matrix upstream = MatMulTransB(delta, layers_[l].w);
+          delta = ReluBackward(upstream, pre[l - 1]);
+        }
+        AdamUpdate(&layers_[l].w, grad_w, &layers_[l].m_w, &layers_[l].v_w,
+                   adam_step_, options_.learning_rate, options_.l2);
+        AdamUpdate(&layers_[l].b, grad_b, &layers_[l].m_b, &layers_[l].v_b,
+                   adam_step_, options_.learning_rate, 0.0);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+double MlpClassifier::PredictProba(const std::vector<double>& sample) const {
+  if (layers_.empty()) return 0.5;
+  Matrix x(1, sample.size());
+  x.SetRow(0, scaler_.Transform(sample));
+  const Matrix out = Forward(x, nullptr, nullptr);
+  return out.At(0, 0);
+}
+
+int MlpClassifier::Predict(const std::vector<double>& sample) const {
+  return PredictProba(sample) >= 0.5 ? 1 : 0;
+}
+
+}  // namespace fexiot

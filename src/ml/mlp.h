@@ -1,0 +1,48 @@
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/classifier.h"
+
+namespace fexiot {
+
+/// \brief Multi-layer perceptron classifier trained by backprop with Adam
+/// (binary cross-entropy). One of the four Figure 3 correlation
+/// classifiers.
+class MlpClassifier : public Classifier {
+ public:
+  struct Options {
+    std::vector<int> hidden_sizes = {32, 16};
+    int epochs = 120;
+    double learning_rate = 0.01;
+    double l2 = 1e-5;
+    int batch_size = 32;
+    uint64_t seed = 17;
+  };
+
+  MlpClassifier() : MlpClassifier(Options()) {}
+  explicit MlpClassifier(Options options) : options_(std::move(options)) {}
+
+  Status Fit(const Matrix& x, const std::vector<int>& y) override;
+  int Predict(const std::vector<double>& sample) const override;
+  double PredictProba(const std::vector<double>& sample) const override;
+  std::string Name() const override { return "MLP"; }
+
+ private:
+  struct Layer {
+    Matrix w;      // in x out
+    Matrix b;      // 1 x out
+    Matrix m_w, v_w, m_b, v_b;  // Adam moments
+  };
+
+  Matrix Forward(const Matrix& x, std::vector<Matrix>* pre,
+                 std::vector<Matrix>* post) const;
+
+  Options options_;
+  std::vector<Layer> layers_;
+  StandardScaler scaler_;
+  int adam_step_ = 0;
+};
+
+}  // namespace fexiot

@@ -1,0 +1,85 @@
+#include "ml/model_selection.h"
+
+#include <cassert>
+
+namespace fexiot {
+
+CrossValidationResult CrossValidate(
+    const std::function<std::unique_ptr<Classifier>()>& factory,
+    const Matrix& x, const std::vector<int>& y, int num_folds, Rng* rng) {
+  assert(num_folds >= 2 && x.rows() == y.size());
+  CrossValidationResult result;
+
+  // Stratified fold assignment: spread each class round-robin after a
+  // shuffle.
+  std::vector<size_t> fold_of(x.rows());
+  for (int cls = 0; cls <= 1; ++cls) {
+    std::vector<size_t> idx;
+    for (size_t i = 0; i < y.size(); ++i) {
+      if (y[i] == cls) idx.push_back(i);
+    }
+    rng->Shuffle(&idx);
+    for (size_t k = 0; k < idx.size(); ++k) {
+      fold_of[idx[k]] = k % static_cast<size_t>(num_folds);
+    }
+  }
+
+  double acc = 0, prec = 0, rec = 0, f1 = 0;
+  for (int fold = 0; fold < num_folds; ++fold) {
+    std::vector<size_t> train_idx, test_idx;
+    for (size_t i = 0; i < x.rows(); ++i) {
+      if (fold_of[i] == static_cast<size_t>(fold)) {
+        test_idx.push_back(i);
+      } else {
+        train_idx.push_back(i);
+      }
+    }
+    if (test_idx.empty() || train_idx.empty()) continue;
+    Matrix xtr(train_idx.size(), x.cols());
+    std::vector<int> ytr(train_idx.size());
+    for (size_t k = 0; k < train_idx.size(); ++k) {
+      xtr.SetRow(k, x.Row(train_idx[k]));
+      ytr[k] = y[train_idx[k]];
+    }
+    auto model = factory();
+    const Status st = model->Fit(xtr, ytr);
+    assert(st.ok());
+    (void)st;
+    std::vector<int> labels, preds;
+    for (size_t i : test_idx) {
+      labels.push_back(y[i]);
+      preds.push_back(model->Predict(x.Row(i)));
+    }
+    const ClassificationMetrics m = ComputeMetrics(labels, preds);
+    result.folds.push_back(m);
+    acc += m.accuracy;
+    prec += m.precision;
+    rec += m.recall;
+    f1 += m.f1;
+  }
+  const double n = std::max<size_t>(1, result.folds.size());
+  result.mean.accuracy = acc / n;
+  result.mean.precision = prec / n;
+  result.mean.recall = rec / n;
+  result.mean.f1 = f1 / n;
+  return result;
+}
+
+GridSearchResult GridSearch(
+    const std::vector<std::function<std::unique_ptr<Classifier>()>>&
+        candidates,
+    const Matrix& x, const std::vector<int>& y, int num_folds, Rng* rng) {
+  GridSearchResult result;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const CrossValidationResult cv =
+        CrossValidate(candidates[i], x, y, num_folds, rng);
+    result.accuracies.push_back(cv.mean.accuracy);
+    if (cv.mean.accuracy > result.best_accuracy) {
+      result.best_accuracy = cv.mean.accuracy;
+      result.best_index = i;
+    }
+  }
+  return result;
+}
+
+}  // namespace fexiot

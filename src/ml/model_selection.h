@@ -1,0 +1,38 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/classifier.h"
+#include "ml/metrics.h"
+
+namespace fexiot {
+
+/// \brief Mean metrics over folds of a k-fold cross validation.
+struct CrossValidationResult {
+  ClassificationMetrics mean;
+  std::vector<ClassificationMetrics> folds;
+};
+
+/// \brief Stratified k-fold cross validation of a classifier factory
+/// (Figure 3 reports 10-fold CV). The factory builds a fresh model per
+/// fold.
+CrossValidationResult CrossValidate(
+    const std::function<std::unique_ptr<Classifier>()>& factory,
+    const Matrix& x, const std::vector<int>& y, int num_folds, Rng* rng);
+
+/// \brief Exhaustive grid search over parameter candidates; evaluates each
+/// candidate by k-fold CV accuracy and returns the best index.
+struct GridSearchResult {
+  size_t best_index = 0;
+  double best_accuracy = 0.0;
+  std::vector<double> accuracies;
+};
+
+GridSearchResult GridSearch(
+    const std::vector<std::function<std::unique_ptr<Classifier>()>>&
+        candidates,
+    const Matrix& x, const std::vector<int>& y, int num_folds, Rng* rng);
+
+}  // namespace fexiot

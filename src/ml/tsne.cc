@@ -1,0 +1,138 @@
+#include "ml/tsne.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "tensor/ops.h"
+
+namespace fexiot {
+namespace {
+
+// Binary-searches the Gaussian bandwidth for one point to match the target
+// perplexity; fills row i of P with conditional probabilities p_{j|i}.
+void FitRowPerplexity(const Matrix& d2, size_t i, double target_perplexity,
+                      Matrix* p) {
+  const size_t n = d2.rows();
+  double beta = 1.0, beta_lo = 0.0, beta_hi = 1e12;
+  const double log_target = std::log(target_perplexity);
+  for (int iter = 0; iter < 50; ++iter) {
+    double sum = 0.0, sum_dp = 0.0;
+    for (size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      const double pj = std::exp(-beta * d2.At(i, j));
+      sum += pj;
+      sum_dp += pj * d2.At(i, j);
+    }
+    if (sum < 1e-300) {
+      beta /= 2.0;
+      continue;
+    }
+    // Shannon entropy of the conditional distribution.
+    const double h = std::log(sum) + beta * sum_dp / sum;
+    const double diff = h - log_target;
+    if (std::fabs(diff) < 1e-5) break;
+    if (diff > 0) {
+      beta_lo = beta;
+      beta = beta_hi >= 1e12 ? beta * 2.0 : 0.5 * (beta + beta_hi);
+    } else {
+      beta_hi = beta;
+      beta = 0.5 * (beta + beta_lo);
+    }
+  }
+  double sum = 0.0;
+  for (size_t j = 0; j < n; ++j) {
+    if (j == i) continue;
+    p->At(i, j) = std::exp(-beta * d2.At(i, j));
+    sum += p->At(i, j);
+  }
+  if (sum > 0) {
+    for (size_t j = 0; j < n; ++j) {
+      if (j != i) p->At(i, j) /= sum;
+    }
+  }
+}
+
+}  // namespace
+
+Matrix Tsne::FitTransform(const Matrix& x) const {
+  const size_t n = x.rows();
+  const size_t out_d = static_cast<size_t>(options_.output_dims);
+  Rng rng(options_.seed);
+  if (n == 0) return Matrix();
+  if (n == 1) return Matrix(1, out_d);
+
+  // Pairwise squared distances in input space.
+  Matrix d2(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const double dd = SquaredDistance(x.Row(i), x.Row(j));
+      d2.At(i, j) = dd;
+      d2.At(j, i) = dd;
+    }
+  }
+
+  // Symmetrized affinities P.
+  Matrix p(n, n);
+  const double perplexity =
+      std::min(options_.perplexity, static_cast<double>(n - 1) / 3.0);
+  for (size_t i = 0; i < n; ++i) {
+    FitRowPerplexity(d2, i, std::max(2.0, perplexity), &p);
+  }
+  Matrix psym(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      psym.At(i, j) =
+          std::max((p.At(i, j) + p.At(j, i)) / (2.0 * n), 1e-12);
+    }
+  }
+
+  // Gradient descent on the KL divergence.
+  Matrix y = Matrix::RandomNormal(n, out_d, 1e-2, &rng);
+  Matrix velocity(n, out_d);
+  Matrix grad(n, out_d);
+  for (int iter = 0; iter < options_.iterations; ++iter) {
+    const double exaggeration =
+        iter < options_.exaggeration_iters ? options_.early_exaggeration : 1.0;
+    // Student-t affinities Q (unnormalized numerators first).
+    Matrix num(n, n);
+    double qsum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) {
+        const double v =
+            1.0 / (1.0 + SquaredDistance(y.Row(i), y.Row(j)));
+        num.At(i, j) = v;
+        num.At(j, i) = v;
+        qsum += 2.0 * v;
+      }
+    }
+    qsum = std::max(qsum, 1e-12);
+    grad.Fill(0.0);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        if (i == j) continue;
+        const double q = std::max(num.At(i, j) / qsum, 1e-12);
+        const double mult =
+            4.0 * (exaggeration * psym.At(i, j) - q) * num.At(i, j);
+        for (size_t k = 0; k < out_d; ++k) {
+          grad.At(i, k) += mult * (y.At(i, k) - y.At(j, k));
+        }
+      }
+    }
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t k = 0; k < out_d; ++k) {
+        velocity.At(i, k) = options_.momentum * velocity.At(i, k) -
+                            options_.learning_rate * grad.At(i, k);
+        y.At(i, k) += velocity.At(i, k);
+      }
+    }
+    // Re-center.
+    const Matrix mean = ColumnMean(y);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t k = 0; k < out_d; ++k) y.At(i, k) -= mean.At(0, k);
+    }
+  }
+  return y;
+}
+
+}  // namespace fexiot

@@ -1,0 +1,35 @@
+#pragma once
+
+#include "common/rng.h"
+#include "tensor/matrix.h"
+
+namespace fexiot {
+
+/// \brief Exact t-SNE dimensionality reduction (van der Maaten & Hinton).
+///
+/// Used to project learned graph representations to 2-D for the Figure 6
+/// cluster visualization. Exact O(n^2) gradients — fine for the paper's
+/// 1,500-point samples.
+class Tsne {
+ public:
+  struct Options {
+    int output_dims = 2;
+    double perplexity = 30.0;
+    int iterations = 400;
+    double learning_rate = 120.0;
+    double early_exaggeration = 4.0;
+    int exaggeration_iters = 80;
+    double momentum = 0.8;
+    uint64_t seed = 43;
+  };
+
+  explicit Tsne(Options options) : options_(options) {}
+
+  /// Embeds rows of \p x into output_dims dimensions.
+  Matrix FitTransform(const Matrix& x) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace fexiot

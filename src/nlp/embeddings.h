@@ -1,0 +1,45 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fexiot {
+
+/// \brief Deterministic 300-d word embeddings with a semantic prior.
+///
+/// Substitutes for spaCy `en_core_web_lg` vectors: each word maps to
+/// cluster_centroid(lexicon cluster) + hashed residual noise. Words in the
+/// same synonym group share a centroid, so cosine similarity reflects
+/// semantic relatedness the way distributional vectors do, while unknown
+/// words still receive stable (hash-seeded) vectors.
+class WordEmbedding {
+ public:
+  static constexpr int kDim = 300;
+
+  /// Returns the (unit-norm) embedding of \p word.
+  static std::vector<double> Embed(const std::string& word);
+
+  /// Mean of word embeddings for a token sequence; zero vector if empty.
+  static std::vector<double> EmbedMean(const std::vector<std::string>& words);
+};
+
+/// \brief Deterministic 512-d sentence encoder.
+///
+/// Substitutes for the Universal Sentence Encoder: a projection of the mean
+/// word embedding concatenated with hashed bigram features, L2-normalized.
+/// Paraphrases (shared content words) land close in this space.
+class SentenceEncoder {
+ public:
+  static constexpr int kDim = 512;
+
+  /// Returns the (unit-norm) embedding of \p sentence.
+  static std::vector<double> Encode(const std::string& sentence);
+};
+
+/// \brief Trigger-action pair embedding (Eq. 1 of the paper): the sum of
+/// mean word embeddings of the trigger and action sentences. Used as the
+/// node feature of interaction graphs built from rule descriptions.
+std::vector<double> TriggerActionPairEmbedding(
+    const std::string& trigger_sentence, const std::string& action_sentence);
+
+}  // namespace fexiot

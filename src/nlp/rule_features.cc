@@ -1,0 +1,139 @@
+#include "nlp/rule_features.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "nlp/dtw.h"
+#include "nlp/embeddings.h"
+#include "nlp/lexicon.h"
+#include "tensor/ops.h"
+
+namespace fexiot {
+namespace {
+
+std::vector<std::vector<double>> EmbedAll(
+    const std::vector<std::string>& words) {
+  std::vector<std::vector<double>> out;
+  out.reserve(words.size());
+  for (const auto& w : words) out.push_back(WordEmbedding::Embed(w));
+  return out;
+}
+
+// Fraction of words in `a` that have a synonym match in `b`.
+double OverlapRatio(const std::vector<std::string>& a,
+                    const std::vector<std::string>& b) {
+  if (a.empty() || b.empty()) return 0.0;
+  const Lexicon& lex = Lexicon::Get();
+  int hits = 0;
+  for (const auto& wa : a) {
+    for (const auto& wb : b) {
+      if (wa == wb || lex.AreSynonyms(wa, wb)) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(a.size());
+}
+
+// Relation one-hots between two word lists:
+// [syn, hyper, mero, holo, causal].
+void RelationOneHots(const std::vector<std::string>& a,
+                     const std::vector<std::string>& b, double* out5) {
+  const Lexicon& lex = Lexicon::Get();
+  double* out4 = out5;
+  for (int i = 0; i < 5; ++i) out5[i] = 0.0;
+  for (const auto& wa : a) {
+    for (const auto& wb : b) {
+      if (lex.AreCausallyAssociated(wa, wb)) out5[4] = 1.0;
+      switch (lex.Relation(wa, wb)) {
+        case LexicalRelation::kSynonym:
+          out4[0] = 1.0;
+          break;
+        case LexicalRelation::kHypernym:
+          out4[1] = 1.0;
+          break;
+        case LexicalRelation::kMeronym:
+          out4[2] = 1.0;
+          break;
+        case LexicalRelation::kHolonym:
+          out4[3] = 1.0;
+          break;
+        case LexicalRelation::kNone:
+          break;
+      }
+    }
+  }
+}
+
+std::string JoinWords(const std::vector<std::string>& words) {
+  return Join(words, " ");
+}
+
+}  // namespace
+
+std::vector<double> RuleFeatureExtractor::ExtractPairFeatures(
+    const RuleParse& rule_a, const RuleParse& rule_b) {
+  std::vector<double> f;
+  f.reserve(kPairFeatureDim);
+
+  // The causal direction of interest: A's *action* clause feeding B's
+  // *trigger* clause. Fall back to all objects when clause split found
+  // nothing (terse voice-assistant commands have no explicit if/when).
+  const std::vector<std::string>& a_action =
+      rule_a.action_clause.empty() ? rule_a.objects : rule_a.action_clause;
+  const std::vector<std::string>& b_trigger =
+      rule_b.trigger_clause.empty() ? rule_b.objects : rule_b.trigger_clause;
+
+  // (1) Similarity features.
+  f.push_back(DtwDistance(EmbedAll(rule_a.verbs), EmbedAll(rule_b.verbs)));
+  f.push_back(
+      DtwDistance(EmbedAll(rule_a.objects), EmbedAll(rule_b.objects)));
+  f.push_back(DtwDistance(EmbedAll(a_action), EmbedAll(b_trigger)));
+  f.push_back(OverlapRatio(rule_a.objects, rule_b.objects));
+  f.push_back(OverlapRatio(a_action, b_trigger));
+  f.push_back(OverlapRatio(rule_a.states, rule_b.states));
+
+  // (2) Causal relation one-hots between A's action words and B's trigger
+  // words, then between full object lists.
+  double rel[5];
+  RelationOneHots(a_action, b_trigger, rel);
+  f.insert(f.end(), rel, rel + 5);
+
+  // (3) Sentence-level features.
+  const std::vector<double> emb_a_action =
+      SentenceEncoder::Encode(JoinWords(a_action));
+  const std::vector<double> emb_b_trigger =
+      SentenceEncoder::Encode(JoinWords(b_trigger));
+  f.push_back(CosineSimilarity(emb_a_action, emb_b_trigger));
+
+  const std::vector<double> emb_a = SentenceEncoder::Encode(
+      JoinWords(rule_a.trigger_clause) + " " + JoinWords(rule_a.action_clause));
+  const std::vector<double> emb_b = SentenceEncoder::Encode(
+      JoinWords(rule_b.trigger_clause) + " " + JoinWords(rule_b.action_clause));
+  f.push_back(CosineSimilarity(emb_a, emb_b));
+
+  // Structure features: clause lengths (normalized).
+  f.push_back(std::min(1.0, static_cast<double>(a_action.size()) / 8.0));
+  f.push_back(std::min(1.0, static_cast<double>(b_trigger.size()) / 8.0));
+
+  return f;
+}
+
+std::vector<double> RuleFeatureExtractor::ExtractPairFeatures(
+    const std::string& sentence_a, const std::string& sentence_b) {
+  return ExtractPairFeatures(PosTagger::Parse(sentence_a),
+                             PosTagger::Parse(sentence_b));
+}
+
+std::vector<std::string> RuleFeatureExtractor::FeatureNames() {
+  return {
+      "dtw_verbs",        "dtw_objects",      "dtw_action_trigger",
+      "overlap_objects",  "overlap_act_trig", "overlap_states",
+      "rel_synonym",      "rel_hypernym",     "rel_meronym",
+      "rel_holonym",      "rel_causal",       "cos_act_trig",
+      "cos_sentences",    "len_action",       "len_trigger",
+  };
+}
+
+}  // namespace fexiot

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nlp/pos_tagger.h"
+
+namespace fexiot {
+
+/// \brief Correlation features between rule A's action and rule B's trigger
+/// (Section III-A1). These feed the "action-trigger" correlation classifier
+/// of Section III-A3 / Figure 3.
+///
+/// Feature groups:
+///   1. similarity features — DTW distance over verb / object embedding
+///      sequences and direct object-overlap ratios;
+///   2. causal relation features — one-hot synonym / hypernym / meronym /
+///      holonym indicators between action objects and trigger objects;
+///   3. sentence-level features — cosine of sentence embeddings and of the
+///      trigger-action pair embedding halves.
+class RuleFeatureExtractor {
+ public:
+  /// Dimensionality of ExtractPairFeatures output.
+  static constexpr int kPairFeatureDim = 15;
+
+  /// \brief Extracts the correlation feature vector for an ordered pair
+  /// (rule_a.action -> rule_b.trigger).
+  static std::vector<double> ExtractPairFeatures(const RuleParse& rule_a,
+                                                 const RuleParse& rule_b);
+
+  /// Convenience overload parsing raw sentences.
+  static std::vector<double> ExtractPairFeatures(
+      const std::string& sentence_a, const std::string& sentence_b);
+
+  /// Names of the feature dimensions (for docs/tests).
+  static std::vector<std::string> FeatureNames();
+};
+
+}  // namespace fexiot

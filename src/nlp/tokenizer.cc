@@ -1,0 +1,55 @@
+#include "nlp/tokenizer.h"
+
+#include <cctype>
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace fexiot {
+namespace {
+
+const std::unordered_set<std::string>& StopwordSet() {
+  static const std::unordered_set<std::string> kStopwords = {
+      "the", "a",  "an", "is",  "are",  "was", "be",   "been", "to",
+      "of",  "in", "on", "at",  "and",  "or",  "it",   "its",  "my",
+      "your", "this", "that", "there", "with", "for", "will", "then",
+      "if",  "when",
+  };
+  return kStopwords;
+}
+
+}  // namespace
+
+std::vector<std::string> Tokenizer::Tokenize(std::string_view text) {
+  std::string cleaned;
+  cleaned.reserve(text.size());
+  for (char ch : text) {
+    const unsigned char c = static_cast<unsigned char>(ch);
+    if (std::isalnum(c)) {
+      cleaned += static_cast<char>(std::tolower(c));
+    } else if (ch == '_' || ch == '-') {
+      // Treat snake/kebab compounds as separate words.
+      cleaned += ' ';
+    } else if (std::isspace(c)) {
+      cleaned += ' ';
+    }
+    // Other punctuation dropped.
+  }
+  return SplitWhitespace(cleaned);
+}
+
+std::vector<std::string> Tokenizer::TokenizeContent(std::string_view text) {
+  std::vector<std::string> tokens = Tokenize(text);
+  std::vector<std::string> out;
+  out.reserve(tokens.size());
+  for (auto& t : tokens) {
+    if (!IsStopword(t)) out.push_back(std::move(t));
+  }
+  return out;
+}
+
+bool Tokenizer::IsStopword(const std::string& token) {
+  return StopwordSet().count(token) > 0;
+}
+
+}  // namespace fexiot

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fexiot {
+
+/// \brief Rule-text tokenizer: lower-cases, strips punctuation, splits on
+/// whitespace. Multi-word device names ("water valve") survive as separate
+/// tokens; downstream components re-join known compounds via the Lexicon.
+class Tokenizer {
+ public:
+  /// Tokenizes \p text; punctuation is dropped, digits kept.
+  static std::vector<std::string> Tokenize(std::string_view text);
+
+  /// Tokenizes and removes stopwords ("the", "a", "is", ...).
+  static std::vector<std::string> TokenizeContent(std::string_view text);
+
+  /// True if \p token is a stopword.
+  static bool IsStopword(const std::string& token);
+};
+
+}  // namespace fexiot

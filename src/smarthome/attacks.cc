@@ -1,0 +1,158 @@
+#include "smarthome/attacks.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace fexiot {
+
+LogEntry AttackInjector::MakeFakeEntry(double timestamp, LogKind kind) const {
+  assert(!home_.devices.empty());
+  const Device& d =
+      home_.devices[rng_->UniformInt(home_.devices.size())];
+  const auto& info = GetDeviceTypeInfo(d.type);
+  LogEntry e;
+  e.timestamp = timestamp;
+  e.device_id = d.id;
+  e.device = d.type;
+  e.attribute = info.attribute;
+  e.value = info.states[rng_->UniformInt(info.states.size())];
+  e.kind = kind;
+  e.source_rule_id = -1;
+  return e;
+}
+
+AttackResult AttackInjector::Inject(const EventLog& log, AttackType type,
+                                    double intensity) const {
+  switch (type) {
+    case AttackType::kFakeEvent:
+      return InjectFakeEvent(log, intensity);
+    case AttackType::kFakeCommand:
+      return InjectFakeCommand(log, intensity);
+    case AttackType::kStealthyCommand:
+      return InjectStealthyCommand(log, intensity);
+    case AttackType::kCommandFailure:
+      return InjectCommandFailure(log, intensity);
+    case AttackType::kEventLoss:
+      return InjectEventLoss(log, intensity);
+    case AttackType::kNumAttackTypes:
+      break;
+  }
+  AttackResult r;
+  r.log = log;
+  return r;
+}
+
+AttackResult AttackInjector::InjectFakeEvent(EventLog log,
+                                             double intensity) const {
+  // Insert spoofed state-change events (e.g. a DolphinAttack-style fake
+  // "motion active") that no physical cause produced.
+  AttackResult result;
+  result.type = AttackType::kFakeEvent;
+  const int count =
+      std::max(1, static_cast<int>(intensity * log.size() * 0.5));
+  const double horizon =
+      log.empty() ? 3600.0 : log.entries().back().timestamp;
+  for (int i = 0; i < count; ++i) {
+    LogEntry fake =
+        MakeFakeEntry(rng_->Uniform(0.0, horizon), LogKind::kStateChange);
+    log.Append(std::move(fake));
+  }
+  log.SortByTime();
+  result.log = std::move(log);
+  return result;
+}
+
+AttackResult AttackInjector::InjectFakeCommand(EventLog log,
+                                               double intensity) const {
+  // Insert forged command records followed by the state change they cause.
+  AttackResult result;
+  result.type = AttackType::kFakeCommand;
+  const int count =
+      std::max(1, static_cast<int>(intensity * log.size() * 0.5));
+  const double horizon =
+      log.empty() ? 3600.0 : log.entries().back().timestamp;
+  for (int i = 0; i < count; ++i) {
+    const double t = rng_->Uniform(0.0, horizon);
+    LogEntry cmd = MakeFakeEntry(t, LogKind::kCommand);
+    LogEntry effect = cmd;
+    effect.timestamp = t + 0.2;
+    effect.kind = LogKind::kStateChange;
+    log.Append(std::move(cmd));
+    log.Append(std::move(effect));
+  }
+  log.SortByTime();
+  result.log = std::move(log);
+  return result;
+}
+
+AttackResult AttackInjector::InjectStealthyCommand(EventLog log,
+                                                   double intensity) const {
+  // The attacker actuates devices while suppressing the command records:
+  // state changes remain but their causal command entries disappear.
+  AttackResult result;
+  result.type = AttackType::kStealthyCommand;
+  std::vector<LogEntry> kept;
+  int removed = 0;
+  for (const auto& e : log.entries()) {
+    if (e.kind == LogKind::kCommand && rng_->Bernoulli(intensity)) {
+      ++removed;
+      continue;
+    }
+    kept.push_back(e);
+  }
+  result.removed_entries = removed;
+  result.log = EventLog(std::move(kept));
+  return result;
+}
+
+AttackResult AttackInjector::InjectCommandFailure(EventLog log,
+                                                  double intensity) const {
+  // Commands are logged but the device never reaches the state: drop the
+  // state-change record that follows a command within a short window.
+  AttackResult result;
+  result.type = AttackType::kCommandFailure;
+  const auto& entries = log.entries();
+  std::vector<bool> drop(entries.size(), false);
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (entries[i].kind != LogKind::kCommand) continue;
+    if (!rng_->Bernoulli(intensity)) continue;
+    for (size_t j = i + 1; j < entries.size(); ++j) {
+      if (entries[j].timestamp > entries[i].timestamp + 2.0) break;
+      if (entries[j].kind == LogKind::kStateChange &&
+          entries[j].device_id == entries[i].device_id &&
+          entries[j].value == entries[i].value) {
+        drop[j] = true;
+        break;
+      }
+    }
+  }
+  std::vector<LogEntry> kept;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (drop[i]) {
+      ++result.removed_entries;
+    } else {
+      kept.push_back(entries[i]);
+    }
+  }
+  result.log = EventLog(std::move(kept));
+  return result;
+}
+
+AttackResult AttackInjector::InjectEventLoss(EventLog log,
+                                             double intensity) const {
+  // Jam / drop genuine telemetry uniformly at random.
+  AttackResult result;
+  result.type = AttackType::kEventLoss;
+  std::vector<LogEntry> kept;
+  for (const auto& e : log.entries()) {
+    if (rng_->Bernoulli(intensity)) {
+      ++result.removed_entries;
+      continue;
+    }
+    kept.push_back(e);
+  }
+  result.log = EventLog(std::move(kept));
+  return result;
+}
+
+}  // namespace fexiot

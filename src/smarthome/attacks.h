@@ -1,0 +1,47 @@
+#pragma once
+
+#include "common/rng.h"
+#include "smarthome/event_log.h"
+#include "smarthome/home.h"
+#include "smarthome/vulnerability.h"
+
+namespace fexiot {
+
+/// \brief Outcome of an attack injection: the tampered log plus which
+/// entries were affected (ground truth for evaluation).
+struct AttackResult {
+  EventLog log;
+  AttackType type = AttackType::kFakeEvent;
+  /// Indices (into log.entries()) of injected entries, if any.
+  std::vector<size_t> injected_indices;
+  /// Number of genuine entries removed (event-loss / stealthy command).
+  int removed_entries = 0;
+};
+
+/// \brief Injects external attacks into event logs by modification,
+/// following HAWatcher's five attack classes (Section IV-A):
+/// fake events, fake commands, stealthy commands, command failures and
+/// event losses.
+class AttackInjector {
+ public:
+  AttackInjector(const Home& home, Rng* rng) : home_(home), rng_(rng) {}
+
+  /// Applies \p type to a copy of \p log with \p intensity in (0, 1]
+  /// controlling how many records are affected.
+  AttackResult Inject(const EventLog& log, AttackType type,
+                      double intensity = 0.1) const;
+
+ private:
+  AttackResult InjectFakeEvent(EventLog log, double intensity) const;
+  AttackResult InjectFakeCommand(EventLog log, double intensity) const;
+  AttackResult InjectStealthyCommand(EventLog log, double intensity) const;
+  AttackResult InjectCommandFailure(EventLog log, double intensity) const;
+  AttackResult InjectEventLoss(EventLog log, double intensity) const;
+
+  LogEntry MakeFakeEntry(double timestamp, LogKind kind) const;
+
+  const Home& home_;
+  Rng* rng_;
+};
+
+}  // namespace fexiot

@@ -1,0 +1,96 @@
+#include "smarthome/event_log.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "nlp/jenks.h"
+
+namespace fexiot {
+
+const char* LogKindName(LogKind kind) {
+  switch (kind) {
+    case LogKind::kStateChange:
+      return "state";
+    case LogKind::kCommand:
+      return "command";
+    case LogKind::kSensorReading:
+      return "reading";
+    case LogKind::kExecutionError:
+      return "error";
+  }
+  return "?";
+}
+
+std::string LogEntry::ToString() const {
+  const int total = static_cast<int>(timestamp);
+  const int h = (total / 3600) % 24;
+  const int m = (total / 60) % 60;
+  const int s = total % 60;
+  char buf[160];
+  if (numeric_value.has_value()) {
+    std::snprintf(buf, sizeof(buf), "%02d:%02d:%02d dev%-3d %-12s %s=%.1f [%s]",
+                  h, m, s, device_id, DeviceNoun(device).c_str(),
+                  attribute.c_str(), *numeric_value, LogKindName(kind));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%02d:%02d:%02d dev%-3d %-12s %s=%s [%s]",
+                  h, m, s, device_id, DeviceNoun(device).c_str(),
+                  attribute.c_str(), value.c_str(), LogKindName(kind));
+  }
+  return buf;
+}
+
+void EventLog::SortByTime() {
+  std::stable_sort(entries_.begin(), entries_.end(),
+                   [](const LogEntry& a, const LogEntry& b) {
+                     return a.timestamp < b.timestamp;
+                   });
+}
+
+EventLog EventLog::Cleaned() const {
+  // Pass 1: collect numeric readings per device to fit Jenks breaks.
+  std::map<int, std::vector<double>> numeric_by_device;
+  for (const auto& e : entries_) {
+    if (e.kind == LogKind::kSensorReading && e.numeric_value.has_value()) {
+      numeric_by_device[e.device_id].push_back(*e.numeric_value);
+    }
+  }
+  std::map<int, std::vector<double>> breaks_by_device;
+  for (auto& [id, values] : numeric_by_device) {
+    if (values.size() >= 4) {
+      breaks_by_device[id] = JenksBreaks::Compute(values, /*num_classes=*/2);
+    }
+  }
+
+  // Pass 2: rewrite entries.
+  EventLog out;
+  std::map<int, std::string> last_value;  // per device, last logical value
+  for (const auto& e : entries_) {
+    if (e.kind == LogKind::kExecutionError) continue;  // noise
+    LogEntry rewritten = e;
+    if (e.kind == LogKind::kSensorReading) {
+      if (!e.numeric_value.has_value()) continue;
+      auto it = breaks_by_device.find(e.device_id);
+      if (it == breaks_by_device.end()) continue;
+      const int cls = JenksBreaks::Classify(*e.numeric_value, it->second);
+      rewritten.value = JenksBreaks::ClassLabel(cls, 2);
+      rewritten.numeric_value.reset();
+      rewritten.kind = LogKind::kStateChange;
+    }
+    // Drop repetitive readings: consecutive identical logical values for
+    // the same device do not change state. Only state changes participate
+    // in the dedup — a command for a value must not swallow the state
+    // change that realizes it.
+    if (rewritten.kind == LogKind::kStateChange) {
+      auto last = last_value.find(rewritten.device_id);
+      if (last != last_value.end() && last->second == rewritten.value) {
+        continue;
+      }
+      last_value[rewritten.device_id] = rewritten.value;
+    }
+    out.Append(std::move(rewritten));
+  }
+  return out;
+}
+
+}  // namespace fexiot

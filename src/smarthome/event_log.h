@@ -1,0 +1,67 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "smarthome/device.h"
+
+namespace fexiot {
+
+/// \brief Kind of a raw event-log record.
+enum class LogKind {
+  kStateChange = 0,  ///< device attribute changed (Figure 1b style entries)
+  kCommand,          ///< an app issued a command to a device
+  kSensorReading,    ///< periodic numeric sensor report (noise)
+  kExecutionError,   ///< command failed; state unchanged (noise)
+};
+
+const char* LogKindName(LogKind kind);
+
+/// \brief One record of a smart-home event log.
+struct LogEntry {
+  double timestamp = 0.0;  ///< seconds since simulation start
+  int device_id = 0;
+  DeviceType device = DeviceType::kLight;
+  std::string attribute;
+  /// Logical value ("on", "open", ...) for state changes/commands.
+  std::string value;
+  /// Raw numeric reading for kSensorReading records.
+  std::optional<double> numeric_value;
+  LogKind kind = LogKind::kStateChange;
+  /// Rule that caused this entry (-1 for exogenous events).
+  int source_rule_id = -1;
+
+  /// Renders "12:30:01 kitchen light switch on" style text.
+  std::string ToString() const;
+};
+
+/// \brief An ordered event log plus cleaning utilities (Section III-A2).
+class EventLog {
+ public:
+  EventLog() = default;
+  explicit EventLog(std::vector<LogEntry> entries)
+      : entries_(std::move(entries)) {}
+
+  void Append(LogEntry entry) { entries_.push_back(std::move(entry)); }
+
+  const std::vector<LogEntry>& entries() const { return entries_; }
+  std::vector<LogEntry>& mutable_entries() { return entries_; }
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// \brief Cleans the log per the paper: drops repetitive sensor readings
+  /// and execution errors that do not change device state, and converts
+  /// numeric readings into logical values ("low"/"high") with Jenks natural
+  /// breaks computed per numeric device. Returns the cleaned log; the
+  /// original is untouched.
+  EventLog Cleaned() const;
+
+  /// \brief Sorts entries by timestamp (stable).
+  void SortByTime();
+
+ private:
+  std::vector<LogEntry> entries_;
+};
+
+}  // namespace fexiot

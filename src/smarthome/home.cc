@@ -1,0 +1,324 @@
+#include "smarthome/home.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <set>
+
+namespace fexiot {
+namespace {
+
+const std::vector<std::string>& Rooms() {
+  static const std::vector<std::string> kRooms = {
+      "kitchen", "bedroom", "bathroom", "living", "hallway", "garage"};
+  return kRooms;
+}
+
+}  // namespace
+
+int Home::DeviceIdFor(DeviceType type) const {
+  for (const auto& d : devices) {
+    if (d.type == type) return d.id;
+  }
+  return -1;
+}
+
+const Device* Home::DeviceById(int id) const {
+  for (const auto& d : devices) {
+    if (d.id == id) return &d;
+  }
+  return nullptr;
+}
+
+Home BuildRandomHome(int num_rules, const std::vector<Platform>& platforms,
+                     Rng* rng) {
+  assert(!platforms.empty());
+  Home home;
+  std::vector<RuleGenerator> generators;
+  generators.reserve(platforms.size());
+  for (Platform p : platforms) generators.emplace_back(p, rng);
+
+  int next_rule_id = 1;
+  for (int i = 0; i < num_rules; ++i) {
+    auto& gen = generators[rng->UniformInt(generators.size())];
+    Rule rule = gen.Generate();
+    rule.id = next_rule_id++;
+    home.rules.push_back(std::move(rule));
+  }
+
+  // Instantiate one device per referenced type.
+  std::set<DeviceType> used;
+  for (const auto& rule : home.rules) {
+    used.insert(rule.trigger.device);
+    for (const auto& a : rule.actions) used.insert(a.device);
+  }
+  int next_device_id = 1;
+  for (DeviceType t : used) {
+    Device d;
+    d.id = next_device_id++;
+    d.type = t;
+    d.room = Rooms()[rng->UniformInt(Rooms().size())];
+    d.name = d.room + " " + DeviceNoun(t);
+    home.devices.push_back(std::move(d));
+  }
+  return home;
+}
+
+Home BuildChainedHome(int num_rules,
+                      const std::vector<Platform>& platforms, Rng* rng) {
+  assert(!platforms.empty());
+  Home home;
+  std::vector<RuleGenerator> generators;
+  generators.reserve(platforms.size());
+  for (Platform p : platforms) generators.emplace_back(p, rng);
+  auto pick_gen = [&]() -> RuleGenerator& {
+    return generators[rng->UniformInt(generators.size())];
+  };
+
+  // Exogenous-capable seed triggers (the events the simulator emits).
+  static const Trigger kSeeds[] = {
+      {DeviceType::kMotionSensor, "active"},
+      {DeviceType::kDoor, "open"},
+      {DeviceType::kContactSensor, "open"},
+      {DeviceType::kDoorbell, "ringing"},
+      {DeviceType::kClock, "sunset"},
+      {DeviceType::kSmokeDetector, "detected"},
+      {DeviceType::kLeakSensor, "wet"},
+      {DeviceType::kVoice, "spoken"},
+  };
+  int next_rule_id = 1;
+  const int num_seeds = std::max(2, num_rules / 3);
+  for (int i = 0; i < num_rules; ++i) {
+    Rule rule;
+    if (i < num_seeds || home.rules.empty()) {
+      RuleGenerator& gen = pick_gen();
+      rule = gen.Generate();
+      rule.trigger = kSeeds[rng->UniformInt(8)];
+      rule.trigger_text = TriggerPhrase(rule.trigger);
+      rule.description = RenderRuleDescription(rule);
+    } else {
+      // Chain off a random earlier rule's action.
+      const Rule& parent =
+          home.rules[rng->UniformInt(home.rules.size())];
+      const Action& cause =
+          parent.actions[rng->UniformInt(parent.actions.size())];
+      rule = pick_gen().GenerateTriggeredBy(cause);
+    }
+    rule.id = next_rule_id++;
+    home.rules.push_back(std::move(rule));
+  }
+
+  std::set<DeviceType> used;
+  for (const auto& rule : home.rules) {
+    used.insert(rule.trigger.device);
+    for (const auto& a : rule.actions) used.insert(a.device);
+  }
+  int next_device_id = 1;
+  for (DeviceType t : used) {
+    Device d;
+    d.id = next_device_id++;
+    d.type = t;
+    d.room = Rooms()[rng->UniformInt(Rooms().size())];
+    d.name = d.room + " " + DeviceNoun(t);
+    home.devices.push_back(std::move(d));
+  }
+  return home;
+}
+
+HomeSimulator::HomeSimulator(const Home& home, SimulationConfig config,
+                             Rng* rng)
+    : home_(home), config_(config), rng_(rng) {
+  for (const auto& d : home_.devices) {
+    state_[d.id] = GetDeviceTypeInfo(d.type).states.front();
+  }
+}
+
+double HomeSimulator::NumericReadingFor(DeviceType type) {
+  // Baseline plus environment-channel contribution plus measurement noise.
+  const auto& info = GetDeviceTypeInfo(type);
+  double base = type == DeviceType::kTemperatureSensor ? 21.0 : 40.0;
+  const double channel = channel_level_[info.sensed_channel];
+  return base + 8.0 * channel + rng_->Normal(0.0, 0.8);
+}
+
+void HomeSimulator::EmitExogenousEvent(double time) {
+  // The outside world: motion, doors, doorbell, smoke (rare), leaks (rare),
+  // voice commands, time-of-day events are handled in Run().
+  struct Choice {
+    DeviceType device;
+    const char* state;
+    double weight;
+  };
+  static const Choice kChoices[] = {
+      {DeviceType::kMotionSensor, "active", 5.0},
+      {DeviceType::kMotionSensor, "inactive", 3.0},
+      {DeviceType::kDoor, "open", 2.0},
+      {DeviceType::kDoor, "closed", 2.0},
+      {DeviceType::kDoorbell, "ringing", 1.0},
+      {DeviceType::kContactSensor, "open", 1.5},
+      {DeviceType::kContactSensor, "closed", 1.5},
+      {DeviceType::kVoice, "spoken", 2.0},
+      {DeviceType::kSmokeDetector, "detected", 0.25},
+      {DeviceType::kLeakSensor, "wet", 0.25},
+  };
+  std::vector<double> weights;
+  std::vector<const Choice*> avail;
+  for (const auto& c : kChoices) {
+    if (home_.DeviceIdFor(c.device) < 0 && c.device != DeviceType::kVoice) {
+      continue;
+    }
+    avail.push_back(&c);
+    weights.push_back(c.weight);
+  }
+  if (avail.empty()) return;
+  const Choice& pick = *avail[rng_->Categorical(weights)];
+  ApplyStateChange(time, pick.device, pick.state, /*source_rule_id=*/-1,
+                   /*depth=*/0);
+}
+
+void HomeSimulator::ApplyStateChange(double time, DeviceType type,
+                                     const std::string& state,
+                                     int source_rule_id, int depth) {
+  const int device_id = home_.DeviceIdFor(type);
+  if (device_id >= 0) {
+    if (state_[device_id] == state && type != DeviceType::kVoice) {
+      return;  // no change, no log
+    }
+    state_[device_id] = state;
+    LogEntry e;
+    e.timestamp = time;
+    e.device_id = device_id;
+    e.device = type;
+    e.attribute = GetDeviceTypeInfo(type).attribute;
+    e.value = state;
+    e.kind = LogKind::kStateChange;
+    e.source_rule_id = source_rule_id;
+    log_.Append(std::move(e));
+
+    // Environment side-effects.
+    const auto& info = GetDeviceTypeInfo(type);
+    if (info.active_effect.has_value()) {
+      const double delta =
+          info.active_effect->direction == EffectDirection::kIncrease ? 1.0
+                                                                      : -1.0;
+      if (state == ActiveState(type)) {
+        channel_level_[info.active_effect->channel] += delta;
+      } else {
+        channel_level_[info.active_effect->channel] -= delta;
+      }
+    }
+  }
+  FireMatchingRules(time, Trigger{type, state}, depth);
+}
+
+void HomeSimulator::FireMatchingRules(double time, const Trigger& event,
+                                      int depth) {
+  if (depth >= config_.max_cascade_depth) return;
+  for (const auto& rule : home_.rules) {
+    const bool direct = rule.trigger == event;
+    // Environment-mediated firing: an actuator state change drives the
+    // sensor the rule listens on (heater on -> temperature high).
+    bool via_channel = false;
+    if (!direct) {
+      via_channel =
+          ActionCausesTrigger(Action{event.device, event.state}, rule.trigger);
+    }
+    if (!direct && !via_channel) continue;
+    const double when = time + config_.action_latency;
+    if (via_channel) {
+      // Log the sensor flipping state before the dependent rule runs.
+      const int sensor_id = home_.DeviceIdFor(rule.trigger.device);
+      if (sensor_id >= 0 && state_[sensor_id] != rule.trigger.state) {
+        state_[sensor_id] = rule.trigger.state;
+        LogEntry e;
+        e.timestamp = when;
+        e.device_id = sensor_id;
+        e.device = rule.trigger.device;
+        e.attribute = GetDeviceTypeInfo(rule.trigger.device).attribute;
+        e.value = rule.trigger.state;
+        e.kind = LogKind::kStateChange;
+        e.source_rule_id = -1;
+        log_.Append(std::move(e));
+      }
+    }
+    for (const auto& action : rule.actions) {
+      ExecuteAction(PendingAction{when, action, rule.id, depth + 1});
+    }
+  }
+}
+
+void HomeSimulator::ExecuteAction(const PendingAction& pending) {
+  // Command record.
+  const int device_id = home_.DeviceIdFor(pending.action.device);
+  LogEntry cmd;
+  cmd.timestamp = pending.time;
+  cmd.device_id = device_id;
+  cmd.device = pending.action.device;
+  cmd.attribute = GetDeviceTypeInfo(pending.action.device).attribute;
+  cmd.value = pending.action.state;
+  cmd.kind = LogKind::kCommand;
+  cmd.source_rule_id = pending.source_rule_id;
+  log_.Append(cmd);
+
+  if (rng_->Bernoulli(config_.execution_error_rate)) {
+    LogEntry err = cmd;
+    err.kind = LogKind::kExecutionError;
+    err.timestamp = pending.time + 0.1;
+    log_.Append(std::move(err));
+    return;  // device state unchanged
+  }
+  ApplyStateChange(pending.time + 0.2, pending.action.device,
+                   pending.action.state, pending.source_rule_id,
+                   pending.depth);
+}
+
+EventLog HomeSimulator::Run() {
+  log_ = EventLog();
+  double t = 0.0;
+  double next_report = config_.sensor_report_period;
+
+  // Sunrise / sunset markers (6h and 18h into each simulated day).
+  std::vector<std::pair<double, const char*>> clock_events;
+  for (double day = 0.0; day < config_.duration_seconds; day += 86400.0) {
+    clock_events.push_back({day + 6 * 3600.0, "sunrise"});
+    clock_events.push_back({day + 18 * 3600.0, "sunset"});
+  }
+  size_t clock_idx = 0;
+
+  while (t < config_.duration_seconds) {
+    // Exponential gap to the next exogenous event.
+    const double gap =
+        -config_.exogenous_mean_gap * std::log(1.0 - rng_->Uniform() + 1e-12);
+    t += std::max(1.0, gap);
+    if (t >= config_.duration_seconds) break;
+
+    // Interleave clock events and periodic sensor reports that happen first.
+    while (clock_idx < clock_events.size() &&
+           clock_events[clock_idx].first <= t) {
+      ApplyStateChange(clock_events[clock_idx].first, DeviceType::kClock,
+                       clock_events[clock_idx].second, -1, 0);
+      ++clock_idx;
+    }
+    while (config_.sensor_report_period > 0.0 && next_report <= t) {
+      for (const auto& d : home_.devices) {
+        const auto& info = GetDeviceTypeInfo(d.type);
+        if (!info.is_numeric) continue;
+        LogEntry e;
+        e.timestamp = next_report;
+        e.device_id = d.id;
+        e.device = d.type;
+        e.attribute = info.attribute;
+        e.numeric_value = NumericReadingFor(d.type);
+        e.kind = LogKind::kSensorReading;
+        log_.Append(std::move(e));
+      }
+      next_report += config_.sensor_report_period;
+    }
+
+    EmitExogenousEvent(t);
+  }
+  log_.SortByTime();
+  return std::move(log_);
+}
+
+}  // namespace fexiot

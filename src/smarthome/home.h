@@ -1,0 +1,89 @@
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "smarthome/event_log.h"
+#include "smarthome/platform.h"
+#include "smarthome/rule.h"
+
+namespace fexiot {
+
+/// \brief One smart home: deployed devices plus automation rules drawn from
+/// possibly several platforms (the paper: 62.4% of users deploy more than
+/// one platform).
+struct Home {
+  std::vector<Device> devices;
+  std::vector<Rule> rules;
+
+  /// Device id for a type (devices are unique per type in a home);
+  /// -1 if the home has no such device.
+  int DeviceIdFor(DeviceType type) const;
+  const Device* DeviceById(int id) const;
+};
+
+/// \brief Samples a home with \p num_rules rules spread over \p platforms.
+/// A device instance is created for every device type any rule references.
+Home BuildRandomHome(int num_rules, const std::vector<Platform>& platforms,
+                     Rng* rng);
+
+/// \brief Samples a home whose rules form reachable chains: the first few
+/// rules trigger on exogenous events (motion, doors, clock, safety
+/// sensors) and later rules chain off earlier rules' actions, so the
+/// simulator actually exercises multi-hop interactions (used for the
+/// Table II testbed).
+Home BuildChainedHome(int num_rules, const std::vector<Platform>& platforms,
+                      Rng* rng);
+
+/// \brief Configuration of the discrete-event home simulator.
+struct SimulationConfig {
+  /// Simulated duration in seconds (default: one day).
+  double duration_seconds = 24.0 * 3600.0;
+  /// Mean gap between exogenous events (motion, arrivals, voice...).
+  double exogenous_mean_gap = 600.0;
+  /// Period of noisy periodic sensor reports; 0 disables them.
+  double sensor_report_period = 900.0;
+  /// Probability that a command execution errors out (logged as noise).
+  double execution_error_rate = 0.03;
+  /// Latency between a trigger firing and its actions executing.
+  double action_latency = 1.0;
+  /// Cap on chained rule firings from one exogenous event (loop guard).
+  int max_cascade_depth = 12;
+};
+
+/// \brief Discrete-event simulator: executes a home's rules over simulated
+/// time and emits the raw event log (Figure 1b). Substitutes for the
+/// paper's one-week volunteer testbed collection.
+class HomeSimulator {
+ public:
+  HomeSimulator(const Home& home, SimulationConfig config, Rng* rng);
+
+  /// Runs the simulation and returns the raw (uncleaned) log.
+  EventLog Run();
+
+ private:
+  struct PendingAction {
+    double time;
+    Action action;
+    int source_rule_id;
+    int depth;
+  };
+
+  void EmitExogenousEvent(double time);
+  /// Sets a device's state, logs it, and fires matching rules.
+  void ApplyStateChange(double time, DeviceType type, const std::string& state,
+                        int source_rule_id, int depth);
+  void FireMatchingRules(double time, const Trigger& event, int depth);
+  void ExecuteAction(const PendingAction& pending);
+  double NumericReadingFor(DeviceType type);
+
+  const Home& home_;
+  SimulationConfig config_;
+  Rng* rng_;
+  EventLog log_;
+  std::map<int, std::string> state_;            // device_id -> state
+  std::map<EnvChannel, double> channel_level_;  // environment intensities
+};
+
+}  // namespace fexiot

@@ -1,0 +1,244 @@
+#include "smarthome/platform.h"
+
+#include <cassert>
+#include <cctype>
+#include <cmath>
+
+namespace fexiot {
+namespace {
+
+// Platform device-vocabulary bias. Values are relative sampling weights;
+// 0 disables the device on that platform. Indexed [platform][device].
+double PlatformDeviceWeight(Platform p, DeviceType d) {
+  const auto& info = GetDeviceTypeInfo(d);
+  // Pseudo devices are handled by the trigger sampler directly.
+  if (d == DeviceType::kVoice) return 0.0;
+  double w = 1.0;
+  switch (p) {
+    case Platform::kSmartThings:
+      // Hub-centric: rich sensor + security automation.
+      if (d == DeviceType::kDoorLock || d == DeviceType::kAlarm ||
+          d == DeviceType::kWaterValve || d == DeviceType::kSmokeDetector ||
+          d == DeviceType::kLeakSensor || d == DeviceType::kContactSensor) {
+        w = 3.0;
+      }
+      break;
+    case Platform::kHomeAssistant:
+      // Power users: climate and blinds blueprints.
+      if (d == DeviceType::kThermostat || d == DeviceType::kHeater ||
+          d == DeviceType::kAirConditioner || d == DeviceType::kFan ||
+          d == DeviceType::kBlind || d == DeviceType::kWindow ||
+          d == DeviceType::kTemperatureSensor ||
+          d == DeviceType::kHumiditySensor) {
+        w = 3.0;
+      }
+      break;
+    case Platform::kIfttt:
+      // Broad consumer integrations: lights, notifications, media.
+      if (d == DeviceType::kLight || d == DeviceType::kPhone ||
+          d == DeviceType::kCamera || d == DeviceType::kTv ||
+          d == DeviceType::kSpeaker || d == DeviceType::kPlug) {
+        w = 3.0;
+      }
+      break;
+    case Platform::kGoogleAssistant:
+      if (d == DeviceType::kLight || d == DeviceType::kSpeaker ||
+          d == DeviceType::kTv || d == DeviceType::kThermostat) {
+        w = 3.0;
+      }
+      if (info.is_sensor) w *= 0.3;  // voice platforms rarely expose sensors
+      break;
+    case Platform::kAlexa:
+      if (d == DeviceType::kLight || d == DeviceType::kPlug ||
+          d == DeviceType::kSpeaker || d == DeviceType::kDoorLock ||
+          d == DeviceType::kCamera) {
+        w = 3.0;
+      }
+      if (info.is_sensor) w *= 0.3;
+      break;
+    case Platform::kNumPlatforms:
+      break;
+  }
+  return w;
+}
+
+bool IsVoicePlatform(Platform p) {
+  return p == Platform::kGoogleAssistant || p == Platform::kAlexa;
+}
+
+}  // namespace
+
+std::vector<Trigger> PossibleTriggers(DeviceType device) {
+  std::vector<Trigger> out;
+  const auto& info = GetDeviceTypeInfo(device);
+  for (const auto& st : info.states) out.push_back(Trigger{device, st});
+  return out;
+}
+
+RuleGenerator::RuleGenerator(Platform platform, Rng* rng)
+    : platform_(platform), rng_(rng) {
+  for (DeviceType d : ActuatorTypes()) {
+    actuator_weights_.push_back(PlatformDeviceWeight(platform, d));
+  }
+  for (DeviceType d : AllDeviceTypes()) {
+    double w = PlatformDeviceWeight(platform, d);
+    const auto& info = GetDeviceTypeInfo(d);
+    // Sensors and clock are the most natural triggers.
+    if (info.is_sensor) w *= 2.5;
+    if (d == DeviceType::kClock) w = 1.5;
+    trigger_weights_.push_back(w);
+  }
+}
+
+void RuleGenerator::ApplyDeviceProfile(uint64_t profile_seed,
+                                       double strength) {
+  Rng profile(profile_seed);
+  const auto& acts = ActuatorTypes();
+  const auto& all = AllDeviceTypes();
+  // One multiplier per device type, applied to both samplers.
+  std::vector<double> mult(static_cast<size_t>(kNumDeviceTypes), 1.0);
+  for (auto& m : mult) m = std::exp(strength * profile.Normal());
+  for (size_t i = 0; i < acts.size(); ++i) {
+    actuator_weights_[i] *= mult[static_cast<size_t>(acts[i])];
+  }
+  for (size_t i = 0; i < all.size(); ++i) {
+    trigger_weights_[i] *= mult[static_cast<size_t>(all[i])];
+  }
+}
+
+Trigger RuleGenerator::SampleTrigger() {
+  if (IsVoicePlatform(platform_)) {
+    return Trigger{DeviceType::kVoice, "spoken"};
+  }
+  const auto& all = AllDeviceTypes();
+  for (;;) {
+    const size_t idx = rng_->Categorical(trigger_weights_);
+    const DeviceType d = all[idx];
+    if (d == DeviceType::kVoice) continue;
+    const auto& info = GetDeviceTypeInfo(d);
+    if (info.states.empty()) continue;
+    // Bias towards the "active"/event state (smoke detected, motion
+    // active); occasionally trigger on the reset state too.
+    const std::string& state = rng_->Bernoulli(0.8) && info.states.size() >= 2
+                                   ? info.states[1]
+                                   : info.states[0];
+    return Trigger{d, state};
+  }
+}
+
+DeviceType RuleGenerator::SampleActuator() {
+  const auto& acts = ActuatorTypes();
+  const size_t idx = rng_->Categorical(actuator_weights_);
+  return acts[idx];
+}
+
+std::vector<Action> RuleGenerator::SampleActions(int max_actions) {
+  const int n = 1 + static_cast<int>(rng_->UniformInt(
+                        static_cast<uint64_t>(max_actions)));
+  std::vector<Action> out;
+  for (int i = 0; i < n; ++i) {
+    const DeviceType d = SampleActuator();
+    const auto& info = GetDeviceTypeInfo(d);
+    const std::string& state = rng_->Bernoulli(0.7) && info.states.size() >= 2
+                                   ? info.states[1]
+                                   : info.states[0];
+    Action a{d, state};
+    // Avoid duplicate device actions inside one rule.
+    bool dup = false;
+    for (const auto& existing : out) {
+      if (existing.device == a.device) dup = true;
+    }
+    if (!dup) out.push_back(a);
+  }
+  return out;
+}
+
+Rule RuleGenerator::Generate() {
+  Rule rule;
+  rule.id = next_id_++;
+  rule.platform = platform_;
+  rule.trigger = SampleTrigger();
+  rule.actions = SampleActions(/*max_actions=*/2);
+  Render(&rule);
+  return rule;
+}
+
+std::vector<Rule> RuleGenerator::Generate(int count) {
+  std::vector<Rule> out;
+  out.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) out.push_back(Generate());
+  return out;
+}
+
+Rule RuleGenerator::GenerateTriggeredBy(const Action& cause) {
+  Rule rule;
+  rule.id = next_id_++;
+  rule.platform = platform_;
+
+  // Choose a trigger that `cause` fires: either the direct device-state
+  // trigger, or a sensor trigger on the affected environment channel.
+  std::vector<Trigger> candidates;
+  candidates.push_back(Trigger{cause.device, cause.state});
+  const auto& info = GetDeviceTypeInfo(cause.device);
+  if (info.active_effect.has_value() &&
+      cause.state == ActiveState(cause.device)) {
+    for (DeviceType d : AllDeviceTypes()) {
+      const auto& sensor = GetDeviceTypeInfo(d);
+      if (sensor.sensed_channel != info.active_effect->channel) continue;
+      for (const Trigger& t : PossibleTriggers(d)) {
+        if (ActionCausesTrigger(cause, t)) candidates.push_back(t);
+      }
+    }
+  }
+  rule.trigger =
+      candidates[static_cast<size_t>(rng_->UniformInt(candidates.size()))];
+  rule.actions = SampleActions(/*max_actions=*/2);
+  Render(&rule);
+  return rule;
+}
+
+Rule RuleGenerator::Materialize(const Trigger& trigger,
+                                std::vector<Action> actions) {
+  Rule rule;
+  rule.id = next_id_++;
+  rule.platform = platform_;
+  rule.trigger = trigger;
+  rule.actions = std::move(actions);
+  Render(&rule);
+  return rule;
+}
+
+void RuleGenerator::Render(Rule* rule) const {
+  rule->trigger_text = TriggerPhrase(rule->trigger);
+  rule->action_text = ActionsPhrase(rule->actions);
+  rule->description = RenderRuleDescription(*rule);
+}
+
+std::string RenderRuleDescription(const Rule& rule) {
+  const std::string trig = TriggerPhrase(rule.trigger);
+  const std::string act = ActionsPhrase(rule.actions);
+  switch (rule.platform) {
+    case Platform::kSmartThings: {
+      // SmartThings apps: "<Action> if <trigger>."
+      std::string s = act + " if " + trig;
+      if (!s.empty()) s[0] = static_cast<char>(std::toupper(s[0]));
+      return s;
+    }
+    case Platform::kHomeAssistant:
+      // Blueprint style: "when <trigger> then <action>"
+      return "when " + trig + " then " + act;
+    case Platform::kIfttt:
+      // Applet style: "If <trigger>, then <action>"
+      return "If " + trig + ", then " + act;
+    case Platform::kGoogleAssistant:
+      // Terse service command.
+      return "ok google, " + act;
+    case Platform::kAlexa:
+      return "alexa, " + act;
+    case Platform::kNumPlatforms:
+      break;
+  }
+  return act;
+}
+
+}  // namespace fexiot

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "smarthome/rule.h"
+
+namespace fexiot {
+
+/// \brief Per-platform automation-rule generator.
+///
+/// Substitutes for the paper's crawled corpora (SmartThings apps, Home
+/// Assistant blueprints, IFTTT applets, Google Assistant services, Alexa
+/// skills): samples structured trigger-action rules and renders them with
+/// the platform's characteristic phrasing. Each platform has a biased
+/// device vocabulary, which is what makes multi-platform graph datasets
+/// heterogeneous (Section IV-A).
+class RuleGenerator {
+ public:
+  RuleGenerator(Platform platform, Rng* rng);
+
+  /// Samples one rule with a fresh id.
+  Rule Generate();
+
+  /// Samples \p count rules.
+  std::vector<Rule> Generate(int count);
+
+  /// \brief Samples a rule whose trigger is fired by \p cause (used when
+  /// chaining rules into graphs). The rule's trigger matches the causal
+  /// consequence of the action; its own actions are random.
+  Rule GenerateTriggeredBy(const Action& cause);
+
+  /// \brief Samples a rule with the exact \p trigger and \p actions,
+  /// rendering platform text. Used by vulnerability injectors that need
+  /// precise structure.
+  Rule Materialize(const Trigger& trigger, std::vector<Action> actions);
+
+  /// \brief Skews the generator's device vocabulary: multiplies each
+  /// device's sampling weight by exp(strength * N(0,1)) drawn from
+  /// \p profile_seed. Distinct seeds model households/clusters deploying
+  /// different device families (the covariate heterogeneity of
+  /// Section III-B2).
+  void ApplyDeviceProfile(uint64_t profile_seed, double strength);
+
+  Platform platform() const { return platform_; }
+
+ private:
+  Trigger SampleTrigger();
+  std::vector<Action> SampleActions(int max_actions);
+  DeviceType SampleActuator();
+  void Render(Rule* rule) const;
+
+  Platform platform_;
+  Rng* rng_;
+  int next_id_ = 1;
+  std::vector<double> actuator_weights_;
+  std::vector<double> trigger_weights_;
+};
+
+/// \brief Renders the full description of a rule using its platform's
+/// phrasing template (e.g. SmartThings "If <trigger>, <actions>.",
+/// Alexa "alexa, <action>").
+std::string RenderRuleDescription(const Rule& rule);
+
+/// \brief Lists triggers that a rule's trigger device can produce.
+std::vector<Trigger> PossibleTriggers(DeviceType device);
+
+}  // namespace fexiot

@@ -1,0 +1,124 @@
+#include "smarthome/rule.h"
+
+#include <cassert>
+
+namespace fexiot {
+
+const char* PlatformName(Platform p) {
+  switch (p) {
+    case Platform::kSmartThings:
+      return "SmartThings";
+    case Platform::kHomeAssistant:
+      return "HomeAssistant";
+    case Platform::kIfttt:
+      return "IFTTT";
+    case Platform::kGoogleAssistant:
+      return "GoogleAssistant";
+    case Platform::kAlexa:
+      return "Alexa";
+    case Platform::kNumPlatforms:
+      break;
+  }
+  return "Unknown";
+}
+
+std::string TriggerPhrase(const Trigger& trigger) {
+  const auto& info = GetDeviceTypeInfo(trigger.device);
+  const std::string& noun = info.noun;
+  const std::string& st = trigger.state;
+  switch (trigger.device) {
+    case DeviceType::kClock:
+      return "it is " + st;
+    case DeviceType::kVoice:
+      return "a voice command is spoken";
+    case DeviceType::kSmokeDetector:
+    case DeviceType::kCoDetector:
+      return st == "detected" ? noun + " is detected" : noun + " is cleared";
+    case DeviceType::kMotionSensor:
+      return st == "active" ? "motion is detected" : "motion stops";
+    case DeviceType::kLeakSensor:
+      return st == "wet" ? "a water leak is detected" : "the leak sensor is dry";
+    case DeviceType::kHumiditySensor:
+    case DeviceType::kTemperatureSensor:
+      return "the " + noun + " is " + st;
+    case DeviceType::kDoorbell:
+      return st == "ringing" ? "the doorbell rings" : "the doorbell is idle";
+    default:
+      break;
+  }
+  // Generic device-state triggers.
+  if (st == "on" || st == "off") return "the " + noun + " turns " + st;
+  if (st == "open") return "the " + noun + " is opened";
+  if (st == "closed") return "the " + noun + " is closed";
+  if (st == "locked" || st == "unlocked") return "the " + noun + " is " + st;
+  return "the " + noun + " becomes " + st;
+}
+
+std::string ActionPhrase(const Action& action) {
+  const auto& info = GetDeviceTypeInfo(action.device);
+  const std::string& noun = info.noun;
+  const std::string& st = action.state;
+  switch (action.device) {
+    case DeviceType::kPhone:
+      return "send a notification";
+    case DeviceType::kAlarm:
+      return st == "on" ? "start the alarm beeping" : "stop the alarm";
+    case DeviceType::kVacuum:
+      return st == "running" ? "start the vacuum" : "stop the vacuum";
+    case DeviceType::kDoorbell:
+      return "ring the doorbell";
+    default:
+      break;
+  }
+  if (st == "on" || st == "off") return "turn " + st + " the " + noun;
+  if (st == "open") return "open the " + noun;
+  if (st == "closed") return "close the " + noun;
+  if (st == "locked") return "lock the " + noun;
+  if (st == "unlocked") return "unlock the " + noun;
+  if (st == "heat") return "set the " + noun + " to heat";
+  return "set the " + noun + " to " + st;
+}
+
+std::string ActionsPhrase(const std::vector<Action>& actions) {
+  std::string out;
+  for (size_t i = 0; i < actions.size(); ++i) {
+    if (i > 0) out += " and ";
+    out += ActionPhrase(actions[i]);
+  }
+  return out;
+}
+
+bool ActionCausesTrigger(const Action& act, const Trigger& trig) {
+  // Direct device-state causality (same device type reaching the state).
+  if (act.device == trig.device && act.state == trig.state) return true;
+
+  // Environment-channel causality: the action's active-state effect feeds
+  // the sensor channel the trigger observes.
+  const auto& act_info = GetDeviceTypeInfo(act.device);
+  const auto& trig_info = GetDeviceTypeInfo(trig.device);
+  if (!act_info.active_effect.has_value()) return false;
+  if (trig_info.sensed_channel == EnvChannel::kNone) return false;
+  // Effect applies when the action drives the device into its active state.
+  if (act.state != ActiveState(act.device)) return false;
+  const EnvEffect& eff = *act_info.active_effect;
+  if (eff.channel != trig_info.sensed_channel) return false;
+
+  // Direction matters for numeric sensors: a heater (increase) fires the
+  // "high" trigger, an AC (decrease) fires "low". Binary event sensors
+  // (smoke, leak, motion) fire their active state on any increase.
+  if (trig_info.is_numeric) {
+    const bool wants_high = trig.state == "high";
+    return wants_high == (eff.direction == EffectDirection::kIncrease);
+  }
+  return eff.direction == EffectDirection::kIncrease &&
+         trig.state == ActiveState(trig.device);
+}
+
+bool ActionTriggersRule(const Rule& a, const Rule& b) {
+  for (const Action& act : a.actions) {
+    if (ActionCausesTrigger(act, b.trigger)) return true;
+  }
+  return false;
+}
+
+}  // namespace fexiot

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "smarthome/device.h"
+
+namespace fexiot {
+
+/// \brief IoT automation platforms evaluated in the paper (Section IV-A).
+enum class Platform {
+  kSmartThings = 0,
+  kHomeAssistant,
+  kIfttt,
+  kGoogleAssistant,
+  kAlexa,
+  kNumPlatforms,
+};
+
+constexpr int kNumPlatforms = static_cast<int>(Platform::kNumPlatforms);
+
+const char* PlatformName(Platform p);
+
+/// \brief Rule trigger: fires when \p device's primary attribute becomes
+/// \p state.
+struct Trigger {
+  DeviceType device = DeviceType::kMotionSensor;
+  std::string state;
+
+  bool operator==(const Trigger& other) const {
+    return device == other.device && state == other.state;
+  }
+};
+
+/// \brief Rule action: sets \p device's primary attribute to \p state.
+struct Action {
+  DeviceType device = DeviceType::kLight;
+  std::string state;
+
+  bool operator==(const Action& other) const {
+    return device == other.device && state == other.state;
+  }
+};
+
+/// \brief One trigger-action automation rule (a node of the interaction
+/// graph, Definition 1).
+struct Rule {
+  int id = 0;
+  Platform platform = Platform::kSmartThings;
+  Trigger trigger;
+  std::vector<Action> actions;
+  /// Rendered natural-language description (what a crawler would scrape).
+  std::string description;
+  /// Trigger-only / action-only phrases (used for Eq. 1 pair embeddings).
+  std::string trigger_text;
+  std::string action_text;
+};
+
+/// \brief English phrase for a trigger, e.g. "smoke is detected",
+/// "the door is opened", "motion is detected", "it is sunset".
+std::string TriggerPhrase(const Trigger& trigger);
+
+/// \brief English phrase for an action, e.g. "turn on the light",
+/// "lock the door", "open the valve".
+std::string ActionPhrase(const Action& action);
+
+/// \brief English phrase for a list of actions joined with "and".
+std::string ActionsPhrase(const std::vector<Action>& actions);
+
+/// \brief Ground-truth "action-trigger" correlation: does executing any
+/// action of \p a cause (directly or through an environment channel) the
+/// trigger of \p b to fire? This is the label the Figure 3 correlation
+/// classifiers learn to predict from text features.
+bool ActionTriggersRule(const Rule& a, const Rule& b);
+
+/// \brief True if action \p act causes trigger \p trig (direct device-state
+/// match or matching environment-channel effect).
+bool ActionCausesTrigger(const Action& act, const Trigger& trig);
+
+}  // namespace fexiot

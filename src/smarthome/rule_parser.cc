@@ -1,0 +1,250 @@
+#include "smarthome/rule_parser.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/string_util.h"
+#include "nlp/lexicon.h"
+#include "nlp/tokenizer.h"
+
+namespace fexiot {
+namespace {
+
+// Canonical noun -> device type (inverse of DeviceNoun, via the lexicon's
+// synonym canonicalization).
+const std::map<std::string, DeviceType>& NounTable() {
+  static const std::map<std::string, DeviceType> kTable = [] {
+    std::map<std::string, DeviceType> t;
+    for (DeviceType d : AllDeviceTypes()) {
+      t[DeviceNoun(d)] = d;
+    }
+    // Extra surface forms beyond the canonical nouns.
+    t["time"] = DeviceType::kClock;
+    t["sunset"] = DeviceType::kClock;
+    t["sunrise"] = DeviceType::kClock;
+    t["water"] = DeviceType::kLeakSensor;
+    return t;
+  }();
+  return kTable;
+}
+
+// Verb -> implied state word (matched against the device's domain later).
+const std::map<std::string, std::vector<std::string>>& VerbStates() {
+  static const std::map<std::string, std::vector<std::string>> kTable = {
+      {"lock", {"locked"}},      {"unlock", {"unlocked"}},
+      {"open", {"open"}},        {"close", {"closed"}},
+      {"shut", {"closed"}},      {"start", {"on", "running", "ringing"}},
+      {"stop", {"off", "stopped"}}, {"ring", {"ringing"}},
+      {"send", {"sent"}},        {"notify", {"sent"}},
+      {"detect", {"detected"}},  {"beep", {"on"}},
+  };
+  return kTable;
+}
+
+// Splits a description into (trigger clause, action clause) token lists.
+// Returns false for action-only voice commands.
+bool SplitClauses(const std::string& description,
+                  std::vector<std::string>* trigger,
+                  std::vector<std::string>* action) {
+  const std::string lower = ToLower(description);
+  // Voice platforms: "alexa, <action>" / "ok google, <action>".
+  if (StartsWith(lower, "alexa") || StartsWith(lower, "ok google")) {
+    *action = Tokenizer::Tokenize(lower);
+    // Drop the wake words.
+    while (!action->empty() &&
+           (action->front() == "alexa" || action->front() == "ok" ||
+            action->front() == "google")) {
+      action->erase(action->begin());
+    }
+    return false;
+  }
+  const std::vector<std::string> tokens = Tokenizer::Tokenize(lower);
+  // Find the first clause marker.
+  size_t marker = tokens.size();
+  bool marker_is_if = false;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (tokens[i] == "if" || tokens[i] == "when") {
+      marker = i;
+      marker_is_if = true;
+      break;
+    }
+  }
+  if (!marker_is_if) {
+    // No marker: treat everything as the action clause.
+    *action = tokens;
+    return false;
+  }
+  // "<action> if <trigger>" vs "if <trigger> then <action>".
+  if (marker > 0) {
+    action->assign(tokens.begin(),
+                   tokens.begin() + static_cast<long>(marker));
+    trigger->assign(tokens.begin() + static_cast<long>(marker) + 1,
+                    tokens.end());
+  } else {
+    // Leading if/when: split on "then" (Tokenize keeps it).
+    size_t then_pos = tokens.size();
+    for (size_t i = 1; i < tokens.size(); ++i) {
+      if (tokens[i] == "then") {
+        then_pos = i;
+        break;
+      }
+    }
+    trigger->assign(tokens.begin() + 1,
+                    tokens.begin() + static_cast<long>(
+                                         std::min(then_pos, tokens.size())));
+    if (then_pos < tokens.size()) {
+      action->assign(tokens.begin() + static_cast<long>(then_pos) + 1,
+                     tokens.end());
+    }
+  }
+  return true;
+}
+
+// Finds all devices mentioned in a clause, in order. "switch" is both a
+// verb ("switch on the lamp") and a device noun; treat it as a verb when
+// it is immediately followed by on/off and another device noun appears
+// later in the clause.
+std::vector<DeviceType> DevicesIn(const std::vector<std::string>& clause) {
+  const Lexicon& lex = Lexicon::Get();
+  std::vector<DeviceType> out;
+  for (size_t i = 0; i < clause.size(); ++i) {
+    const std::string& word = clause[i];
+    DeviceType d;
+    if (!RuleParser::ResolveDevice(lex.Canonical(word), &d)) continue;
+    if (d == DeviceType::kSwitch && i + 1 < clause.size() &&
+        (clause[i + 1] == "on" || clause[i + 1] == "off")) {
+      bool other_device_later = false;
+      for (size_t j = i + 2; j < clause.size(); ++j) {
+        DeviceType other;
+        if (RuleParser::ResolveDevice(lex.Canonical(clause[j]), &other) &&
+            other != DeviceType::kSwitch) {
+          other_device_later = true;
+        }
+      }
+      if (other_device_later) continue;  // verb usage
+    }
+    if (std::find(out.begin(), out.end(), d) == out.end()) {
+      out.push_back(d);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+bool RuleParser::ResolveDevice(const std::string& noun, DeviceType* out) {
+  const Lexicon& lex = Lexicon::Get();
+  const auto& table = NounTable();
+  const auto it = table.find(lex.Canonical(noun));
+  if (it == table.end()) return false;
+  *out = it->second;
+  return true;
+}
+
+bool RuleParser::ResolveState(DeviceType device,
+                              const std::vector<std::string>& clause,
+                              std::string* out) {
+  const auto& domain = GetDeviceTypeInfo(device).states;
+  // 1. A literal state word from the domain present in the clause.
+  for (const auto& word : clause) {
+    for (const auto& state : domain) {
+      if (word == state) {
+        *out = state;
+        return true;
+      }
+    }
+  }
+  // 2. Special surface forms.
+  for (const auto& word : clause) {
+    if (word == "opened" || word == "opens") {
+      for (const auto& state : domain) {
+        if (state == "open") {
+          *out = state;
+          return true;
+        }
+      }
+    }
+  }
+  // 3. Verb-implied states.
+  for (const auto& word : clause) {
+    const auto it = VerbStates().find(word);
+    if (it == VerbStates().end()) continue;
+    for (const auto& implied : it->second) {
+      for (const auto& state : domain) {
+        if (state == implied) {
+          *out = state;
+          return true;
+        }
+      }
+    }
+  }
+  // 4. Fall back to the device's active state.
+  if (domain.size() >= 2) {
+    *out = ActiveState(device);
+    return true;
+  }
+  return false;
+}
+
+Result<Rule> RuleParser::Parse(const std::string& description) {
+  std::vector<std::string> trigger_clause, action_clause;
+  const bool has_trigger =
+      SplitClauses(description, &trigger_clause, &action_clause);
+
+  Rule rule;
+  // Trigger.
+  if (has_trigger) {
+    const std::vector<DeviceType> trig_devices = DevicesIn(trigger_clause);
+    if (trig_devices.empty()) {
+      return Status::InvalidArgument("no trigger device recognized in: " +
+                                     description);
+    }
+    rule.trigger.device = trig_devices.front();
+    std::string state;
+    if (!ResolveState(rule.trigger.device, trigger_clause, &state)) {
+      return Status::InvalidArgument("no trigger state recognized in: " +
+                                     description);
+    }
+    rule.trigger.state = state;
+  } else {
+    rule.trigger = Trigger{DeviceType::kVoice, "spoken"};
+  }
+
+  // Actions: one per recognized actuator in the action clause. The clause
+  // is segmented on "and" so each action gets its own state words.
+  std::vector<std::vector<std::string>> segments;
+  segments.emplace_back();
+  for (const auto& word : action_clause) {
+    if (word == "and") {
+      segments.emplace_back();
+    } else {
+      segments.back().push_back(word);
+    }
+  }
+  for (const auto& segment : segments) {
+    for (DeviceType d : DevicesIn(segment)) {
+      if (GetDeviceTypeInfo(d).is_sensor || d == DeviceType::kClock ||
+          d == DeviceType::kVoice) {
+        continue;  // sensors cannot be actuated
+      }
+      std::string state;
+      if (!ResolveState(d, segment, &state)) continue;
+      Action a{d, state};
+      bool dup = false;
+      for (const auto& existing : rule.actions) {
+        if (existing.device == a.device) dup = true;
+      }
+      if (!dup) rule.actions.push_back(a);
+    }
+  }
+  if (rule.actions.empty()) {
+    return Status::InvalidArgument("no action recognized in: " +
+                                   description);
+  }
+  rule.trigger_text = TriggerPhrase(rule.trigger);
+  rule.action_text = ActionsPhrase(rule.actions);
+  rule.description = description;
+  return rule;
+}
+
+}  // namespace fexiot

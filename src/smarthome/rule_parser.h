@@ -1,0 +1,40 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "smarthome/rule.h"
+
+namespace fexiot {
+
+/// \brief Parses a natural-language automation-rule description back into
+/// the structured trigger-action form — the inverse of the platform
+/// renderers, and the piece that lets FexIoT ingest *crawled* rule text
+/// the way the paper does (Section III-A1).
+///
+/// Handles the five platform phrasings ("If <trigger>, then <action>",
+/// "when <trigger> then <action>", "<Action> if <trigger>",
+/// "alexa, <action>", "ok google, <action>") plus free-form variants the
+/// shallow parser can segment. Device nouns resolve through the lexicon
+/// (synonyms included); states resolve through the device's state domain
+/// with verb mapping (lock -> locked, open -> open, start -> running...).
+class RuleParser {
+ public:
+  /// \brief Parses \p description. Fails with InvalidArgument when no
+  /// device/action can be recovered. Voice-command phrasings get the
+  /// kVoice trigger.
+  static Result<Rule> Parse(const std::string& description);
+
+  /// \brief Resolves a noun (possibly a synonym) to a device type.
+  static bool ResolveDevice(const std::string& noun, DeviceType* out);
+
+  /// \brief Maps the clause's verbs/state words onto a state in
+  /// \p device's domain ("turn on" -> "on", "lock" -> "locked",
+  /// "detected" -> "detected"). Falls back to the active state.
+  static bool ResolveState(DeviceType device,
+                           const std::vector<std::string>& clause,
+                           std::string* out);
+};
+
+}  // namespace fexiot

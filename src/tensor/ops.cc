@@ -1,0 +1,265 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace fexiot {
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  assert(a.cols() == b.rows());
+  Matrix c(a.rows(), b.cols());
+  const size_t n = a.rows(), k = a.cols(), m = b.cols();
+  // i-k-j loop order keeps the inner loop contiguous in both B and C.
+  for (size_t i = 0; i < n; ++i) {
+    double* crow = c.RowPtr(i);
+    const double* arow = a.RowPtr(i);
+    for (size_t p = 0; p < k; ++p) {
+      const double av = arow[p];
+      if (av == 0.0) continue;
+      const double* brow = b.RowPtr(p);
+      for (size_t j = 0; j < m; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
+  assert(a.rows() == b.rows());
+  Matrix c(a.cols(), b.cols());
+  const size_t n = a.rows(), k = a.cols(), m = b.cols();
+  for (size_t i = 0; i < n; ++i) {
+    const double* arow = a.RowPtr(i);
+    const double* brow = b.RowPtr(i);
+    for (size_t p = 0; p < k; ++p) {
+      const double av = arow[p];
+      if (av == 0.0) continue;
+      double* crow = c.RowPtr(p);
+      for (size_t j = 0; j < m; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
+  assert(a.cols() == b.cols());
+  Matrix c(a.rows(), b.rows());
+  const size_t n = a.rows(), k = a.cols(), m = b.rows();
+  for (size_t i = 0; i < n; ++i) {
+    const double* arow = a.RowPtr(i);
+    double* crow = c.RowPtr(i);
+    for (size_t j = 0; j < m; ++j) {
+      const double* brow = b.RowPtr(j);
+      double s = 0.0;
+      for (size_t p = 0; p < k; ++p) s += arow[p] * brow[p];
+      crow[j] = s;
+    }
+  }
+  return c;
+}
+
+void AddBiasRow(Matrix* m, const Matrix& bias) {
+  assert(bias.rows() == 1 && bias.cols() == m->cols());
+  for (size_t r = 0; r < m->rows(); ++r) {
+    double* row = m->RowPtr(r);
+    const double* b = bias.RowPtr(0);
+    for (size_t c = 0; c < m->cols(); ++c) row[c] += b[c];
+  }
+}
+
+Matrix Relu(const Matrix& m) {
+  Matrix out = m;
+  for (size_t i = 0; i < out.size(); ++i) {
+    out.data()[i] = std::max(0.0, out.data()[i]);
+  }
+  return out;
+}
+
+Matrix ReluBackward(const Matrix& grad, const Matrix& pre_activation) {
+  assert(grad.SameShape(pre_activation));
+  Matrix out = grad;
+  for (size_t i = 0; i < out.size(); ++i) {
+    if (pre_activation.data()[i] <= 0.0) out.data()[i] = 0.0;
+  }
+  return out;
+}
+
+Matrix Sigmoid(const Matrix& m) {
+  Matrix out = m;
+  for (size_t i = 0; i < out.size(); ++i) {
+    out.data()[i] = 1.0 / (1.0 + std::exp(-out.data()[i]));
+  }
+  return out;
+}
+
+Matrix Tanh(const Matrix& m) {
+  Matrix out = m;
+  for (size_t i = 0; i < out.size(); ++i) {
+    out.data()[i] = std::tanh(out.data()[i]);
+  }
+  return out;
+}
+
+Matrix SoftmaxRows(const Matrix& m) {
+  Matrix out = m;
+  for (size_t r = 0; r < out.rows(); ++r) {
+    double* row = out.RowPtr(r);
+    double mx = row[0];
+    for (size_t c = 1; c < out.cols(); ++c) mx = std::max(mx, row[c]);
+    double sum = 0.0;
+    for (size_t c = 0; c < out.cols(); ++c) {
+      row[c] = std::exp(row[c] - mx);
+      sum += row[c];
+    }
+    for (size_t c = 0; c < out.cols(); ++c) row[c] /= sum;
+  }
+  return out;
+}
+
+Matrix ColumnMean(const Matrix& m) {
+  Matrix out = ColumnSum(m);
+  if (m.rows() > 0) out *= 1.0 / static_cast<double>(m.rows());
+  return out;
+}
+
+Matrix ColumnSum(const Matrix& m) {
+  Matrix out(1, m.cols());
+  for (size_t r = 0; r < m.rows(); ++r) {
+    const double* row = m.RowPtr(r);
+    for (size_t c = 0; c < m.cols(); ++c) out.At(0, c) += row[c];
+  }
+  return out;
+}
+
+Matrix L2NormalizeRows(const Matrix& m) {
+  Matrix out = m;
+  for (size_t r = 0; r < out.rows(); ++r) {
+    double* row = out.RowPtr(r);
+    double s = 0.0;
+    for (size_t c = 0; c < out.cols(); ++c) s += row[c] * row[c];
+    const double norm = std::sqrt(s);
+    if (norm > 1e-12) {
+      for (size_t c = 0; c < out.cols(); ++c) row[c] /= norm;
+    }
+  }
+  return out;
+}
+
+double EuclideanDistance(const std::vector<double>& a,
+                         const std::vector<double>& b) {
+  return std::sqrt(SquaredDistance(a, b));
+}
+
+double SquaredDistance(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  assert(a.size() == b.size());
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  assert(a.size() == b.size());
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double CosineSimilarity(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  const double na = VectorNorm(a);
+  const double nb = VectorNorm(b);
+  if (na < 1e-12 || nb < 1e-12) return 0.0;
+  return Dot(a, b) / (na * nb);
+}
+
+double VectorNorm(const std::vector<double>& v) {
+  double s = 0.0;
+  for (double x : v) s += x * x;
+  return std::sqrt(s);
+}
+
+Matrix StackRows(const std::vector<std::vector<double>>& rows) {
+  return Matrix::FromRows(rows);
+}
+
+namespace {
+
+// In-place Cholesky A = L L^T (lower triangle of `a` becomes L).
+// Returns false if the matrix is not positive definite.
+bool CholeskyInPlace(Matrix* a) {
+  const size_t n = a->rows();
+  for (size_t j = 0; j < n; ++j) {
+    double d = a->At(j, j);
+    for (size_t k = 0; k < j; ++k) d -= a->At(j, k) * a->At(j, k);
+    if (d <= 0.0) return false;
+    const double ljj = std::sqrt(d);
+    a->At(j, j) = ljj;
+    for (size_t i = j + 1; i < n; ++i) {
+      double s = a->At(i, j);
+      for (size_t k = 0; k < j; ++k) s -= a->At(i, k) * a->At(j, k);
+      a->At(i, j) = s / ljj;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<double> SolveSpd(Matrix a, std::vector<double> b, double ridge) {
+  assert(a.rows() == a.cols() && a.rows() == b.size());
+  const size_t n = a.rows();
+  Matrix l;
+  // Escalate the ridge until the factorization succeeds (or give up).
+  double r = std::max(ridge, 1e-12);
+  bool ok = false;
+  for (int attempt = 0; attempt < 8 && !ok; ++attempt, r *= 100.0) {
+    l = a;
+    for (size_t i = 0; i < n; ++i) l.At(i, i) += r;
+    ok = CholeskyInPlace(&l);
+  }
+  if (!ok) return {};
+  // Forward solve L y = b.
+  for (size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (size_t k = 0; k < i; ++k) s -= l.At(i, k) * b[k];
+    b[i] = s / l.At(i, i);
+  }
+  // Backward solve L^T x = y.
+  for (size_t ii = n; ii-- > 0;) {
+    double s = b[ii];
+    for (size_t k = ii + 1; k < n; ++k) s -= l.At(k, ii) * b[k];
+    b[ii] = s / l.At(ii, ii);
+  }
+  return b;
+}
+
+std::vector<double> WeightedLeastSquares(const Matrix& x,
+                                         const std::vector<double>& y,
+                                         const std::vector<double>& w,
+                                         double ridge) {
+  assert(x.rows() == y.size() && y.size() == w.size());
+  const size_t n = x.rows(), d = x.cols();
+  Matrix xtwx(d, d);
+  std::vector<double> xtwy(d, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const double wi = w[i];
+    if (wi <= 0.0) continue;
+    const double* row = x.RowPtr(i);
+    for (size_t a = 0; a < d; ++a) {
+      const double wa = wi * row[a];
+      xtwy[a] += wa * y[i];
+      for (size_t b = a; b < d; ++b) xtwx.At(a, b) += wa * row[b];
+    }
+  }
+  // Mirror the upper triangle.
+  for (size_t a = 0; a < d; ++a) {
+    for (size_t b = a + 1; b < d; ++b) xtwx.At(b, a) = xtwx.At(a, b);
+  }
+  return SolveSpd(std::move(xtwx), std::move(xtwy), ridge);
+}
+
+}  // namespace fexiot

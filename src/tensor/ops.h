@@ -1,0 +1,74 @@
+#pragma once
+
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace fexiot {
+
+/// \brief Matrix product C = A * B. Shapes must agree.
+Matrix MatMul(const Matrix& a, const Matrix& b);
+
+/// \brief C = A^T * B without materializing the transpose.
+Matrix MatMulTransA(const Matrix& a, const Matrix& b);
+
+/// \brief C = A * B^T without materializing the transpose.
+Matrix MatMulTransB(const Matrix& a, const Matrix& b);
+
+/// \brief Adds a 1 x cols bias row to every row of \p m, in place.
+void AddBiasRow(Matrix* m, const Matrix& bias);
+
+/// \brief Element-wise max(x, 0).
+Matrix Relu(const Matrix& m);
+/// \brief Gradient mask: grad * 1[pre > 0].
+Matrix ReluBackward(const Matrix& grad, const Matrix& pre_activation);
+
+/// \brief Element-wise logistic sigmoid.
+Matrix Sigmoid(const Matrix& m);
+/// \brief Element-wise tanh.
+Matrix Tanh(const Matrix& m);
+
+/// \brief Row-wise softmax (numerically stabilized).
+Matrix SoftmaxRows(const Matrix& m);
+
+/// \brief Column-wise mean as a 1 x cols matrix.
+Matrix ColumnMean(const Matrix& m);
+/// \brief Column-wise sum as a 1 x cols matrix.
+Matrix ColumnSum(const Matrix& m);
+/// \brief Row-wise L2 normalization (rows with ~0 norm left untouched).
+Matrix L2NormalizeRows(const Matrix& m);
+
+/// \brief Euclidean distance between two equal-length vectors.
+double EuclideanDistance(const std::vector<double>& a,
+                         const std::vector<double>& b);
+/// \brief Squared Euclidean distance.
+double SquaredDistance(const std::vector<double>& a,
+                       const std::vector<double>& b);
+/// \brief Dot product.
+double Dot(const std::vector<double>& a, const std::vector<double>& b);
+/// \brief Cosine similarity (0 when either vector is ~0).
+double CosineSimilarity(const std::vector<double>& a,
+                        const std::vector<double>& b);
+/// \brief L2 norm of a vector.
+double VectorNorm(const std::vector<double>& v);
+
+/// \brief Stacks equal-length vectors as matrix rows.
+Matrix StackRows(const std::vector<std::vector<double>>& rows);
+
+/// \brief Solves the symmetric positive-definite system A x = b via
+/// Cholesky. Adds \p ridge to the diagonal for conditioning.
+/// Returns empty vector on failure (A not SPD even after ridging).
+std::vector<double> SolveSpd(Matrix a, std::vector<double> b,
+                             double ridge = 1e-8);
+
+/// \brief Weighted least squares: minimizes sum_i w_i (x_i^T beta - y_i)^2.
+/// \param x n x d design matrix
+/// \param y n targets
+/// \param w n non-negative weights
+/// \returns d coefficients (empty on failure).
+std::vector<double> WeightedLeastSquares(const Matrix& x,
+                                         const std::vector<double>& y,
+                                         const std::vector<double>& w,
+                                         double ridge = 1e-6);
+
+}  // namespace fexiot

@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "common/thread_pool.h"
+
+namespace fexiot {
+namespace {
+
+TEST(Status, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, CarriesCodeAndMessage) {
+  const Status s = Status::InvalidArgument("bad shape");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad shape");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad shape");
+}
+
+TEST(Status, ReturnNotOkMacro) {
+  auto fails = []() -> Status {
+    FEXIOT_RETURN_NOT_OK(Status::NotFound("missing"));
+    return Status::OK();
+  };
+  EXPECT_EQ(fails().code(), StatusCode::kNotFound);
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.ValueOr(0), 42);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r(Status::Internal("boom"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+  EXPECT_EQ(r.ValueOr(-1), -1);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng rng(2);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.UniformInt(uint64_t{7});
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all residues hit
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(3);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(Rng, DirichletSumsToOne) {
+  Rng rng(4);
+  for (double alpha : {0.1, 1.0, 10.0}) {
+    const std::vector<double> p = rng.Dirichlet(alpha, 5);
+    double sum = 0.0;
+    for (double x : p) {
+      EXPECT_GE(x, 0.0);
+      sum += x;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(Rng, DirichletConcentration) {
+  // Small alpha -> spiky distributions (high max); large alpha -> flat.
+  Rng rng(5);
+  double max_small = 0.0, max_large = 0.0;
+  const int trials = 200;
+  for (int t = 0; t < trials; ++t) {
+    auto p1 = rng.Dirichlet(0.1, 10);
+    auto p2 = rng.Dirichlet(10.0, 10);
+    max_small += *std::max_element(p1.begin(), p1.end());
+    max_large += *std::max_element(p2.begin(), p2.end());
+  }
+  EXPECT_GT(max_small / trials, max_large / trials + 0.2);
+}
+
+TEST(Rng, CategoricalRespectsWeights) {
+  Rng rng(6);
+  int count2 = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Categorical({1.0, 1.0, 8.0}) == 2) ++count2;
+  }
+  EXPECT_NEAR(static_cast<double>(count2) / n, 0.8, 0.03);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(7);
+  const auto idx = rng.SampleWithoutReplacement(20, 10);
+  EXPECT_EQ(idx.size(), 10u);
+  std::set<size_t> s(idx.begin(), idx.end());
+  EXPECT_EQ(s.size(), 10u);
+  for (size_t v : idx) EXPECT_LT(v, 20u);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(8);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  rng.Shuffle(&v);
+  std::set<int> s(v.begin(), v.end());
+  EXPECT_EQ(s.size(), 7u);
+}
+
+TEST(StringUtil, SplitAndJoin) {
+  const auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(Join({"x", "y", "z"}, "-"), "x-y-z");
+}
+
+TEST(StringUtil, SplitWhitespace) {
+  const auto parts = SplitWhitespace("  hello   world\t!\n");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "hello");
+  EXPECT_EQ(parts[2], "!");
+}
+
+TEST(StringUtil, CaseAndTrim) {
+  EXPECT_EQ(ToLower("HeLLo"), "hello");
+  EXPECT_EQ(Trim("  x y  "), "x y");
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_TRUE(EndsWith("foobar", "bar"));
+  EXPECT_TRUE(Contains("foobar", "oba"));
+  EXPECT_FALSE(Contains("foobar", "baz"));
+}
+
+TEST(StringUtil, HashStable) {
+  EXPECT_EQ(HashString("light"), HashString("light"));
+  EXPECT_NE(HashString("light"), HashString("lamp"));
+}
+
+TEST(StringUtil, FormatDouble) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+}
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter t({"name", "value"});
+  t.AddRow({"x", "1"});
+  t.AddRow({"longer", "22"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("longer"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(ThreadPool, ParallelForCoversAll) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  pool.ParallelFor(100, [&](size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SubmitAndWait) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([&] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(Rng, ForkIndependent) {
+  Rng a(9);
+  Rng b = a.Fork();
+  // Forked stream differs from parent's continued stream.
+  EXPECT_NE(a.NextU64(), b.NextU64());
+}
+
+}  // namespace
+}  // namespace fexiot

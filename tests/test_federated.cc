@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "federated/fl_simulator.h"
+#include "graph/corpus.h"
+
+namespace fexiot {
+namespace {
+
+struct Fixture {
+  FederatedCorpus corpus;
+  GnnConfig gc;
+  FlConfig fc;
+
+  static const Fixture& Get() {
+    static const Fixture f;
+    return f;
+  }
+
+  Fixture() {
+    Rng rng(42);
+    CorpusOptions opt;
+    opt.platforms = {Platform::kIfttt};
+    opt.min_nodes = 3;
+    opt.max_nodes = 8;
+    opt.vulnerable_fraction = 0.4;
+    corpus = BuildClusteredFederatedCorpus(opt, 120, 6, 2, 1.0, 0.6, &rng);
+    gc.type = GnnType::kGin;
+    gc.hidden_dim = 8;
+    gc.embedding_dim = 8;
+    fc.num_rounds = 3;
+    fc.local.epochs = 1;
+    fc.local.learning_rate = 0.02;
+    fc.local.margin = 3.0;
+    fc.min_cluster_size = 3;
+  }
+};
+
+TEST(FlAlgorithmName, Stable) {
+  EXPECT_STREQ(FlAlgorithmName(FlAlgorithm::kFexiot), "FexIoT");
+  EXPECT_STREQ(FlAlgorithmName(FlAlgorithm::kLocalOnly), "Client");
+}
+
+TEST(FlClient, LocalTrainRecordsDeltas) {
+  const Fixture& f = Fixture::Get();
+  FederatedSimulator sim(f.gc, f.fc);
+  sim.SetupClients(f.corpus.data, f.corpus.partition, f.corpus.cluster_tests);
+  FlClient* client = sim.client(0);
+  const std::vector<double> before = client->LayerWeights(0);
+  client->LocalTrain();
+  const std::vector<double>& delta = client->LayerDelta(0);
+  ASSERT_EQ(delta.size(), before.size());
+  const std::vector<double> after = client->LayerWeights(0);
+  for (size_t i = 0; i < delta.size(); ++i) {
+    EXPECT_NEAR(after[i] - before[i], delta[i], 1e-12);
+  }
+  // EMA initialized to the first delta.
+  EXPECT_EQ(client->LayerDeltaEma(0), delta);
+}
+
+TEST(FlClient, SetLayerWeightsRoundTrips) {
+  const Fixture& f = Fixture::Get();
+  FederatedSimulator sim(f.gc, f.fc);
+  sim.SetupClients(f.corpus.data, f.corpus.partition, f.corpus.cluster_tests);
+  FlClient* client = sim.client(1);
+  std::vector<double> w = client->LayerWeights(1);
+  for (auto& v : w) v = 0.125;
+  client->SetLayerWeights(1, w);
+  EXPECT_EQ(client->LayerWeights(1), w);
+}
+
+class FlAlgorithmRun : public ::testing::TestWithParam<FlAlgorithm> {};
+
+TEST_P(FlAlgorithmRun, ProducesSaneResult) {
+  const Fixture& f = Fixture::Get();
+  FederatedSimulator sim(f.gc, f.fc);
+  sim.SetupClients(f.corpus.data, f.corpus.partition, f.corpus.cluster_tests);
+  const FlResult res = sim.Run(GetParam());
+  EXPECT_EQ(res.client_metrics.size(), 6u);
+  EXPECT_GE(res.mean.accuracy, 0.0);
+  EXPECT_LE(res.mean.accuracy, 1.0);
+  EXPECT_EQ(res.rounds.size(), 3u);
+  if (GetParam() == FlAlgorithm::kLocalOnly) {
+    EXPECT_DOUBLE_EQ(res.total_comm_bytes, 0.0);
+  } else {
+    EXPECT_GT(res.total_comm_bytes, 0.0);
+  }
+  // Cumulative bytes are monotone.
+  for (size_t r = 1; r < res.rounds.size(); ++r) {
+    EXPECT_GE(res.rounds[r].cumulative_comm_bytes,
+              res.rounds[r - 1].cumulative_comm_bytes);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, FlAlgorithmRun,
+    ::testing::Values(FlAlgorithm::kFedAvg, FlAlgorithm::kFmtl,
+                      FlAlgorithm::kGcfl, FlAlgorithm::kFexiot,
+                      FlAlgorithm::kLocalOnly));
+
+TEST(FederatedSimulator, FedAvgSynchronizesWeights) {
+  const Fixture& f = Fixture::Get();
+  FederatedSimulator sim(f.gc, f.fc);
+  sim.SetupClients(f.corpus.data, f.corpus.partition, f.corpus.cluster_tests);
+  (void)sim.Run(FlAlgorithm::kFedAvg);
+  // After a FedAvg round every client holds identical weights.
+  const std::vector<double> w0 = sim.client(0)->LayerWeights(0);
+  for (size_t c = 1; c < sim.num_clients(); ++c) {
+    const std::vector<double> wc = sim.client(c)->LayerWeights(0);
+    ASSERT_EQ(wc.size(), w0.size());
+    for (size_t i = 0; i < w0.size(); ++i) {
+      EXPECT_NEAR(wc[i], w0[i], 1e-9);
+    }
+  }
+}
+
+TEST(FederatedSimulator, FexiotCheaperThanFedAvg) {
+  const Fixture& f = Fixture::Get();
+  FlConfig fc = f.fc;
+  fc.num_rounds = 6;
+  double fedavg_bytes = 0.0, fexiot_bytes = 0.0;
+  {
+    FederatedSimulator sim(f.gc, fc);
+    sim.SetupClients(f.corpus.data, f.corpus.partition,
+                     f.corpus.cluster_tests);
+    fedavg_bytes = sim.Run(FlAlgorithm::kFedAvg).total_comm_bytes;
+  }
+  {
+    FederatedSimulator sim(f.gc, fc);
+    sim.SetupClients(f.corpus.data, f.corpus.partition,
+                     f.corpus.cluster_tests);
+    fexiot_bytes = sim.Run(FlAlgorithm::kFexiot).total_comm_bytes;
+  }
+  EXPECT_LT(fexiot_bytes, fedavg_bytes);
+}
+
+TEST(FederatedSimulator, LocalOnlyClientsStayIndependent) {
+  const Fixture& f = Fixture::Get();
+  FederatedSimulator sim(f.gc, f.fc);
+  sim.SetupClients(f.corpus.data, f.corpus.partition, f.corpus.cluster_tests);
+  (void)sim.Run(FlAlgorithm::kLocalOnly);
+  const std::vector<double> w0 = sim.client(0)->LayerWeights(0);
+  const std::vector<double> w1 = sim.client(1)->LayerWeights(0);
+  double diff = 0.0;
+  for (size_t i = 0; i < w0.size(); ++i) diff += std::fabs(w0[i] - w1[i]);
+  EXPECT_GT(diff, 1e-6);  // no aggregation happened
+}
+
+}  // namespace
+}  // namespace fexiot

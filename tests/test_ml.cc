@@ -1,0 +1,312 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "ml/decision_tree.h"
+#include "ml/isolation_forest.h"
+#include "ml/kmeans.h"
+#include "ml/knn.h"
+#include "ml/linear_model.h"
+#include "ml/mad.h"
+#include "ml/metrics.h"
+#include "ml/mlp.h"
+#include "ml/model_selection.h"
+#include "ml/tsne.h"
+#include "tensor/ops.h"
+
+namespace fexiot {
+namespace {
+
+// Two Gaussian blobs, linearly separable.
+void MakeBlobs(int n_per_class, double separation, Rng* rng, Matrix* x,
+               std::vector<int>* y) {
+  x->Resize(2 * static_cast<size_t>(n_per_class), 4);
+  y->clear();
+  for (int c = 0; c < 2; ++c) {
+    for (int i = 0; i < n_per_class; ++i) {
+      const size_t row = static_cast<size_t>(c * n_per_class + i);
+      for (size_t d = 0; d < 4; ++d) {
+        x->At(row, d) =
+            rng->Normal(c == 0 ? -separation : separation, 1.0);
+      }
+      y->push_back(c);
+    }
+  }
+}
+
+// XOR-style data: only non-linear models solve it.
+void MakeXor(int n, Rng* rng, Matrix* x, std::vector<int>* y) {
+  x->Resize(static_cast<size_t>(n), 2);
+  y->clear();
+  for (int i = 0; i < n; ++i) {
+    const double a = rng->Uniform(-1, 1);
+    const double b = rng->Uniform(-1, 1);
+    x->At(static_cast<size_t>(i), 0) = a;
+    x->At(static_cast<size_t>(i), 1) = b;
+    y->push_back((a > 0) != (b > 0) ? 1 : 0);
+  }
+}
+
+double TrainAccuracy(Classifier* model, const Matrix& x,
+                     const std::vector<int>& y) {
+  const Status st = model->Fit(x, y);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  const auto preds = model->PredictBatch(x);
+  return ComputeMetrics(y, preds).accuracy;
+}
+
+TEST(Metrics, ConfusionAndScores) {
+  const std::vector<int> labels = {1, 1, 0, 0, 1};
+  const std::vector<int> preds = {1, 0, 0, 1, 1};
+  const ClassificationMetrics m = ComputeMetrics(labels, preds);
+  EXPECT_EQ(m.true_positive, 2);
+  EXPECT_EQ(m.false_negative, 1);
+  EXPECT_EQ(m.false_positive, 1);
+  EXPECT_EQ(m.true_negative, 1);
+  EXPECT_NEAR(m.accuracy, 0.6, 1e-12);
+  EXPECT_NEAR(m.precision, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(m.recall, 2.0 / 3.0, 1e-12);
+}
+
+TEST(Metrics, BoxStats) {
+  const BoxStats b = ComputeBoxStats({1, 2, 3, 4, 5});
+  EXPECT_DOUBLE_EQ(b.min, 1);
+  EXPECT_DOUBLE_EQ(b.median, 3);
+  EXPECT_DOUBLE_EQ(b.max, 5);
+  EXPECT_DOUBLE_EQ(b.q1, 2);
+  EXPECT_DOUBLE_EQ(b.q3, 4);
+}
+
+TEST(Metrics, MedianEvenOdd) {
+  EXPECT_DOUBLE_EQ(Median({3, 1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(Median({4, 1, 2, 3}), 2.5);
+  EXPECT_DOUBLE_EQ(Median({}), 0.0);
+}
+
+TEST(StandardScaler, ZeroMeanUnitVariance) {
+  Rng rng(1);
+  const Matrix x = Matrix::RandomNormal(200, 3, 5.0, &rng);
+  StandardScaler scaler;
+  const Matrix t = scaler.FitTransform(x);
+  const Matrix mean = ColumnMean(t);
+  for (size_t c = 0; c < 3; ++c) EXPECT_NEAR(mean.At(0, c), 0.0, 1e-9);
+}
+
+class LinearSeparableModels
+    : public ::testing::TestWithParam<int> {};
+
+TEST_P(LinearSeparableModels, FitBlobs) {
+  Rng rng(2);
+  Matrix x;
+  std::vector<int> y;
+  MakeBlobs(60, 1.5, &rng, &x, &y);
+  std::unique_ptr<Classifier> model;
+  switch (GetParam()) {
+    case 0: model = std::make_unique<SgdClassifier>(); break;
+    case 1: model = std::make_unique<MlpClassifier>(); break;
+    case 2: model = std::make_unique<RandomForestClassifier>(); break;
+    case 3: model = std::make_unique<GradientBoostClassifier>(); break;
+    default: model = std::make_unique<KnnClassifier>(); break;
+  }
+  EXPECT_GT(TrainAccuracy(model.get(), x, y), 0.95) << model->Name();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, LinearSeparableModels,
+                         ::testing::Range(0, 5));
+
+TEST(MlpClassifier, SolvesXor) {
+  Rng rng(3);
+  Matrix x;
+  std::vector<int> y;
+  MakeXor(300, &rng, &x, &y);
+  MlpClassifier::Options opt;
+  opt.epochs = 200;
+  MlpClassifier mlp(opt);
+  EXPECT_GT(TrainAccuracy(&mlp, x, y), 0.9);
+}
+
+TEST(RandomForest, SolvesXor) {
+  Rng rng(4);
+  Matrix x;
+  std::vector<int> y;
+  MakeXor(300, &rng, &x, &y);
+  RandomForestClassifier rf;
+  EXPECT_GT(TrainAccuracy(&rf, x, y), 0.9);
+}
+
+TEST(SgdClassifier, RejectsBadInput) {
+  SgdClassifier model;
+  EXPECT_FALSE(model.Fit(Matrix(3, 2), {0, 1}).ok());
+  EXPECT_FALSE(model.Fit(Matrix(), {}).ok());
+}
+
+TEST(SgdClassifier, ClassWeightingHandlesImbalance) {
+  Rng rng(5);
+  // 10:1 imbalance; weighted logistic should still find the minority.
+  Matrix x(220, 2);
+  std::vector<int> y;
+  for (int i = 0; i < 200; ++i) {
+    x.At(static_cast<size_t>(i), 0) = rng.Normal(-1.0, 0.5);
+    x.At(static_cast<size_t>(i), 1) = rng.Normal(-1.0, 0.5);
+    y.push_back(0);
+  }
+  for (int i = 200; i < 220; ++i) {
+    x.At(static_cast<size_t>(i), 0) = rng.Normal(1.0, 0.5);
+    x.At(static_cast<size_t>(i), 1) = rng.Normal(1.0, 0.5);
+    y.push_back(1);
+  }
+  SgdClassifier model;
+  ASSERT_TRUE(model.Fit(x, y).ok());
+  const auto preds = model.PredictBatch(x);
+  const ClassificationMetrics m = ComputeMetrics(y, preds);
+  EXPECT_GT(m.recall, 0.85);
+}
+
+TEST(DecisionTree, RegressionFitsStep) {
+  Matrix x(20, 1);
+  std::vector<double> y(20);
+  for (int i = 0; i < 20; ++i) {
+    x.At(static_cast<size_t>(i), 0) = i;
+    y[static_cast<size_t>(i)] = i < 10 ? 1.0 : 5.0;
+  }
+  DecisionTree tree;
+  ASSERT_TRUE(tree.FitRegression(x, y).ok());
+  EXPECT_NEAR(tree.PredictValue({3.0}), 1.0, 1e-9);
+  EXPECT_NEAR(tree.PredictValue({15.0}), 5.0, 1e-9);
+}
+
+TEST(IsolationForest, OutlierScoresHigher) {
+  Rng rng(6);
+  Matrix x(300, 2);
+  for (size_t i = 0; i < 300; ++i) {
+    x.At(i, 0) = rng.Normal();
+    x.At(i, 1) = rng.Normal();
+  }
+  IsolationForest forest;
+  forest.Fit(x);
+  const double inlier = forest.Score({0.0, 0.0});
+  const double outlier = forest.Score({8.0, -8.0});
+  EXPECT_GT(outlier, inlier + 0.1);
+  EXPECT_EQ(forest.Predict({8.0, -8.0}), 1);
+  EXPECT_EQ(forest.Predict({0.0, 0.0}), 0);
+}
+
+TEST(KMeans, RecoversBlobs) {
+  Rng rng(7);
+  Matrix x(100, 2);
+  for (size_t i = 0; i < 100; ++i) {
+    const bool second = i >= 50;
+    x.At(i, 0) = rng.Normal(second ? 5.0 : -5.0, 0.4);
+    x.At(i, 1) = rng.Normal(second ? 5.0 : -5.0, 0.4);
+  }
+  KMeans::Options opt;
+  opt.k = 2;
+  const KMeans::Result res = KMeans(opt).Fit(x);
+  // All members of a ground-truth blob share a cluster id.
+  for (size_t i = 1; i < 50; ++i) {
+    EXPECT_EQ(res.assignment[i], res.assignment[0]);
+  }
+  for (size_t i = 51; i < 100; ++i) {
+    EXPECT_EQ(res.assignment[i], res.assignment[50]);
+  }
+  EXPECT_NE(res.assignment[0], res.assignment[50]);
+}
+
+TEST(BinaryClusterSimilarity, SplitsBlockStructure) {
+  // Similarity matrix with two blocks {0,1,2} and {3,4,5}.
+  Matrix sim(6, 6);
+  for (size_t i = 0; i < 6; ++i) {
+    for (size_t j = 0; j < 6; ++j) {
+      const bool same = (i < 3) == (j < 3);
+      sim.At(i, j) = same ? 0.9 : 0.1;
+    }
+  }
+  const std::vector<int> split = BinaryClusterSimilarity(sim);
+  EXPECT_EQ(split[0], split[1]);
+  EXPECT_EQ(split[1], split[2]);
+  EXPECT_EQ(split[3], split[4]);
+  EXPECT_EQ(split[4], split[5]);
+  EXPECT_NE(split[0], split[3]);
+}
+
+TEST(Tsne, PreservesBlobSeparation) {
+  Rng rng(8);
+  Matrix x(60, 8);
+  for (size_t i = 0; i < 60; ++i) {
+    const bool second = i >= 30;
+    for (size_t d = 0; d < 8; ++d) {
+      x.At(i, d) = rng.Normal(second ? 3.0 : -3.0, 0.5);
+    }
+  }
+  Tsne::Options opt;
+  opt.iterations = 150;
+  const Matrix y = Tsne(opt).FitTransform(x);
+  ASSERT_EQ(y.rows(), 60u);
+  ASSERT_EQ(y.cols(), 2u);
+  // Mean intra-blob distance < mean inter-blob distance.
+  double intra = 0, inter = 0;
+  int n_intra = 0, n_inter = 0;
+  for (size_t i = 0; i < 60; ++i) {
+    for (size_t j = i + 1; j < 60; ++j) {
+      const double d = EuclideanDistance(y.Row(i), y.Row(j));
+      if ((i < 30) == (j < 30)) {
+        intra += d;
+        ++n_intra;
+      } else {
+        inter += d;
+        ++n_inter;
+      }
+    }
+  }
+  EXPECT_LT(intra / n_intra, inter / n_inter);
+}
+
+TEST(MadDriftDetector, FlagsFarSamples) {
+  Rng rng(9);
+  Matrix emb(100, 3);
+  std::vector<int> labels;
+  for (size_t i = 0; i < 100; ++i) {
+    const int label = i < 50 ? 0 : 1;
+    for (size_t d = 0; d < 3; ++d) {
+      emb.At(i, d) = rng.Normal(label == 0 ? -2.0 : 2.0, 0.3);
+    }
+    labels.push_back(label);
+  }
+  MadDriftDetector drift;
+  drift.Fit(emb, labels);
+  EXPECT_FALSE(drift.IsDrifting({-2.0, -2.0, -2.0}));
+  EXPECT_FALSE(drift.IsDrifting({2.0, 2.0, 2.0}));
+  EXPECT_TRUE(drift.IsDrifting({30.0, -30.0, 30.0}));
+  EXPECT_GT(drift.Score({30.0, -30.0, 30.0}), 3.0);
+}
+
+TEST(CrossValidation, TenFoldOnSeparableData) {
+  Rng rng(10);
+  Matrix x;
+  std::vector<int> y;
+  MakeBlobs(50, 2.0, &rng, &x, &y);
+  const CrossValidationResult cv = CrossValidate(
+      [] { return std::make_unique<SgdClassifier>(); }, x, y, 10, &rng);
+  EXPECT_EQ(cv.folds.size(), 10u);
+  EXPECT_GT(cv.mean.accuracy, 0.95);
+}
+
+TEST(GridSearch, PicksBetterHyperparameters) {
+  Rng rng(11);
+  Matrix x;
+  std::vector<int> y;
+  MakeXor(240, &rng, &x, &y);
+  std::vector<std::function<std::unique_ptr<Classifier>()>> candidates;
+  candidates.push_back([] {  // underpowered: linear model on XOR
+    return std::make_unique<SgdClassifier>();
+  });
+  candidates.push_back([] {  // adequate: random forest
+    return std::make_unique<RandomForestClassifier>();
+  });
+  const GridSearchResult res = GridSearch(candidates, x, y, 5, &rng);
+  EXPECT_EQ(res.best_index, 1u);
+}
+
+}  // namespace
+}  // namespace fexiot

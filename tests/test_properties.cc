@@ -1,0 +1,181 @@
+// Property-style sweeps (TEST_P) over randomized inputs: invariants that
+// must hold for every seed / configuration, complementing the per-module
+// example-based tests.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/corpus.h"
+#include "graph/vuln_checker.h"
+#include "nlp/dtw.h"
+#include "nlp/embeddings.h"
+#include "smarthome/home.h"
+#include "tensor/ops.h"
+
+namespace fexiot {
+namespace {
+
+// --- Linear algebra properties --------------------------------------------
+
+class SolveSpdProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SolveSpdProperty, RecoversRandomSolution) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  const size_t n = 2 + rng.UniformInt(uint64_t{8});
+  // A = B^T B + I is SPD.
+  const Matrix b = Matrix::RandomNormal(n, n, 1.0, &rng);
+  Matrix a = MatMulTransA(b, b);
+  for (size_t i = 0; i < n; ++i) a.At(i, i) += 1.0;
+  std::vector<double> x_true(n);
+  for (auto& v : x_true) v = rng.Normal();
+  // rhs = A x.
+  std::vector<double> rhs(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) rhs[i] += a.At(i, j) * x_true[j];
+  }
+  const std::vector<double> x = SolveSpd(a, rhs, 0.0);
+  ASSERT_EQ(x.size(), n);
+  for (size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolveSpdProperty, ::testing::Range(1, 9));
+
+class MatMulProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MatMulProperty, AssociativityAndDistributivity) {
+  Rng rng(static_cast<uint64_t>(100 + GetParam()));
+  const size_t n = 2 + rng.UniformInt(uint64_t{5});
+  const Matrix a = Matrix::RandomNormal(n, n, 1.0, &rng);
+  const Matrix b = Matrix::RandomNormal(n, n, 1.0, &rng);
+  const Matrix c = Matrix::RandomNormal(n, n, 1.0, &rng);
+  // (AB)C == A(BC)
+  const Matrix left = MatMul(MatMul(a, b), c);
+  const Matrix right = MatMul(a, MatMul(b, c));
+  for (size_t i = 0; i < left.size(); ++i) {
+    EXPECT_NEAR(left.data()[i], right.data()[i], 1e-9);
+  }
+  // A(B+C) == AB + AC
+  const Matrix d1 = MatMul(a, b + c);
+  const Matrix d2 = MatMul(a, b) + MatMul(a, c);
+  for (size_t i = 0; i < d1.size(); ++i) {
+    EXPECT_NEAR(d1.data()[i], d2.data()[i], 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatMulProperty, ::testing::Range(1, 6));
+
+// --- DTW properties ---------------------------------------------------------
+
+class DtwProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(DtwProperty, SymmetricNonNegativeIdentity) {
+  Rng rng(static_cast<uint64_t>(200 + GetParam()));
+  auto random_seq = [&](size_t len) {
+    std::vector<std::vector<double>> seq;
+    static const char* kWords[] = {"light", "valve", "door",  "fan",
+                                   "smoke", "open",  "close", "on"};
+    for (size_t i = 0; i < len; ++i) {
+      seq.push_back(WordEmbedding::Embed(kWords[rng.UniformInt(uint64_t{8})]));
+    }
+    return seq;
+  };
+  const auto a = random_seq(1 + rng.UniformInt(uint64_t{5}));
+  const auto b = random_seq(1 + rng.UniformInt(uint64_t{5}));
+  const double dab = DtwDistance(a, b);
+  const double dba = DtwDistance(b, a);
+  EXPECT_NEAR(dab, dba, 1e-9);          // symmetry
+  EXPECT_GE(dab, 0.0);                  // non-negativity
+  EXPECT_NEAR(DtwDistance(a, a), 0.0, 1e-9);  // identity
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DtwProperty, ::testing::Range(1, 9));
+
+// --- Corpus invariants over platform mixes ---------------------------------
+
+class CorpusPlatformProperty
+    : public ::testing::TestWithParam<Platform> {};
+
+TEST_P(CorpusPlatformProperty, GeneratedGraphsWellFormed) {
+  Rng rng(300 + static_cast<uint64_t>(GetParam()));
+  CorpusOptions opt;
+  opt.platforms = {GetParam()};
+  opt.min_nodes = 3;
+  opt.max_nodes = 9;
+  opt.vulnerable_fraction = 0.5;
+  GraphCorpusGenerator gen(opt, &rng);
+  const auto graphs = gen.GenerateDataset(14);
+  for (const auto& g : graphs) {
+    EXPECT_GE(g.num_nodes(), 2);
+    EXPECT_LE(g.num_nodes(), 12);  // injection may add up to 3 nodes
+    for (int i = 0; i < g.num_nodes(); ++i) {
+      const auto& node = g.node(i);
+      EXPECT_EQ(node.rule.platform, GetParam());
+      EXPECT_EQ(node.features.size(),
+                static_cast<size_t>(PlatformFeatureDim(GetParam())));
+      for (double f : node.features) EXPECT_TRUE(std::isfinite(f));
+    }
+    // Edges are consistent with the trigger-action ground truth.
+    for (const auto& [u, v] : g.edges()) {
+      EXPECT_TRUE(ActionTriggersRule(g.node(u).rule, g.node(v).rule));
+    }
+    // Label agrees with the checker (vulnerable graphs carry findings;
+    // benign carry none).
+    const bool has_findings = !VulnerabilityChecker::Check(g).empty();
+    if (g.label() == 0) {
+      EXPECT_FALSE(has_findings) << g.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPlatforms, CorpusPlatformProperty,
+                         ::testing::Values(Platform::kSmartThings,
+                                           Platform::kHomeAssistant,
+                                           Platform::kIfttt,
+                                           Platform::kGoogleAssistant,
+                                           Platform::kAlexa));
+
+// --- Simulator properties ---------------------------------------------------
+
+class SimulatorProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimulatorProperty, LogsAreCausallyOrderedAndBounded) {
+  Rng rng(static_cast<uint64_t>(400 + GetParam()));
+  const Home home = BuildChainedHome(10, {Platform::kSmartThings}, &rng);
+  SimulationConfig config;
+  config.duration_seconds = 2 * 3600.0;
+  config.exogenous_mean_gap = 150.0;
+  HomeSimulator sim(home, config, &rng);
+  const EventLog log = sim.Run();
+  double prev = -1.0;
+  for (const auto& e : log.entries()) {
+    EXPECT_GE(e.timestamp, prev);
+    prev = e.timestamp;
+    // Cascade latency bounds every rule-driven entry within the horizon
+    // plus the maximum chain delay.
+    EXPECT_LE(e.timestamp,
+              config.duration_seconds +
+                  config.max_cascade_depth * (config.action_latency + 1.0));
+    if (e.device_id > 0) {
+      EXPECT_NE(home.DeviceById(e.device_id), nullptr);
+    }
+  }
+  // Cleaning never grows the log.
+  EXPECT_LE(log.Cleaned().size(), log.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimulatorProperty, ::testing::Range(1, 7));
+
+// --- Embedding determinism across processes resets --------------------------
+
+TEST(EmbeddingProperty, PairEmbeddingInvariantToStopwordNoise) {
+  // Adding stopwords must not change the content embedding.
+  const auto a = TriggerActionPairEmbedding("smoke is detected",
+                                            "open the valve");
+  const auto b = TriggerActionPairEmbedding("the smoke is detected",
+                                            "open a valve");
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_NEAR(a[i], b[i], 1e-9);
+}
+
+}  // namespace
+}  // namespace fexiot
