@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_contrastive.dir/bench_ablation_contrastive.cc.o"
+  "CMakeFiles/bench_ablation_contrastive.dir/bench_ablation_contrastive.cc.o.d"
+  "bench_ablation_contrastive"
+  "bench_ablation_contrastive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_contrastive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_shap.dir/bench_ablation_shap.cc.o"
+  "CMakeFiles/bench_ablation_shap.dir/bench_ablation_shap.cc.o.d"
+  "bench_ablation_shap"
+  "bench_ablation_shap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_shap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_federated.dir/bench_fig4_federated.cc.o"
+  "CMakeFiles/bench_fig4_federated.dir/bench_fig4_federated.cc.o.d"
+  "bench_fig4_federated"
+  "bench_fig4_federated.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_federated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

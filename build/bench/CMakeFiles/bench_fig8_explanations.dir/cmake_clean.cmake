@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_explanations.dir/bench_fig8_explanations.cc.o"
+  "CMakeFiles/bench_fig8_explanations.dir/bench_fig8_explanations.cc.o.d"
+  "bench_fig8_explanations"
+  "bench_fig8_explanations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_explanations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/drift_monitoring.cpp" "examples/CMakeFiles/drift_monitoring.dir/drift_monitoring.cpp.o" "gcc" "examples/CMakeFiles/drift_monitoring.dir/drift_monitoring.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fexiot_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/fexiot_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/explain/CMakeFiles/fexiot_explain.dir/DependInfo.cmake"
+  "/root/repo/build/src/federated/CMakeFiles/fexiot_federated.dir/DependInfo.cmake"
+  "/root/repo/build/src/gnn/CMakeFiles/fexiot_gnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/fexiot_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/fexiot_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/smarthome/CMakeFiles/fexiot_smarthome.dir/DependInfo.cmake"
+  "/root/repo/build/src/nlp/CMakeFiles/fexiot_nlp.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/fexiot_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fexiot_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

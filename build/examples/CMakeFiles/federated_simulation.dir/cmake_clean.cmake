@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/federated_simulation.dir/federated_simulation.cpp.o"
+  "CMakeFiles/federated_simulation.dir/federated_simulation.cpp.o.d"
+  "federated_simulation"
+  "federated_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/federated_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

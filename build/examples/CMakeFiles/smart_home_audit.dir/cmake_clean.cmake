@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_home_audit.dir/smart_home_audit.cpp.o"
+  "CMakeFiles/smart_home_audit.dir/smart_home_audit.cpp.o.d"
+  "smart_home_audit"
+  "smart_home_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_home_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/deeplog.cc" "src/baselines/CMakeFiles/fexiot_baselines.dir/deeplog.cc.o" "gcc" "src/baselines/CMakeFiles/fexiot_baselines.dir/deeplog.cc.o.d"
+  "/root/repo/src/baselines/hawatcher.cc" "src/baselines/CMakeFiles/fexiot_baselines.dir/hawatcher.cc.o" "gcc" "src/baselines/CMakeFiles/fexiot_baselines.dir/hawatcher.cc.o.d"
+  "/root/repo/src/baselines/lstm.cc" "src/baselines/CMakeFiles/fexiot_baselines.dir/lstm.cc.o" "gcc" "src/baselines/CMakeFiles/fexiot_baselines.dir/lstm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/fexiot_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/fexiot_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/smarthome/CMakeFiles/fexiot_smarthome.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fexiot_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/nlp/CMakeFiles/fexiot_nlp.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/fexiot_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

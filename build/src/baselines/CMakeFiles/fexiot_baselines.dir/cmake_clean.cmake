@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fexiot_baselines.dir/deeplog.cc.o"
+  "CMakeFiles/fexiot_baselines.dir/deeplog.cc.o.d"
+  "CMakeFiles/fexiot_baselines.dir/hawatcher.cc.o"
+  "CMakeFiles/fexiot_baselines.dir/hawatcher.cc.o.d"
+  "CMakeFiles/fexiot_baselines.dir/lstm.cc.o"
+  "CMakeFiles/fexiot_baselines.dir/lstm.cc.o.d"
+  "libfexiot_baselines.a"
+  "libfexiot_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fexiot_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fexiot_common.dir/logging.cc.o"
+  "CMakeFiles/fexiot_common.dir/logging.cc.o.d"
+  "CMakeFiles/fexiot_common.dir/rng.cc.o"
+  "CMakeFiles/fexiot_common.dir/rng.cc.o.d"
+  "CMakeFiles/fexiot_common.dir/status.cc.o"
+  "CMakeFiles/fexiot_common.dir/status.cc.o.d"
+  "CMakeFiles/fexiot_common.dir/string_util.cc.o"
+  "CMakeFiles/fexiot_common.dir/string_util.cc.o.d"
+  "CMakeFiles/fexiot_common.dir/table_printer.cc.o"
+  "CMakeFiles/fexiot_common.dir/table_printer.cc.o.d"
+  "CMakeFiles/fexiot_common.dir/thread_pool.cc.o"
+  "CMakeFiles/fexiot_common.dir/thread_pool.cc.o.d"
+  "libfexiot_common.a"
+  "libfexiot_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fexiot_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

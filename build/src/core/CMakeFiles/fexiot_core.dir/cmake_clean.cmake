@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fexiot_core.dir/fexiot.cc.o"
+  "CMakeFiles/fexiot_core.dir/fexiot.cc.o.d"
+  "CMakeFiles/fexiot_core.dir/testbed.cc.o"
+  "CMakeFiles/fexiot_core.dir/testbed.cc.o.d"
+  "libfexiot_core.a"
+  "libfexiot_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fexiot_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

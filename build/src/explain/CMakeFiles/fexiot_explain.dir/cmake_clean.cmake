@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fexiot_explain.dir/explainer.cc.o"
+  "CMakeFiles/fexiot_explain.dir/explainer.cc.o.d"
+  "CMakeFiles/fexiot_explain.dir/scorer.cc.o"
+  "CMakeFiles/fexiot_explain.dir/scorer.cc.o.d"
+  "CMakeFiles/fexiot_explain.dir/shap.cc.o"
+  "CMakeFiles/fexiot_explain.dir/shap.cc.o.d"
+  "libfexiot_explain.a"
+  "libfexiot_explain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fexiot_explain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

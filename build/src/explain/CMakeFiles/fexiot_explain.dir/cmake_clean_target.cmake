@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfexiot_explain.a"
+)

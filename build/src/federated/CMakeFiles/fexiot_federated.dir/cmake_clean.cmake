@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fexiot_federated.dir/fl_client.cc.o"
+  "CMakeFiles/fexiot_federated.dir/fl_client.cc.o.d"
+  "CMakeFiles/fexiot_federated.dir/fl_simulator.cc.o"
+  "CMakeFiles/fexiot_federated.dir/fl_simulator.cc.o.d"
+  "libfexiot_federated.a"
+  "libfexiot_federated.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fexiot_federated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gnn/contrastive.cc" "src/gnn/CMakeFiles/fexiot_gnn.dir/contrastive.cc.o" "gcc" "src/gnn/CMakeFiles/fexiot_gnn.dir/contrastive.cc.o.d"
+  "/root/repo/src/gnn/gnn_model.cc" "src/gnn/CMakeFiles/fexiot_gnn.dir/gnn_model.cc.o" "gcc" "src/gnn/CMakeFiles/fexiot_gnn.dir/gnn_model.cc.o.d"
+  "/root/repo/src/gnn/serialization.cc" "src/gnn/CMakeFiles/fexiot_gnn.dir/serialization.cc.o" "gcc" "src/gnn/CMakeFiles/fexiot_gnn.dir/serialization.cc.o.d"
+  "/root/repo/src/gnn/trainer.cc" "src/gnn/CMakeFiles/fexiot_gnn.dir/trainer.cc.o" "gcc" "src/gnn/CMakeFiles/fexiot_gnn.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fexiot_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/fexiot_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/fexiot_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/fexiot_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/smarthome/CMakeFiles/fexiot_smarthome.dir/DependInfo.cmake"
+  "/root/repo/build/src/nlp/CMakeFiles/fexiot_nlp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

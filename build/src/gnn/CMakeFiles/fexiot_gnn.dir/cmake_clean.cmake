@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fexiot_gnn.dir/contrastive.cc.o"
+  "CMakeFiles/fexiot_gnn.dir/contrastive.cc.o.d"
+  "CMakeFiles/fexiot_gnn.dir/gnn_model.cc.o"
+  "CMakeFiles/fexiot_gnn.dir/gnn_model.cc.o.d"
+  "CMakeFiles/fexiot_gnn.dir/serialization.cc.o"
+  "CMakeFiles/fexiot_gnn.dir/serialization.cc.o.d"
+  "CMakeFiles/fexiot_gnn.dir/trainer.cc.o"
+  "CMakeFiles/fexiot_gnn.dir/trainer.cc.o.d"
+  "libfexiot_gnn.a"
+  "libfexiot_gnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fexiot_gnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/corpus.cc" "src/graph/CMakeFiles/fexiot_graph.dir/corpus.cc.o" "gcc" "src/graph/CMakeFiles/fexiot_graph.dir/corpus.cc.o.d"
+  "/root/repo/src/graph/dataset.cc" "src/graph/CMakeFiles/fexiot_graph.dir/dataset.cc.o" "gcc" "src/graph/CMakeFiles/fexiot_graph.dir/dataset.cc.o.d"
+  "/root/repo/src/graph/fusion.cc" "src/graph/CMakeFiles/fexiot_graph.dir/fusion.cc.o" "gcc" "src/graph/CMakeFiles/fexiot_graph.dir/fusion.cc.o.d"
+  "/root/repo/src/graph/interaction_graph.cc" "src/graph/CMakeFiles/fexiot_graph.dir/interaction_graph.cc.o" "gcc" "src/graph/CMakeFiles/fexiot_graph.dir/interaction_graph.cc.o.d"
+  "/root/repo/src/graph/vuln_checker.cc" "src/graph/CMakeFiles/fexiot_graph.dir/vuln_checker.cc.o" "gcc" "src/graph/CMakeFiles/fexiot_graph.dir/vuln_checker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fexiot_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/fexiot_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/nlp/CMakeFiles/fexiot_nlp.dir/DependInfo.cmake"
+  "/root/repo/build/src/smarthome/CMakeFiles/fexiot_smarthome.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

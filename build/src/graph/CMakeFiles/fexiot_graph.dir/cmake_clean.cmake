@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fexiot_graph.dir/corpus.cc.o"
+  "CMakeFiles/fexiot_graph.dir/corpus.cc.o.d"
+  "CMakeFiles/fexiot_graph.dir/dataset.cc.o"
+  "CMakeFiles/fexiot_graph.dir/dataset.cc.o.d"
+  "CMakeFiles/fexiot_graph.dir/fusion.cc.o"
+  "CMakeFiles/fexiot_graph.dir/fusion.cc.o.d"
+  "CMakeFiles/fexiot_graph.dir/interaction_graph.cc.o"
+  "CMakeFiles/fexiot_graph.dir/interaction_graph.cc.o.d"
+  "CMakeFiles/fexiot_graph.dir/vuln_checker.cc.o"
+  "CMakeFiles/fexiot_graph.dir/vuln_checker.cc.o.d"
+  "libfexiot_graph.a"
+  "libfexiot_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fexiot_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/classifier.cc" "src/ml/CMakeFiles/fexiot_ml.dir/classifier.cc.o" "gcc" "src/ml/CMakeFiles/fexiot_ml.dir/classifier.cc.o.d"
+  "/root/repo/src/ml/decision_tree.cc" "src/ml/CMakeFiles/fexiot_ml.dir/decision_tree.cc.o" "gcc" "src/ml/CMakeFiles/fexiot_ml.dir/decision_tree.cc.o.d"
+  "/root/repo/src/ml/isolation_forest.cc" "src/ml/CMakeFiles/fexiot_ml.dir/isolation_forest.cc.o" "gcc" "src/ml/CMakeFiles/fexiot_ml.dir/isolation_forest.cc.o.d"
+  "/root/repo/src/ml/kmeans.cc" "src/ml/CMakeFiles/fexiot_ml.dir/kmeans.cc.o" "gcc" "src/ml/CMakeFiles/fexiot_ml.dir/kmeans.cc.o.d"
+  "/root/repo/src/ml/knn.cc" "src/ml/CMakeFiles/fexiot_ml.dir/knn.cc.o" "gcc" "src/ml/CMakeFiles/fexiot_ml.dir/knn.cc.o.d"
+  "/root/repo/src/ml/linear_model.cc" "src/ml/CMakeFiles/fexiot_ml.dir/linear_model.cc.o" "gcc" "src/ml/CMakeFiles/fexiot_ml.dir/linear_model.cc.o.d"
+  "/root/repo/src/ml/mad.cc" "src/ml/CMakeFiles/fexiot_ml.dir/mad.cc.o" "gcc" "src/ml/CMakeFiles/fexiot_ml.dir/mad.cc.o.d"
+  "/root/repo/src/ml/metrics.cc" "src/ml/CMakeFiles/fexiot_ml.dir/metrics.cc.o" "gcc" "src/ml/CMakeFiles/fexiot_ml.dir/metrics.cc.o.d"
+  "/root/repo/src/ml/mlp.cc" "src/ml/CMakeFiles/fexiot_ml.dir/mlp.cc.o" "gcc" "src/ml/CMakeFiles/fexiot_ml.dir/mlp.cc.o.d"
+  "/root/repo/src/ml/model_selection.cc" "src/ml/CMakeFiles/fexiot_ml.dir/model_selection.cc.o" "gcc" "src/ml/CMakeFiles/fexiot_ml.dir/model_selection.cc.o.d"
+  "/root/repo/src/ml/tsne.cc" "src/ml/CMakeFiles/fexiot_ml.dir/tsne.cc.o" "gcc" "src/ml/CMakeFiles/fexiot_ml.dir/tsne.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fexiot_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/fexiot_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fexiot_ml.dir/classifier.cc.o"
+  "CMakeFiles/fexiot_ml.dir/classifier.cc.o.d"
+  "CMakeFiles/fexiot_ml.dir/decision_tree.cc.o"
+  "CMakeFiles/fexiot_ml.dir/decision_tree.cc.o.d"
+  "CMakeFiles/fexiot_ml.dir/isolation_forest.cc.o"
+  "CMakeFiles/fexiot_ml.dir/isolation_forest.cc.o.d"
+  "CMakeFiles/fexiot_ml.dir/kmeans.cc.o"
+  "CMakeFiles/fexiot_ml.dir/kmeans.cc.o.d"
+  "CMakeFiles/fexiot_ml.dir/knn.cc.o"
+  "CMakeFiles/fexiot_ml.dir/knn.cc.o.d"
+  "CMakeFiles/fexiot_ml.dir/linear_model.cc.o"
+  "CMakeFiles/fexiot_ml.dir/linear_model.cc.o.d"
+  "CMakeFiles/fexiot_ml.dir/mad.cc.o"
+  "CMakeFiles/fexiot_ml.dir/mad.cc.o.d"
+  "CMakeFiles/fexiot_ml.dir/metrics.cc.o"
+  "CMakeFiles/fexiot_ml.dir/metrics.cc.o.d"
+  "CMakeFiles/fexiot_ml.dir/mlp.cc.o"
+  "CMakeFiles/fexiot_ml.dir/mlp.cc.o.d"
+  "CMakeFiles/fexiot_ml.dir/model_selection.cc.o"
+  "CMakeFiles/fexiot_ml.dir/model_selection.cc.o.d"
+  "CMakeFiles/fexiot_ml.dir/tsne.cc.o"
+  "CMakeFiles/fexiot_ml.dir/tsne.cc.o.d"
+  "libfexiot_ml.a"
+  "libfexiot_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fexiot_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

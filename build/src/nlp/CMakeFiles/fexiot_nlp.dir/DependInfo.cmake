@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nlp/dtw.cc" "src/nlp/CMakeFiles/fexiot_nlp.dir/dtw.cc.o" "gcc" "src/nlp/CMakeFiles/fexiot_nlp.dir/dtw.cc.o.d"
+  "/root/repo/src/nlp/embeddings.cc" "src/nlp/CMakeFiles/fexiot_nlp.dir/embeddings.cc.o" "gcc" "src/nlp/CMakeFiles/fexiot_nlp.dir/embeddings.cc.o.d"
+  "/root/repo/src/nlp/jenks.cc" "src/nlp/CMakeFiles/fexiot_nlp.dir/jenks.cc.o" "gcc" "src/nlp/CMakeFiles/fexiot_nlp.dir/jenks.cc.o.d"
+  "/root/repo/src/nlp/lexicon.cc" "src/nlp/CMakeFiles/fexiot_nlp.dir/lexicon.cc.o" "gcc" "src/nlp/CMakeFiles/fexiot_nlp.dir/lexicon.cc.o.d"
+  "/root/repo/src/nlp/pos_tagger.cc" "src/nlp/CMakeFiles/fexiot_nlp.dir/pos_tagger.cc.o" "gcc" "src/nlp/CMakeFiles/fexiot_nlp.dir/pos_tagger.cc.o.d"
+  "/root/repo/src/nlp/rule_features.cc" "src/nlp/CMakeFiles/fexiot_nlp.dir/rule_features.cc.o" "gcc" "src/nlp/CMakeFiles/fexiot_nlp.dir/rule_features.cc.o.d"
+  "/root/repo/src/nlp/tokenizer.cc" "src/nlp/CMakeFiles/fexiot_nlp.dir/tokenizer.cc.o" "gcc" "src/nlp/CMakeFiles/fexiot_nlp.dir/tokenizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fexiot_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/fexiot_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fexiot_nlp.dir/dtw.cc.o"
+  "CMakeFiles/fexiot_nlp.dir/dtw.cc.o.d"
+  "CMakeFiles/fexiot_nlp.dir/embeddings.cc.o"
+  "CMakeFiles/fexiot_nlp.dir/embeddings.cc.o.d"
+  "CMakeFiles/fexiot_nlp.dir/jenks.cc.o"
+  "CMakeFiles/fexiot_nlp.dir/jenks.cc.o.d"
+  "CMakeFiles/fexiot_nlp.dir/lexicon.cc.o"
+  "CMakeFiles/fexiot_nlp.dir/lexicon.cc.o.d"
+  "CMakeFiles/fexiot_nlp.dir/pos_tagger.cc.o"
+  "CMakeFiles/fexiot_nlp.dir/pos_tagger.cc.o.d"
+  "CMakeFiles/fexiot_nlp.dir/rule_features.cc.o"
+  "CMakeFiles/fexiot_nlp.dir/rule_features.cc.o.d"
+  "CMakeFiles/fexiot_nlp.dir/tokenizer.cc.o"
+  "CMakeFiles/fexiot_nlp.dir/tokenizer.cc.o.d"
+  "libfexiot_nlp.a"
+  "libfexiot_nlp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fexiot_nlp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/smarthome/attacks.cc" "src/smarthome/CMakeFiles/fexiot_smarthome.dir/attacks.cc.o" "gcc" "src/smarthome/CMakeFiles/fexiot_smarthome.dir/attacks.cc.o.d"
+  "/root/repo/src/smarthome/device.cc" "src/smarthome/CMakeFiles/fexiot_smarthome.dir/device.cc.o" "gcc" "src/smarthome/CMakeFiles/fexiot_smarthome.dir/device.cc.o.d"
+  "/root/repo/src/smarthome/event_log.cc" "src/smarthome/CMakeFiles/fexiot_smarthome.dir/event_log.cc.o" "gcc" "src/smarthome/CMakeFiles/fexiot_smarthome.dir/event_log.cc.o.d"
+  "/root/repo/src/smarthome/home.cc" "src/smarthome/CMakeFiles/fexiot_smarthome.dir/home.cc.o" "gcc" "src/smarthome/CMakeFiles/fexiot_smarthome.dir/home.cc.o.d"
+  "/root/repo/src/smarthome/platform.cc" "src/smarthome/CMakeFiles/fexiot_smarthome.dir/platform.cc.o" "gcc" "src/smarthome/CMakeFiles/fexiot_smarthome.dir/platform.cc.o.d"
+  "/root/repo/src/smarthome/rule.cc" "src/smarthome/CMakeFiles/fexiot_smarthome.dir/rule.cc.o" "gcc" "src/smarthome/CMakeFiles/fexiot_smarthome.dir/rule.cc.o.d"
+  "/root/repo/src/smarthome/rule_parser.cc" "src/smarthome/CMakeFiles/fexiot_smarthome.dir/rule_parser.cc.o" "gcc" "src/smarthome/CMakeFiles/fexiot_smarthome.dir/rule_parser.cc.o.d"
+  "/root/repo/src/smarthome/vulnerability.cc" "src/smarthome/CMakeFiles/fexiot_smarthome.dir/vulnerability.cc.o" "gcc" "src/smarthome/CMakeFiles/fexiot_smarthome.dir/vulnerability.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fexiot_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/nlp/CMakeFiles/fexiot_nlp.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/fexiot_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fexiot_smarthome.dir/attacks.cc.o"
+  "CMakeFiles/fexiot_smarthome.dir/attacks.cc.o.d"
+  "CMakeFiles/fexiot_smarthome.dir/device.cc.o"
+  "CMakeFiles/fexiot_smarthome.dir/device.cc.o.d"
+  "CMakeFiles/fexiot_smarthome.dir/event_log.cc.o"
+  "CMakeFiles/fexiot_smarthome.dir/event_log.cc.o.d"
+  "CMakeFiles/fexiot_smarthome.dir/home.cc.o"
+  "CMakeFiles/fexiot_smarthome.dir/home.cc.o.d"
+  "CMakeFiles/fexiot_smarthome.dir/platform.cc.o"
+  "CMakeFiles/fexiot_smarthome.dir/platform.cc.o.d"
+  "CMakeFiles/fexiot_smarthome.dir/rule.cc.o"
+  "CMakeFiles/fexiot_smarthome.dir/rule.cc.o.d"
+  "CMakeFiles/fexiot_smarthome.dir/rule_parser.cc.o"
+  "CMakeFiles/fexiot_smarthome.dir/rule_parser.cc.o.d"
+  "CMakeFiles/fexiot_smarthome.dir/vulnerability.cc.o"
+  "CMakeFiles/fexiot_smarthome.dir/vulnerability.cc.o.d"
+  "libfexiot_smarthome.a"
+  "libfexiot_smarthome.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fexiot_smarthome.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

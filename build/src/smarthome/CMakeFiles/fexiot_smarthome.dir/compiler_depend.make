@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fexiot_smarthome.
+# This may be replaced when dependencies are built.

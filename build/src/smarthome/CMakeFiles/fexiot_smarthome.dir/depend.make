@@ -1,0 +1,2 @@
+# Empty dependencies file for fexiot_smarthome.
+# This may be replaced when dependencies are built.

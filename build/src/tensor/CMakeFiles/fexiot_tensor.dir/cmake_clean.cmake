@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fexiot_tensor.dir/matrix.cc.o"
+  "CMakeFiles/fexiot_tensor.dir/matrix.cc.o.d"
+  "CMakeFiles/fexiot_tensor.dir/ops.cc.o"
+  "CMakeFiles/fexiot_tensor.dir/ops.cc.o.d"
+  "libfexiot_tensor.a"
+  "libfexiot_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fexiot_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_smarthome.dir/test_smarthome.cc.o"
+  "CMakeFiles/test_smarthome.dir/test_smarthome.cc.o.d"
+  "test_smarthome"
+  "test_smarthome.pdb"
+  "test_smarthome[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_smarthome.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
