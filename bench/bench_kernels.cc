@@ -1,0 +1,127 @@
+// GEMM kernel trajectory bench: blocked/packed/parallel MatMul vs the
+// retained ReferenceMatMul at square sizes 64/256/512/1024. Prints a table
+// and writes a JSON perf record (BENCH_kernels.json by default, or the
+// path in argv[1]) so kernel work accumulates a measurable history.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "tensor/matrix.h"
+#include "tensor/ops.h"
+
+namespace fexiot {
+namespace bench {
+namespace {
+
+struct KernelRecord {
+  size_t size = 0;
+  double ref_seconds = 0.0;
+  double blocked_seconds = 0.0;
+  double ref_gflops = 0.0;
+  double blocked_gflops = 0.0;
+  double speedup = 0.0;
+  double max_abs_diff = 0.0;
+};
+
+double MedianSeconds(std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+template <typename Fn>
+double TimeKernel(const Fn& fn, int reps) {
+  fn();  // warm-up (page faults, pool spin-up)
+  std::vector<double> samples;
+  samples.reserve(static_cast<size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    Stopwatch sw;
+    fn();
+    samples.push_back(sw.ElapsedSeconds());
+  }
+  return MedianSeconds(std::move(samples));
+}
+
+KernelRecord BenchSize(size_t size, Rng* rng) {
+  KernelRecord rec;
+  rec.size = size;
+  const Matrix a = Matrix::RandomNormal(size, size, 1.0, rng);
+  const Matrix b = Matrix::RandomNormal(size, size, 1.0, rng);
+  const int reps = size >= 1024 ? 2 : (size >= 512 ? 3 : 5);
+
+  Matrix c_ref, c_blk;
+  rec.ref_seconds = TimeKernel([&] { c_ref = ReferenceMatMul(a, b); }, reps);
+  rec.blocked_seconds = TimeKernel([&] { c_blk = MatMul(a, b); }, reps);
+  for (size_t i = 0; i < c_ref.size(); ++i) {
+    rec.max_abs_diff = std::max(
+        rec.max_abs_diff, std::fabs(c_ref.data()[i] - c_blk.data()[i]));
+  }
+
+  const double flops = 2.0 * static_cast<double>(size) * size * size;
+  rec.ref_gflops = flops / rec.ref_seconds * 1e-9;
+  rec.blocked_gflops = flops / rec.blocked_seconds * 1e-9;
+  rec.speedup = rec.ref_seconds / rec.blocked_seconds;
+  return rec;
+}
+
+bool WriteJson(const std::string& path,
+               const std::vector<KernelRecord>& records) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"kernels\",\n");
+  std::fprintf(f, "  \"kernel\": \"blocked-packed-gemm\",\n");
+  std::fprintf(f, "  \"threads\": %zu,\n", parallel::NumThreads());
+  std::fprintf(f, "  \"records\": [\n");
+  for (size_t i = 0; i < records.size(); ++i) {
+    const KernelRecord& r = records[i];
+    std::fprintf(f,
+                 "    {\"size\": %zu, \"ref_seconds\": %.6f, "
+                 "\"blocked_seconds\": %.6f, \"ref_gflops\": %.3f, "
+                 "\"blocked_gflops\": %.3f, \"speedup\": %.3f, "
+                 "\"max_abs_diff\": %.3e}%s\n",
+                 r.size, r.ref_seconds, r.blocked_seconds, r.ref_gflops,
+                 r.blocked_gflops, r.speedup, r.max_abs_diff,
+                 i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace fexiot
+
+int main(int argc, char** argv) {
+  using namespace fexiot;
+  using namespace fexiot::bench;
+  PrintHeader("KERNELS", "blocked GEMM vs reference (double, square NxNxN)");
+
+  Rng rng(20240806);
+  const std::vector<size_t> sizes = {64, 256, 512, 1024};
+  std::vector<KernelRecord> records;
+  TablePrinter table(
+      {"N", "ref s", "blocked s", "ref GF/s", "blk GF/s", "speedup"});
+  for (size_t n : sizes) {
+    const KernelRecord rec = BenchSize(n, &rng);
+    table.AddRow({std::to_string(n), Fmt(rec.ref_seconds, 4),
+                  Fmt(rec.blocked_seconds, 4), Fmt(rec.ref_gflops, 2),
+                  Fmt(rec.blocked_gflops, 2), Fmt(rec.speedup, 2)});
+    records.push_back(rec);
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("pool threads: %zu\n", parallel::NumThreads());
+
+  return WriteJson(argc > 1 ? argv[1] : "BENCH_kernels.json", records) ? 0
+                                                                       : 1;
+}

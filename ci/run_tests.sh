@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Tier-1 gate: full release-mode test suite, then a ThreadSanitizer pass
+# over the concurrency-bearing binaries (thread pool / parallel facade /
+# blocked GEMM race harness).
+#
+# Usage: ci/run_tests.sh [build-dir] [tsan-build-dir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+TSAN_DIR="${2:-build-tsan}"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+echo "==> [1/3] configure + build (${BUILD_DIR})"
+cmake -B "${BUILD_DIR}" -S . >/dev/null
+cmake --build "${BUILD_DIR}" -j "${JOBS}"
+
+echo "==> [2/3] full test suite"
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
+
+echo "==> [3/3] TSAN pass (test_common + test_kernels)"
+cmake -B "${TSAN_DIR}" -S . \
+  -DFEXIOT_SANITIZE=thread \
+  -DFEXIOT_BUILD_BENCHMARKS=OFF \
+  -DFEXIOT_BUILD_EXAMPLES=OFF >/dev/null
+cmake --build "${TSAN_DIR}" -j "${JOBS}" --target test_common test_kernels
+"${TSAN_DIR}/tests/test_common"
+"${TSAN_DIR}/tests/test_kernels"
+
+echo "OK: tier-1 suite green, TSAN clean"

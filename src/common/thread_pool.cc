@@ -2,8 +2,17 @@
 
 #include <algorithm>
 #include <atomic>
+#include <exception>
+
+#include "common/logging.h"
 
 namespace fexiot {
+
+namespace {
+thread_local bool tls_on_worker_thread = false;
+}  // namespace
+
+bool ThreadPool::OnWorkerThread() { return tls_on_worker_thread; }
 
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) {
@@ -40,21 +49,40 @@ void ThreadPool::Wait() {
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   if (n == 0) return;
+  if (OnWorkerThread() || workers_.size() <= 1) {
+    // Nested call from a worker: Wait() on our own pool from inside a task
+    // can never finish (the waiting task itself is in flight), so run
+    // inline. Single-worker pools gain nothing from dispatch either.
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
   std::atomic<size_t> next{0};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
   const size_t shards = std::min(n, workers_.size());
   for (size_t s = 0; s < shards; ++s) {
-    Submit([&next, n, &fn] {
+    Submit([&next, n, &fn, &error_mutex, &first_error] {
       for (;;) {
         const size_t i = next.fetch_add(1);
         if (i >= n) return;
-        fn(i);
+        try {
+          fn(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (first_error == nullptr) {
+            first_error = std::current_exception();
+          }
+          next.store(n);  // stop handing out further indices
+        }
       }
     });
   }
   Wait();
+  if (first_error != nullptr) std::rethrow_exception(first_error);
 }
 
 void ThreadPool::WorkerLoop() {
+  tls_on_worker_thread = true;
   for (;;) {
     std::function<void()> task;
     {
@@ -67,7 +95,13 @@ void ThreadPool::WorkerLoop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
+    try {
+      task();
+    } catch (const std::exception& e) {
+      FEXIOT_LOG(Error) << "ThreadPool task threw: " << e.what();
+    } catch (...) {
+      FEXIOT_LOG(Error) << "ThreadPool task threw a non-std exception";
+    }
     {
       std::lock_guard<std::mutex> lock(mutex_);
       --in_flight_;

@@ -11,6 +11,21 @@ namespace fexiot {
 
 /// \brief Fixed-size worker pool used to parallelize per-client federated
 /// training rounds and embarrassingly parallel dataset generation.
+///
+/// Concurrency contract (pinned down by the test_common stress tests):
+///  - Submit/Wait may be called concurrently from any number of threads.
+///    Wait() blocks until *all* tasks submitted so far (by any thread) have
+///    completed; per-caller completion tracking is the job of higher-level
+///    wrappers such as parallel::For.
+///  - A task submitted via Submit that throws is caught in the worker,
+///    logged, and dropped; it still counts as completed, so Wait() never
+///    wedges and the process never std::terminate()s.
+///  - ParallelFor rethrows the first exception thrown by fn in the calling
+///    thread and stops handing out further indices (indices already in
+///    flight still run).
+///  - ParallelFor called from a worker thread (of this or any other pool)
+///    runs inline serially: a worker blocking in Wait() on its own pool
+///    would deadlock, and nested fan-out oversubscribes the machine.
 class ThreadPool {
  public:
   /// Creates \p num_threads workers (defaults to hardware concurrency).
@@ -20,16 +35,22 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task for execution.
+  /// Enqueues a task for execution. Exceptions escaping the task are
+  /// logged and swallowed (see class comment).
   void Submit(std::function<void()> task);
 
   /// Blocks until all submitted tasks have completed.
   void Wait();
 
   /// \brief Runs fn(i) for i in [0, n) across the pool and waits.
+  /// Serial inline when called from any pool's worker thread.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
   size_t num_threads() const { return workers_.size(); }
+
+  /// \brief True when the calling thread is a worker of *any* ThreadPool.
+  /// Used as the nested-parallelism guard by parallel::For.
+  static bool OnWorkerThread();
 
  private:
   void WorkerLoop();

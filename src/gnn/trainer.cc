@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/parallel.h"
 #include "gnn/contrastive.h"
 
 namespace fexiot {
@@ -38,9 +39,21 @@ double GnnTrainer::TrainContrastive(const std::vector<PreparedGraph>& graphs,
       4, static_cast<int>(config_.pairs_per_sample *
                           static_cast<double>(graphs.size())));
 
+  struct SampledPair {
+    size_t i, j;
+  };
+  struct PairWork {
+    ForwardCache ci, cj;
+    ContrastivePair pair;
+  };
+  const size_t batch =
+      static_cast<size_t>(std::max(1, config_.batch_pairs));
+
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
-    int in_batch = 0;
-    model_->ZeroGrad();
+    // Phase 1 (serial): sample the epoch's pairs. Keeping all rng draws
+    // here preserves the exact stream of the original interleaved loop.
+    std::vector<SampledPair> pairs;
+    pairs.reserve(static_cast<size_t>(pairs_per_epoch));
     for (int p = 0; p < pairs_per_epoch; ++p) {
       // Half the pairs are same-class, half different-class when possible.
       size_t i, j;
@@ -60,30 +73,41 @@ double GnnTrainer::TrainContrastive(const std::vector<PreparedGraph>& graphs,
           j = side[rng->UniformInt(side.size())];
         } while (j == i);
       }
-      ForwardCache ci, cj;
-      const std::vector<double> zi = model_->Forward(graphs[i], &ci);
-      const std::vector<double> zj = model_->Forward(graphs[j], &cj);
-      const bool different = graphs[i].label != graphs[j].label;
-      const ContrastivePair pair =
-          ContrastiveLoss(zi, zj, different, config_.margin, config_.form);
-      total_loss += pair.loss;
-      ++total_pairs;
-      if (pair.loss > 0.0) {
-        std::vector<double> grad_j(pair.grad_i.size());
-        for (size_t k = 0; k < grad_j.size(); ++k) {
-          grad_j[k] = -pair.grad_i[k];
-        }
-        model_->Backward(ci, pair.grad_i);
-        model_->Backward(cj, grad_j);
-      }
-      if (++in_batch >= config_.batch_pairs) {
-        model_->ApplyGrads(config_.learning_rate, 2.0 * in_batch,
-                           config_.weight_decay);
-        in_batch = 0;
-      }
+      pairs.push_back({i, j});
     }
-    if (in_batch > 0) {
-      model_->ApplyGrads(config_.learning_rate, 2.0 * in_batch,
+
+    model_->ZeroGrad();
+    for (size_t start = 0; start < pairs.size(); start += batch) {
+      const size_t count = std::min(batch, pairs.size() - start);
+      std::vector<PairWork> work(count);
+      // Phase 2 (parallel): forward passes and pair losses only read the
+      // model, so the batch fans out over the shared pool.
+      parallel::For(count, [&](size_t t) {
+        const SampledPair& sp = pairs[start + t];
+        PairWork& w = work[t];
+        const std::vector<double> zi = model_->Forward(graphs[sp.i], &w.ci);
+        const std::vector<double> zj = model_->Forward(graphs[sp.j], &w.cj);
+        const bool different = graphs[sp.i].label != graphs[sp.j].label;
+        w.pair =
+            ContrastiveLoss(zi, zj, different, config_.margin, config_.form);
+      });
+      // Phase 3 (serial, in pair order): gradient accumulation mutates the
+      // shared model, and the fixed order keeps results bit-identical for
+      // every thread count.
+      for (size_t t = 0; t < count; ++t) {
+        const PairWork& w = work[t];
+        total_loss += w.pair.loss;
+        ++total_pairs;
+        if (w.pair.loss > 0.0) {
+          std::vector<double> grad_j(w.pair.grad_i.size());
+          for (size_t g = 0; g < grad_j.size(); ++g) {
+            grad_j[g] = -w.pair.grad_i[g];
+          }
+          model_->Backward(w.ci, w.pair.grad_i);
+          model_->Backward(w.cj, grad_j);
+        }
+      }
+      model_->ApplyGrads(config_.learning_rate, 2.0 * count,
                          config_.weight_decay);
     }
   }
@@ -141,9 +165,10 @@ double GnnTrainer::TrainSupervised(const std::vector<PreparedGraph>& graphs,
 Matrix GnnTrainer::Embed(const std::vector<PreparedGraph>& graphs) const {
   Matrix out(graphs.size(),
              static_cast<size_t>(model_->config().embedding_dim));
-  for (size_t i = 0; i < graphs.size(); ++i) {
+  // Read-only forwards writing disjoint output rows.
+  parallel::For(graphs.size(), [&](size_t i) {
     out.SetRow(i, model_->Forward(graphs[i], nullptr));
-  }
+  });
   return out;
 }
 

@@ -1,13 +1,27 @@
 #include "ml/kmeans.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cmath>
 #include <limits>
 
+#include "common/parallel.h"
 #include "tensor/ops.h"
 
 namespace fexiot {
+namespace {
+
+double SquaredDistanceRows(const double* a, const double* b, size_t d) {
+  double s = 0.0;
+  for (size_t i = 0; i < d; ++i) {
+    const double diff = a[i] - b[i];
+    s += diff * diff;
+  }
+  return s;
+}
+
+}  // namespace
 
 KMeans::Result KMeans::Fit(const Matrix& x) const {
   Result res;
@@ -35,13 +49,16 @@ KMeans::Result KMeans::Fit(const Matrix& x) const {
 
   res.assignment.assign(n, 0);
   for (int iter = 0; iter < options_.max_iters; ++iter) {
-    bool changed = false;
-    // Assign.
-    for (size_t i = 0; i < n; ++i) {
+    std::atomic<bool> changed{false};
+    // Assign: each point's nearest centroid is independent; writes are
+    // per-index, so the step parallelizes with no ordering effects.
+    parallel::For(n, [&](size_t i) {
+      const double* xi = x.RowPtr(i);
       double best = std::numeric_limits<double>::infinity();
       int best_c = 0;
       for (size_t c = 0; c < k; ++c) {
-        const double d2 = SquaredDistance(x.Row(i), res.centroids.Row(c));
+        const double d2 =
+            SquaredDistanceRows(xi, res.centroids.RowPtr(c), d);
         if (d2 < best) {
           best = d2;
           best_c = static_cast<int>(c);
@@ -49,11 +66,11 @@ KMeans::Result KMeans::Fit(const Matrix& x) const {
       }
       if (res.assignment[i] != best_c) {
         res.assignment[i] = best_c;
-        changed = true;
+        changed.store(true, std::memory_order_relaxed);
       }
-    }
+    });
     res.iterations = iter + 1;
-    if (!changed && iter > 0) break;
+    if (!changed.load() && iter > 0) break;
     // Update.
     Matrix sums(k, d);
     std::vector<int> counts(k, 0);
@@ -75,10 +92,15 @@ KMeans::Result KMeans::Fit(const Matrix& x) const {
     }
   }
   res.inertia = 0.0;
-  for (size_t i = 0; i < n; ++i) {
-    res.inertia += SquaredDistance(
-        x.Row(i), res.centroids.Row(static_cast<size_t>(res.assignment[i])));
-  }
+  // Parallel distances, serial index-order reduction: bit-deterministic
+  // for any thread count.
+  std::vector<double> point_d2(n, 0.0);
+  parallel::For(n, [&](size_t i) {
+    point_d2[i] = SquaredDistanceRows(
+        x.RowPtr(i),
+        res.centroids.RowPtr(static_cast<size_t>(res.assignment[i])), d);
+  });
+  for (size_t i = 0; i < n; ++i) res.inertia += point_d2[i];
   return res;
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "common/parallel.h"
 #include "tensor/ops.h"
 
 namespace fexiot {
@@ -62,30 +63,32 @@ Matrix Tsne::FitTransform(const Matrix& x) const {
   if (n == 0) return Matrix();
   if (n == 1) return Matrix(1, out_d);
 
-  // Pairwise squared distances in input space.
+  // Pairwise squared distances in input space. Iteration i owns cells
+  // (i, j) and (j, i) for j > i, so every cell has exactly one writer and
+  // the loop parallelizes without ordering effects.
   Matrix d2(n, n);
-  for (size_t i = 0; i < n; ++i) {
+  parallel::For(n, [&](size_t i) {
     for (size_t j = i + 1; j < n; ++j) {
       const double dd = SquaredDistance(x.Row(i), x.Row(j));
       d2.At(i, j) = dd;
       d2.At(j, i) = dd;
     }
-  }
+  });
 
-  // Symmetrized affinities P.
+  // Symmetrized affinities P. Each bandwidth search writes only row i.
   Matrix p(n, n);
   const double perplexity =
       std::min(options_.perplexity, static_cast<double>(n - 1) / 3.0);
-  for (size_t i = 0; i < n; ++i) {
+  parallel::For(n, [&](size_t i) {
     FitRowPerplexity(d2, i, std::max(2.0, perplexity), &p);
-  }
+  });
   Matrix psym(n, n);
-  for (size_t i = 0; i < n; ++i) {
+  parallel::For(n, [&](size_t i) {
     for (size_t j = 0; j < n; ++j) {
       psym.At(i, j) =
           std::max((p.At(i, j) + p.At(j, i)) / (2.0 * n), 1e-12);
     }
-  }
+  });
 
   // Gradient descent on the KL divergence.
   Matrix y = Matrix::RandomNormal(n, out_d, 1e-2, &rng);
@@ -94,21 +97,28 @@ Matrix Tsne::FitTransform(const Matrix& x) const {
   for (int iter = 0; iter < options_.iterations; ++iter) {
     const double exaggeration =
         iter < options_.exaggeration_iters ? options_.early_exaggeration : 1.0;
-    // Student-t affinities Q (unnormalized numerators first).
+    // Student-t affinities Q (unnormalized numerators first). Per-row
+    // partial sums reduced serially in index order keep qsum — and thus
+    // the whole embedding — bit-identical for any thread count.
     Matrix num(n, n);
-    double qsum = 0.0;
-    for (size_t i = 0; i < n; ++i) {
+    std::vector<double> qpart(n, 0.0);
+    parallel::For(n, [&](size_t i) {
+      double local = 0.0;
       for (size_t j = i + 1; j < n; ++j) {
         const double v =
             1.0 / (1.0 + SquaredDistance(y.Row(i), y.Row(j)));
         num.At(i, j) = v;
         num.At(j, i) = v;
-        qsum += 2.0 * v;
+        local += 2.0 * v;
       }
-    }
+      qpart[i] = local;
+    });
+    double qsum = 0.0;
+    for (size_t i = 0; i < n; ++i) qsum += qpart[i];
     qsum = std::max(qsum, 1e-12);
     grad.Fill(0.0);
-    for (size_t i = 0; i < n; ++i) {
+    // Gradient rows are disjoint; y/num/psym are read-only here.
+    parallel::For(n, [&](size_t i) {
       for (size_t j = 0; j < n; ++j) {
         if (i == j) continue;
         const double q = std::max(num.At(i, j) / qsum, 1e-12);
@@ -118,7 +128,7 @@ Matrix Tsne::FitTransform(const Matrix& x) const {
           grad.At(i, k) += mult * (y.At(i, k) - y.At(j, k));
         }
       }
-    }
+    });
     for (size_t i = 0; i < n; ++i) {
       for (size_t k = 0; k < out_d; ++k) {
         velocity.At(i, k) = options_.momentum * velocity.At(i, k) -

@@ -7,6 +7,14 @@
 namespace fexiot {
 
 /// \brief Matrix product C = A * B. Shapes must agree.
+///
+/// Large products run through a cache-blocked, packed GEMM with a
+/// compiler-vectorized microkernel, row-block-parallel over the shared
+/// parallel::For pool; small products fall through to the reference
+/// kernel (packing overhead dominates below the blocking grain). Results
+/// are bit-identical across thread counts; they may differ from the
+/// reference kernel by floating-point reassociation across depth blocks
+/// when the inner dimension exceeds the depth blocking factor.
 Matrix MatMul(const Matrix& a, const Matrix& b);
 
 /// \brief C = A^T * B without materializing the transpose.
@@ -14,6 +22,14 @@ Matrix MatMulTransA(const Matrix& a, const Matrix& b);
 
 /// \brief C = A * B^T without materializing the transpose.
 Matrix MatMulTransB(const Matrix& a, const Matrix& b);
+
+/// \brief Reference GEMM kernels: the original naive triple-loop
+/// implementations, retained as the parity oracle for the blocked kernels
+/// (tests/test_kernels.cc) and as the baseline bench_kernels measures
+/// speedup against. Also the small-product fast path of MatMul*.
+Matrix ReferenceMatMul(const Matrix& a, const Matrix& b);
+Matrix ReferenceMatMulTransA(const Matrix& a, const Matrix& b);
+Matrix ReferenceMatMulTransB(const Matrix& a, const Matrix& b);
 
 /// \brief Adds a 1 x cols bias row to every row of \p m, in place.
 void AddBiasRow(Matrix* m, const Matrix& bias);

@@ -2,7 +2,11 @@
 
 #include <atomic>
 #include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
 
+#include "common/parallel.h"
 #include "common/result.h"
 #include "common/rng.h"
 #include "common/status.h"
@@ -198,6 +202,99 @@ TEST(ThreadPool, SubmitAndWait) {
   }
   pool.Wait();
   EXPECT_EQ(counter.load(), 50);
+}
+
+// Stress: many producer threads hammer Submit and Wait concurrently; the
+// pool must neither drop nor double-run tasks (run under TSAN in CI).
+TEST(ThreadPool, ConcurrentSubmitAndWaitFromManyThreads) {
+  ThreadPool pool(4);
+  constexpr int kProducers = 6;
+  constexpr int kTasksEach = 200;
+  std::atomic<int> counter{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&] {
+      for (int i = 0; i < kTasksEach; ++i) {
+        pool.Submit([&] { counter.fetch_add(1, std::memory_order_relaxed); });
+        if (i % 64 == 0) pool.Wait();
+      }
+      pool.Wait();
+    });
+  }
+  for (auto& t : producers) t.join();
+  pool.Wait();
+  EXPECT_EQ(counter.load(), kProducers * kTasksEach);
+}
+
+// A throwing Submit task is logged and dropped; it still counts as
+// completed so Wait() does not wedge and later tasks run normally.
+TEST(ThreadPool, ThrowingSubmitTaskDoesNotWedgeWait) {
+  ThreadPool pool(2);
+  std::atomic<int> after{0};
+  pool.Submit([] { throw std::runtime_error("task boom"); });
+  pool.Wait();  // must return
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([&] { after.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(after.load(), 10);
+}
+
+// ParallelFor propagates the first body exception to the caller and the
+// pool stays usable afterwards.
+TEST(ThreadPool, ParallelForRethrowsFirstException) {
+  ThreadPool pool(3);
+  EXPECT_THROW(
+      pool.ParallelFor(100,
+                       [&](size_t i) {
+                         if (i == 17) throw std::runtime_error("body boom");
+                       }),
+      std::runtime_error);
+  std::vector<std::atomic<int>> hits(64);
+  pool.ParallelFor(64, [&](size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+// The oversubscription guard: ParallelFor from a worker runs inline, so
+// nesting completes instead of deadlocking on Wait-from-worker.
+TEST(ThreadPool, NestedParallelForRunsInlineOnWorkers) {
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(16 * 8);
+  pool.ParallelFor(16, [&](size_t outer) {
+    EXPECT_TRUE(ThreadPool::OnWorkerThread());
+    pool.ParallelFor(8, [&](size_t inner) {
+      hits[outer * 8 + inner].fetch_add(1);
+    });
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_FALSE(ThreadPool::OnWorkerThread());
+}
+
+TEST(ParallelFacade, ForMatchesSerialAndHonorsSetThreads) {
+  parallel::SetThreads(3);
+  std::vector<int> out(257, 0);
+  parallel::For(out.size(), [&](size_t i) { out[i] = static_cast<int>(i); });
+  for (size_t i = 0; i < out.size(); ++i) {
+    ASSERT_EQ(out[i], static_cast<int>(i));
+  }
+  EXPECT_EQ(parallel::NumThreads(), 3u);
+  parallel::SetThreads(0);
+}
+
+TEST(ParallelFacade, ForRethrowsAndStaysUsable) {
+  parallel::SetThreads(2);
+  EXPECT_THROW(parallel::For(50,
+                             [&](size_t i) {
+                               if (i == 3) {
+                                 throw std::runtime_error("facade boom");
+                               }
+                             }),
+               std::runtime_error);
+  std::vector<int> hits(32, 0);
+  parallel::For(hits.size(), [&](size_t i) { hits[i] += 1; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+  parallel::SetThreads(0);
 }
 
 TEST(Rng, ForkIndependent) {

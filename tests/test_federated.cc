@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/parallel.h"
 #include "federated/fl_simulator.h"
 #include "graph/corpus.h"
 
@@ -133,6 +134,39 @@ TEST(FederatedSimulator, FexiotCheaperThanFedAvg) {
     fexiot_bytes = sim.Run(FlAlgorithm::kFexiot).total_comm_bytes;
   }
   EXPECT_LT(fexiot_bytes, fedavg_bytes);
+}
+
+// The whole federated run must be a pure function of the seed, not of the
+// thread count: per-client work is parallel, but every reduction happens
+// in client index order and inner library parallelism serializes on pool
+// workers. Compared bit-exactly, not within tolerance.
+TEST(FederatedSimulator, RunIsBitIdenticalAcrossThreadCounts) {
+  const Fixture& f = Fixture::Get();
+  auto run_with_threads = [&](int threads) {
+    parallel::SetThreads(static_cast<size_t>(threads));
+    FlConfig fc = f.fc;
+    fc.threads = threads;
+    FederatedSimulator sim(f.gc, fc);
+    sim.SetupClients(f.corpus.data, f.corpus.partition,
+                     f.corpus.cluster_tests);
+    const FlResult res = sim.Run(FlAlgorithm::kFexiot);
+    parallel::SetThreads(0);
+    return res;
+  };
+  const FlResult r1 = run_with_threads(1);
+  const FlResult r4 = run_with_threads(4);
+  EXPECT_EQ(r1.mean.accuracy, r4.mean.accuracy);
+  EXPECT_EQ(r1.mean.f1, r4.mean.f1);
+  EXPECT_EQ(r1.accuracy_std, r4.accuracy_std);
+  EXPECT_EQ(r1.total_comm_bytes, r4.total_comm_bytes);
+  EXPECT_EQ(r1.client_cluster, r4.client_cluster);
+  ASSERT_EQ(r1.client_metrics.size(), r4.client_metrics.size());
+  for (size_t c = 0; c < r1.client_metrics.size(); ++c) {
+    EXPECT_EQ(r1.client_metrics[c].accuracy, r4.client_metrics[c].accuracy)
+        << "client " << c;
+    EXPECT_EQ(r1.client_metrics[c].f1, r4.client_metrics[c].f1)
+        << "client " << c;
+  }
 }
 
 TEST(FederatedSimulator, LocalOnlyClientsStayIndependent) {

@@ -1,0 +1,189 @@
+// Parity, determinism, and race harness for the blocked GEMM kernels.
+//
+// MatMul/MatMulTransA/MatMulTransB are checked against the retained
+// reference kernels over a randomized shape sweep (degenerate, tiny,
+// non-block-multiple, and above the small-product cutoff so the blocked
+// path actually runs), must be bit-identical across pool sizes, and must
+// survive concurrent callers sharing the global pool (run under
+// -DFEXIOT_SANITIZE=thread in ci/run_tests.sh).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "tensor/matrix.h"
+#include "tensor/ops.h"
+
+namespace fexiot {
+namespace {
+
+struct Shape {
+  size_t n, k, m;
+};
+
+// Mix of degenerate shapes, sizes straddling the microkernel tile
+// (kMr=4 x kNr=16) and block (kMc=64, kKc=256) boundaries, and products
+// above the small-flop cutoff (64^3) that exercise the packed path.
+std::vector<Shape> ParityShapes() {
+  std::vector<Shape> shapes = {
+      {0, 0, 0},   {0, 5, 3},   {5, 0, 3},    {5, 3, 0},    {1, 1, 1},
+      {1, 7, 1},   {2, 2, 2},   {3, 5, 7},    {4, 4, 16},   {5, 17, 9},
+      {15, 16, 17}, {16, 16, 16}, {31, 33, 29}, {63, 64, 65}, {64, 64, 64},
+      {65, 65, 65}, {64, 1, 64},  {1, 300, 900}, {100, 128, 100},
+      {128, 128, 128}, {130, 70, 90}, {200, 16, 300}, {32, 512, 32},
+      {96, 257, 48}, {40, 600, 24},
+  };
+  // Randomized fill to ~50 shapes, biased to straddle the cutoff.
+  Rng rng(20250806);
+  while (shapes.size() < 50) {
+    const size_t n = 1 + rng.UniformInt(uint64_t{140});
+    const size_t k = 1 + rng.UniformInt(uint64_t{300});
+    const size_t m = 1 + rng.UniformInt(uint64_t{140});
+    shapes.push_back({n, k, m});
+  }
+  return shapes;
+}
+
+// Equal within floating-point reassociation slack: the blocked kernel
+// accumulates per depth block, so elements may differ from the reference
+// in the last bits once k spans multiple blocks.
+void ExpectMatricesNear(const Matrix& expected, const Matrix& got,
+                        size_t k, const char* what, const Shape& s) {
+  ASSERT_TRUE(expected.SameShape(got))
+      << what << " shape mismatch at n=" << s.n << " k=" << s.k
+      << " m=" << s.m;
+  const double tol = 1e-9 * static_cast<double>(k + 1);
+  for (size_t i = 0; i < expected.size(); ++i) {
+    const double e = expected.data()[i];
+    const double g = got.data()[i];
+    ASSERT_NEAR(e, g, tol * std::max(1.0, std::fabs(e)))
+        << what << " mismatch at flat index " << i << " for n=" << s.n
+        << " k=" << s.k << " m=" << s.m;
+  }
+}
+
+TEST(Kernels, BlockedMatchesReferenceAcrossShapes) {
+  Rng rng(11);
+  for (const Shape& s : ParityShapes()) {
+    const Matrix a = Matrix::RandomNormal(s.n, s.k, 1.0, &rng);
+    const Matrix b = Matrix::RandomNormal(s.k, s.m, 1.0, &rng);
+    ExpectMatricesNear(ReferenceMatMul(a, b), MatMul(a, b), s.k, "MatMul",
+                       s);
+  }
+}
+
+TEST(Kernels, BlockedTransAMatchesReference) {
+  Rng rng(12);
+  for (const Shape& s : ParityShapes()) {
+    // op(A) is n x k, so A is stored k x n.
+    const Matrix a = Matrix::RandomNormal(s.k, s.n, 1.0, &rng);
+    const Matrix b = Matrix::RandomNormal(s.k, s.m, 1.0, &rng);
+    ExpectMatricesNear(ReferenceMatMulTransA(a, b), MatMulTransA(a, b), s.k,
+                       "MatMulTransA", s);
+  }
+}
+
+TEST(Kernels, BlockedTransBMatchesReference) {
+  Rng rng(13);
+  for (const Shape& s : ParityShapes()) {
+    const Matrix a = Matrix::RandomNormal(s.n, s.k, 1.0, &rng);
+    const Matrix b = Matrix::RandomNormal(s.m, s.k, 1.0, &rng);
+    ExpectMatricesNear(ReferenceMatMulTransB(a, b), MatMulTransB(a, b), s.k,
+                       "MatMulTransB", s);
+  }
+}
+
+TEST(Kernels, ZerosTimesAnythingIsExactlyZero) {
+  Rng rng(14);
+  const Matrix a(70, 80);  // all zeros
+  const Matrix b = Matrix::RandomNormal(80, 90, 1.0, &rng);
+  const Matrix c = MatMul(a, b);
+  for (size_t i = 0; i < c.size(); ++i) EXPECT_EQ(c.data()[i], 0.0);
+}
+
+TEST(Kernels, IdentityIsExact) {
+  Rng rng(15);
+  const size_t n = 96;  // above the small-product cutoff: blocked path
+  const Matrix a = Matrix::RandomNormal(n, n, 1.0, &rng);
+  const Matrix c = MatMul(a, Matrix::Identity(n));
+  for (size_t i = 0; i < c.size(); ++i) {
+    EXPECT_EQ(c.data()[i], a.data()[i]) << "flat index " << i;
+  }
+}
+
+// The determinism contract: results are a pure function of the inputs,
+// independent of pool size — bit-for-bit, not just within tolerance.
+TEST(Kernels, ResultsBitIdenticalAcrossThreadCounts) {
+  Rng rng(16);
+  const Matrix a = Matrix::RandomNormal(130, 257, 1.0, &rng);
+  const Matrix b = Matrix::RandomNormal(257, 120, 1.0, &rng);
+
+  parallel::SetThreads(1);
+  const Matrix c1 = MatMul(a, b);
+  const Matrix t1 = MatMulTransA(a.Transposed(), b);
+  parallel::SetThreads(4);
+  const Matrix c4 = MatMul(a, b);
+  const Matrix t4 = MatMulTransA(a.Transposed(), b);
+  parallel::SetThreads(0);  // restore default sizing
+
+  ASSERT_TRUE(c1.SameShape(c4));
+  for (size_t i = 0; i < c1.size(); ++i) {
+    ASSERT_EQ(c1.data()[i], c4.data()[i]) << "flat index " << i;
+  }
+  ASSERT_TRUE(t1.SameShape(t4));
+  for (size_t i = 0; i < t1.size(); ++i) {
+    ASSERT_EQ(t1.data()[i], t4.data()[i]) << "flat index " << i;
+  }
+}
+
+// Race harness: independent caller threads share the one global pool.
+// Each verifies its own product; TSAN (ci/run_tests.sh) checks the pool.
+TEST(Kernels, ConcurrentCallersShareThePool) {
+  parallel::SetThreads(4);
+  constexpr int kCallers = 4;
+  Rng rng(17);
+  std::vector<Matrix> as, bs, expected;
+  for (int t = 0; t < kCallers; ++t) {
+    as.push_back(Matrix::RandomNormal(80, 90, 1.0, &rng));
+    bs.push_back(Matrix::RandomNormal(90, 70, 1.0, &rng));
+    expected.push_back(MatMul(as.back(), bs.back()));
+  }
+  std::vector<int> ok(kCallers, 0);
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int t = 0; t < kCallers; ++t) {
+    callers.emplace_back([&, t] {
+      for (int rep = 0; rep < 8; ++rep) {
+        const Matrix c = MatMul(as[t], bs[t]);
+        if (!c.SameShape(expected[t])) return;
+        for (size_t i = 0; i < c.size(); ++i) {
+          if (c.data()[i] != expected[t].data()[i]) return;
+        }
+      }
+      ok[t] = 1;
+    });
+  }
+  for (auto& th : callers) th.join();
+  parallel::SetThreads(0);
+  for (int t = 0; t < kCallers; ++t) {
+    EXPECT_EQ(ok[t], 1) << "caller " << t << " saw a wrong product";
+  }
+}
+
+TEST(Kernels, ParallelForRangeCoversEveryIndexOnce) {
+  parallel::SetThreads(3);
+  const size_t n = 1013;  // deliberately not a multiple of the pool size
+  std::vector<int> hits(n, 0);
+  parallel::ForRange(n, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) ++hits[i];
+  });
+  parallel::SetThreads(0);
+  for (size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i], 1) << "index " << i;
+}
+
+}  // namespace
+}  // namespace fexiot

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cmath>
 
 #include "common/rng.h"
@@ -182,6 +183,54 @@ TEST(Ops, WeightedLeastSquaresRespectsWeights) {
   const std::vector<double> beta = WeightedLeastSquares(x, y, w, 1e-12);
   ASSERT_EQ(beta.size(), 1u);
   EXPECT_NEAR(beta[0], 10.0, 1e-3);
+}
+
+// Property: (A * B)^T == B^T * A^T, through the blocked kernels.
+TEST(Ops, MatMulTransposeProperty) {
+  Rng rng(21);
+  for (const auto& [n, k, m] :
+       {std::array<size_t, 3>{3, 4, 5}, std::array<size_t, 3>{70, 90, 80},
+        std::array<size_t, 3>{1, 129, 65}}) {
+    const Matrix a = Matrix::RandomNormal(n, k, 1.0, &rng);
+    const Matrix b = Matrix::RandomNormal(k, m, 1.0, &rng);
+    const Matrix lhs = MatMul(a, b).Transposed();
+    const Matrix rhs = MatMul(b.Transposed(), a.Transposed());
+    ASSERT_TRUE(lhs.SameShape(rhs));
+    for (size_t i = 0; i < lhs.size(); ++i) {
+      EXPECT_NEAR(lhs.data()[i], rhs.data()[i], 1e-9);
+    }
+  }
+}
+
+// Property: the three MatMul variants agree with explicit transposition
+// at sizes large enough to take the blocked path.
+TEST(Ops, TransVariantsConsistentAtBlockedSizes) {
+  Rng rng(22);
+  const size_t n = 72, k = 68, m = 75;
+  const Matrix a = Matrix::RandomNormal(n, k, 1.0, &rng);
+  const Matrix b = Matrix::RandomNormal(k, m, 1.0, &rng);
+  const Matrix base = MatMul(a, b);
+  const Matrix via_ta = MatMulTransA(a.Transposed(), b);
+  const Matrix via_tb = MatMulTransB(a, b.Transposed());
+  ASSERT_TRUE(base.SameShape(via_ta));
+  ASSERT_TRUE(base.SameShape(via_tb));
+  for (size_t i = 0; i < base.size(); ++i) {
+    EXPECT_NEAR(base.data()[i], via_ta.data()[i], 1e-9);
+    EXPECT_NEAR(base.data()[i], via_tb.data()[i], 1e-9);
+  }
+}
+
+// Property: MatMul is linear in its first argument.
+TEST(Ops, MatMulLinearity) {
+  Rng rng(23);
+  const Matrix a1 = Matrix::RandomNormal(66, 80, 1.0, &rng);
+  const Matrix a2 = Matrix::RandomNormal(66, 80, 1.0, &rng);
+  const Matrix b = Matrix::RandomNormal(80, 66, 1.0, &rng);
+  const Matrix sum_first = MatMul(a1 + a2, b);
+  const Matrix sum_after = MatMul(a1, b) + MatMul(a2, b);
+  for (size_t i = 0; i < sum_first.size(); ++i) {
+    EXPECT_NEAR(sum_first.data()[i], sum_after.data()[i], 1e-9);
+  }
 }
 
 // Property: Glorot init keeps values within the theoretical limit.
