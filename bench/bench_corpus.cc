@@ -1,0 +1,128 @@
+// Corpus generation trajectory bench: stream-split parallel
+// GenerateDataset throughput (graphs/sec) at 1/2/N pool threads, with a
+// bit-exact content fingerprint cross-checked against the serial run.
+// Prints a table and writes a JSON perf record (BENCH_corpus.json by
+// default, or the path in argv[1]), same shape as BENCH_kernels.json.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "graph/corpus.h"
+
+namespace fexiot {
+namespace bench {
+namespace {
+
+constexpr uint64_t kSeed = 20260806ULL;
+constexpr int kGraphs = 400;
+
+struct CorpusRecord {
+  size_t threads = 0;
+  int graphs = 0;
+  double seconds = 0.0;
+  double graphs_per_sec = 0.0;
+  double speedup = 0.0;       // vs the threads=1 run
+  bool bit_identical = false; // fingerprint matches the threads=1 run
+};
+
+CorpusOptions BenchOptions() {
+  CorpusOptions opt;
+  opt.platforms = {Platform::kSmartThings, Platform::kHomeAssistant,
+                   Platform::kIfttt, Platform::kGoogleAssistant,
+                   Platform::kAlexa};
+  opt.min_nodes = 3;
+  opt.max_nodes = 12;
+  opt.vulnerable_fraction = 0.3;
+  return opt;
+}
+
+CorpusRecord BenchThreads(size_t threads, uint64_t* fingerprint) {
+  parallel::SetThreads(threads);
+  CorpusRecord rec;
+  rec.threads = parallel::NumThreads();
+  rec.graphs = kGraphs;
+  std::vector<double> samples;
+  for (int rep = 0; rep < 3; ++rep) {
+    Rng rng(kSeed);
+    GraphCorpusGenerator gen(BenchOptions(), &rng);
+    Stopwatch sw;
+    const auto graphs = gen.GenerateDataset(kGraphs);
+    samples.push_back(sw.ElapsedSeconds());
+    *fingerprint = CorpusContentFingerprint(graphs);
+  }
+  std::sort(samples.begin(), samples.end());
+  rec.seconds = samples[samples.size() / 2];
+  rec.graphs_per_sec = kGraphs / rec.seconds;
+  parallel::SetThreads(0);
+  return rec;
+}
+
+bool WriteJson(const std::string& path,
+               const std::vector<CorpusRecord>& records) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"corpus\",\n");
+  std::fprintf(f, "  \"generator\": \"stream-split-parallel\",\n");
+  std::fprintf(f, "  \"host_cpus\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"records\": [\n");
+  for (size_t i = 0; i < records.size(); ++i) {
+    const CorpusRecord& r = records[i];
+    std::fprintf(f,
+                 "    {\"threads\": %zu, \"graphs\": %d, "
+                 "\"seconds\": %.6f, \"graphs_per_sec\": %.3f, "
+                 "\"speedup\": %.3f, \"bit_identical\": %s}%s\n",
+                 r.threads, r.graphs, r.seconds, r.graphs_per_sec, r.speedup,
+                 r.bit_identical ? "true" : "false",
+                 i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace fexiot
+
+int main(int argc, char** argv) {
+  using namespace fexiot;
+  using namespace fexiot::bench;
+  PrintHeader("CORPUS",
+              "stream-split parallel GenerateDataset, serial vs parallel");
+
+  std::vector<size_t> thread_counts = {1, 2, 8};
+  std::vector<CorpusRecord> records;
+  TablePrinter table({"threads", "seconds", "graphs/s", "speedup", "bit-id"});
+  uint64_t serial_fp = 0;
+  for (size_t t : thread_counts) {
+    uint64_t fp = 0;
+    CorpusRecord rec = BenchThreads(t, &fp);
+    if (records.empty()) serial_fp = fp;
+    rec.speedup = records.empty()
+                      ? 1.0
+                      : records.front().seconds / rec.seconds;
+    rec.bit_identical = fp == serial_fp;
+    table.AddRow({std::to_string(rec.threads), Fmt(rec.seconds, 3),
+                  Fmt(rec.graphs_per_sec, 1), Fmt(rec.speedup, 2),
+                  rec.bit_identical ? "yes" : "NO"});
+    records.push_back(rec);
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("host cpus: %u\n", std::thread::hardware_concurrency());
+
+  bool ok = WriteJson(argc > 1 ? argv[1] : "BENCH_corpus.json", records);
+  for (const auto& r : records) ok = ok && r.bit_identical;
+  return ok ? 0 : 1;
+}

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# Tier-1 gate: full release-mode test suite, then a ThreadSanitizer pass
-# over the concurrency-bearing binaries (thread pool / parallel facade /
-# blocked GEMM race harness).
+# Tier-1 gate: full release-mode test suite, a corpus thread-count parity
+# check (golden statistics + content fingerprints must be byte-identical
+# between FEXIOT_THREADS=1 and FEXIOT_THREADS=4), then a ThreadSanitizer
+# pass over the concurrency-bearing binaries (thread pool / parallel
+# facade / blocked GEMM race harness / stream-split corpus fan-out).
 #
 # Usage: ci/run_tests.sh [build-dir] [tsan-build-dir]
 set -euo pipefail
@@ -11,20 +13,37 @@ BUILD_DIR="${1:-build}"
 TSAN_DIR="${2:-build-tsan}"
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
-echo "==> [1/3] configure + build (${BUILD_DIR})"
+echo "==> [1/4] configure + build (${BUILD_DIR})"
 cmake -B "${BUILD_DIR}" -S . >/dev/null
 cmake --build "${BUILD_DIR}" -j "${JOBS}"
 
-echo "==> [2/3] full test suite"
+echo "==> [2/4] full test suite"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
 
-echo "==> [3/3] TSAN pass (test_common + test_kernels)"
+echo "==> [3/4] corpus thread-count parity (FEXIOT_THREADS=1 vs 4)"
+STATS_DIR="${BUILD_DIR}/corpus-parity"
+mkdir -p "${STATS_DIR}"
+FEXIOT_THREADS=1 FEXIOT_STATS_OUT="${STATS_DIR}/stats_t1.json" \
+  "${BUILD_DIR}/tests/test_corpus_determinism" \
+  --gtest_filter='GoldenStats.*' >/dev/null
+FEXIOT_THREADS=4 FEXIOT_STATS_OUT="${STATS_DIR}/stats_t4.json" \
+  "${BUILD_DIR}/tests/test_corpus_determinism" \
+  --gtest_filter='GoldenStats.*' >/dev/null
+if ! diff -u "${STATS_DIR}/stats_t1.json" "${STATS_DIR}/stats_t4.json"; then
+  echo "FAIL: corpus statistics/fingerprints differ across thread counts"
+  exit 1
+fi
+echo "    stats + fingerprints identical across thread counts"
+
+echo "==> [4/4] TSAN pass (test_common + test_kernels + test_corpus_determinism)"
 cmake -B "${TSAN_DIR}" -S . \
   -DFEXIOT_SANITIZE=thread \
   -DFEXIOT_BUILD_BENCHMARKS=OFF \
   -DFEXIOT_BUILD_EXAMPLES=OFF >/dev/null
-cmake --build "${TSAN_DIR}" -j "${JOBS}" --target test_common test_kernels
+cmake --build "${TSAN_DIR}" -j "${JOBS}" \
+  --target test_common test_kernels test_corpus_determinism
 "${TSAN_DIR}/tests/test_common"
 "${TSAN_DIR}/tests/test_kernels"
+FEXIOT_THREADS=4 "${TSAN_DIR}/tests/test_corpus_determinism"
 
-echo "OK: tier-1 suite green, TSAN clean"
+echo "OK: tier-1 suite green, thread-count parity holds, TSAN clean"

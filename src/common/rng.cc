@@ -141,4 +141,15 @@ std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
 
 Rng Rng::Fork() { return Rng(NextU64() ^ 0xa5a5a5a5a5a5a5a5ULL); }
 
+Rng Rng::ForkAt(uint64_t index) const {
+  // Child seed = splitmix64 of (state digest + index * golden ratio): the
+  // children enumerate a splitmix64 counter stream anchored at this
+  // generator's state, so distinct indices yield decorrelated streams and
+  // the parent state is never touched.
+  uint64_t sm =
+      (s_[0] ^ Rotl(s_[1], 16) ^ Rotl(s_[2], 32) ^ Rotl(s_[3], 48)) +
+      index * 0x9e3779b97f4a7c15ULL;
+  return Rng(SplitMix64(&sm));
+}
+
 }  // namespace fexiot

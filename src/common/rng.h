@@ -57,7 +57,17 @@ class Rng {
   std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
 
   /// \brief Derives an independent child generator (for parallel streams).
+  /// Consumes one draw from this generator's stream.
   Rng Fork();
+
+  /// \brief Counter-based child derivation: deterministically derives the
+  /// \p index-th child of this generator's *current* state without
+  /// consuming the parent stream. ForkAt(i) is a pure function of
+  /// (state, i), so forking N children is O(1) per child, independent of
+  /// the order the children are requested in — the stream-splitting
+  /// primitive behind parallel corpus generation (graph i's content
+  /// depends only on the seed and i, never on thread count or schedule).
+  Rng ForkAt(uint64_t index) const;
 
  private:
   uint64_t s_[4];

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
 #include <set>
 
 #include "common/logging.h"
@@ -392,25 +393,108 @@ InteractionGraph GraphCorpusGenerator::GenerateDrifting() {
 
 std::vector<InteractionGraph> GraphCorpusGenerator::GenerateDataset(
     int count) {
-  // Serial by design: generation consumes one shared rng stream, and the
-  // stream (hence the corpus content) is part of the seeded contract the
-  // threshold tests pin down. The O(n^2) rng-free edge inference inside
-  // each graph is what parallelizes (FinalizeEdges).
-  std::vector<InteractionGraph> out;
-  out.reserve(static_cast<size_t>(count));
+  if (count <= 0) return {};
+  // Stream splitting: the shared rng is consumed exactly once (the Fork
+  // below) plus the final shuffle, so two successive GenerateDataset calls
+  // still produce distinct content. Graph i is generated by a worker
+  // generator seeded from base.ForkAt(i) — a pure function of (seed, i) —
+  // so the fan-out is bit-identical for every thread count and schedule.
   const int num_vulnerable =
       static_cast<int>(count * options_.vulnerable_fraction + 0.5);
-  for (int i = 0; i < count; ++i) {
-    if (i < num_vulnerable) {
-      const auto type = static_cast<VulnerabilityType>(
-          1 + (vuln_type_cursor_++ % kNumInternalVulnerabilities));
-      out.push_back(GenerateVulnerable(type));
-    } else {
-      out.push_back(GenerateBenign());
-    }
+  std::vector<VulnerabilityType> plan(static_cast<size_t>(count),
+                                      VulnerabilityType::kNone);
+  for (int i = 0; i < num_vulnerable; ++i) {
+    plan[static_cast<size_t>(i)] = static_cast<VulnerabilityType>(
+        1 + (vuln_type_cursor_++ % kNumInternalVulnerabilities));
   }
+  const Rng base = rng_->Fork();
+  std::vector<InteractionGraph> out(static_cast<size_t>(count));
+  parallel::For(static_cast<size_t>(count), [&](size_t i) {
+    Rng child = base.ForkAt(static_cast<uint64_t>(i));
+    GraphCorpusGenerator worker(options_, &child);
+    for (const auto& [seed, strength] : device_profiles_) {
+      worker.ApplyDeviceProfile(seed, strength);
+    }
+    out[i] = plan[i] == VulnerabilityType::kNone
+                 ? worker.GenerateBenign()
+                 : worker.GenerateVulnerable(plan[i]);
+  });
   rng_->Shuffle(&out);
   return out;
+}
+
+namespace {
+
+void FnvBytes(const void* data, size_t n, uint64_t* h) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    *h ^= p[i];
+    *h *= 0x100000001b3ULL;  // FNV-1a prime
+  }
+}
+
+void FnvU64(uint64_t v, uint64_t* h) { FnvBytes(&v, sizeof(v), h); }
+
+void FnvDouble(double v, uint64_t* h) {
+  // Bit pattern, not value: 0.0 vs -0.0 or any ulp drift must be caught.
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  FnvU64(bits, h);
+}
+
+void FnvString(const std::string& s, uint64_t* h) {
+  FnvU64(s.size(), h);
+  FnvBytes(s.data(), s.size(), h);
+}
+
+void FnvGraph(const InteractionGraph& g, uint64_t* h) {
+  FnvU64(static_cast<uint64_t>(g.num_nodes()), h);
+  for (int i = 0; i < g.num_nodes(); ++i) {
+    const GraphNode& n = g.node(i);
+    FnvU64(static_cast<uint64_t>(n.rule.platform), h);
+    FnvString(n.rule.description, h);
+    FnvString(n.rule.trigger_text, h);
+    FnvString(n.rule.action_text, h);
+    FnvDouble(n.event_time, h);
+    FnvU64(n.features.size(), h);
+    for (double f : n.features) FnvDouble(f, h);
+  }
+  FnvU64(static_cast<uint64_t>(g.num_edges()), h);
+  for (const auto& [u, v] : g.edges()) {
+    FnvU64(static_cast<uint64_t>(u), h);
+    FnvU64(static_cast<uint64_t>(v), h);
+  }
+  FnvU64(static_cast<uint64_t>(g.label()), h);
+  FnvU64(static_cast<uint64_t>(g.vulnerability()), h);
+  FnvU64(g.witness().size(), h);
+  for (int w : g.witness()) FnvU64(static_cast<uint64_t>(w), h);
+}
+
+}  // namespace
+
+uint64_t CorpusContentFingerprint(
+    const std::vector<InteractionGraph>& graphs) {
+  uint64_t h = 0xcbf29ce484222325ULL;  // FNV offset basis
+  FnvU64(graphs.size(), &h);
+  for (const auto& g : graphs) FnvGraph(g, &h);
+  return h;
+}
+
+uint64_t FederatedCorpusContentFingerprint(const FederatedCorpus& corpus) {
+  uint64_t h = CorpusContentFingerprint(corpus.data.graphs());
+  FnvU64(corpus.partition.indices.size(), &h);
+  for (const auto& shard : corpus.partition.indices) {
+    FnvU64(shard.size(), &h);
+    for (size_t i : shard) FnvU64(i, &h);
+  }
+  for (int c : corpus.partition.client_cluster) {
+    FnvU64(static_cast<uint64_t>(c), &h);
+  }
+  FnvU64(corpus.cluster_tests.size(), &h);
+  for (const auto& pool : corpus.cluster_tests) {
+    FnvU64(CorpusContentFingerprint(pool.graphs()), &h);
+  }
+  return h;
 }
 
 CorpusStats ComputeCorpusStats(const std::vector<InteractionGraph>& graphs) {
@@ -435,14 +519,33 @@ CorpusStats ComputeCorpusStats(const std::vector<InteractionGraph>& graphs) {
 
 void GraphCorpusGenerator::ApplyDeviceProfile(uint64_t profile_seed,
                                               double strength) {
+  device_profiles_.emplace_back(profile_seed, strength);
   for (auto& gen : generators_) {
     gen.ApplyDeviceProfile(profile_seed, strength);
   }
 }
 
+namespace {
+
+/// One planned federated-corpus sample: which cluster generates it, what
+/// content it carries, and where it lands. All rng draws that decide a
+/// plan happen serially up front, so the parallel generation phase below
+/// is rng-free on the shared stream.
+struct FederatedSamplePlan {
+  int cluster = 0;
+  bool test = false;
+  /// kNone = plain benign; otherwise the type to plant. idiom_benign
+  /// means: plant the cluster's idiom pattern but relabel it benign.
+  VulnerabilityType type = VulnerabilityType::kNone;
+  bool idiom_benign = false;
+};
+
+}  // namespace
+
 FederatedCorpus BuildClusteredFederatedCorpus(
     const CorpusOptions& base, int total_graphs, int num_clients,
     int num_clusters, double alpha, double profile_strength, Rng* rng) {
+  assert(rng != nullptr);
   assert(num_clients > 0 && num_clusters > 0);
   num_clusters = std::min(num_clusters, num_clients);
   FederatedCorpus out;
@@ -451,19 +554,20 @@ FederatedCorpus BuildClusteredFederatedCorpus(
   for (int c = 0; c < num_clients; ++c) {
     out.partition.client_cluster[static_cast<size_t>(c)] = c % num_clusters;
   }
-
   out.cluster_tests.resize(static_cast<size_t>(num_clusters));
+
+  // --- Phase 1 (serial): plan every sample's cluster/content/destination,
+  // consuming the shared rng in a fixed order.
+  std::vector<FederatedSamplePlan> plans;
+  plans.reserve(static_cast<size_t>(total_graphs));
+  std::vector<int> train_quota(static_cast<size_t>(num_clusters), 0);
   for (int k = 0; k < num_clusters; ++k) {
-    // Per-cluster corpus: distinct device profile (covariate shift) and a
-    // preferred pair of vulnerability types (concept shift).
-    GraphCorpusGenerator gen(base, rng);
-    gen.ApplyDeviceProfile(0xfeed0000ULL + static_cast<uint64_t>(k),
-                           profile_strength);
     const int quota = total_graphs / num_clusters +
                       (k < total_graphs % num_clusters ? 1 : 0);
     // 20% of the quota becomes the held-out test pool for this cluster.
-    const int test_quota = std::max(2, quota / 5);
-    const int train_quota = quota - test_quota;
+    const int test_q = std::max(2, quota / 5);
+    const int train_q = quota - test_q;
+    train_quota[static_cast<size_t>(k)] = train_q;
     // The cluster's *benign idiom*: one interaction pattern that counts as
     // a vulnerability elsewhere but is an intended automation habit in
     // this household cluster (e.g. deliberately duplicated actions). This
@@ -471,17 +575,15 @@ FederatedCorpus BuildClusteredFederatedCorpus(
     // plain FedAvg degrade and clustering recover (Section III-B2).
     const auto idiom = static_cast<VulnerabilityType>(
         1 + (k % kNumInternalVulnerabilities));
-    auto sample_graph = [&](bool vulnerable) {
+    auto plan_sample = [&](bool vulnerable, bool test) {
+      FederatedSamplePlan p;
+      p.cluster = k;
+      p.test = test;
       if (!vulnerable) {
-        if (rng->Bernoulli(0.5)) {
-          // Benign graph exhibiting the cluster's idiom pattern.
-          InteractionGraph g = gen.GenerateVulnerable(idiom);
-          g.set_label(0);
-          g.set_vulnerability(VulnerabilityType::kNone);
-          g.set_witness({});
-          return g;
-        }
-        return gen.GenerateBenign();
+        // Half the benign samples exhibit the cluster's idiom pattern.
+        p.idiom_benign = rng->Bernoulli(0.5);
+        p.type = p.idiom_benign ? idiom : VulnerabilityType::kNone;
+        return p;
       }
       // 80%: one of the cluster's two home vulnerability types; 20%: any —
       // but never the idiom, which is benign here.
@@ -496,25 +598,66 @@ FederatedCorpus BuildClusteredFederatedCorpus(
                       static_cast<uint64_t>(kNumInternalVulnerabilities)));
         }
       } while (t == static_cast<int>(idiom));
-      return gen.GenerateVulnerable(static_cast<VulnerabilityType>(t));
+      p.type = static_cast<VulnerabilityType>(t);
+      return p;
     };
     const int num_vuln =
-        static_cast<int>(train_quota * base.vulnerable_fraction + 0.5);
-    std::vector<size_t> cluster_samples;
-    for (int i = 0; i < train_quota; ++i) {
-      cluster_samples.push_back(out.data.size());
-      out.data.Add(sample_graph(i < num_vuln));
+        static_cast<int>(train_q * base.vulnerable_fraction + 0.5);
+    for (int i = 0; i < train_q; ++i) {
+      plans.push_back(plan_sample(i < num_vuln, /*test=*/false));
     }
-    rng->Shuffle(&cluster_samples);
     // Test pools are class-balanced so that a class-starved client model
     // scores near 0.5, matching the evaluation regime of Figure 4.
-    const int test_vuln = test_quota / 2;
-    for (int i = 0; i < test_quota; ++i) {
-      out.cluster_tests[static_cast<size_t>(k)].Add(
-          sample_graph(i < test_vuln));
+    const int test_vuln = test_q / 2;
+    for (int i = 0; i < test_q; ++i) {
+      plans.push_back(plan_sample(i < test_vuln, /*test=*/true));
     }
+  }
 
-    // Spread the cluster's samples over its clients, Dirichlet label skew.
+  // --- Phase 2 (parallel): generate every planned graph from its own
+  // ForkAt(i) stream; per-cluster device profiles (covariate shift) are
+  // re-applied inside each worker. Written by index — bit-identical for
+  // any thread count.
+  const Rng fork_base = rng->Fork();
+  std::vector<InteractionGraph> graphs(plans.size());
+  parallel::For(plans.size(), [&](size_t i) {
+    const FederatedSamplePlan& p = plans[i];
+    Rng child = fork_base.ForkAt(static_cast<uint64_t>(i));
+    GraphCorpusGenerator worker(base, &child);
+    worker.ApplyDeviceProfile(
+        0xfeed0000ULL + static_cast<uint64_t>(p.cluster), profile_strength);
+    if (p.type == VulnerabilityType::kNone) {
+      graphs[i] = worker.GenerateBenign();
+    } else {
+      graphs[i] = worker.GenerateVulnerable(p.type);
+      if (p.idiom_benign) {
+        graphs[i].set_label(0);
+        graphs[i].set_vulnerability(VulnerabilityType::kNone);
+        graphs[i].set_witness({});
+      }
+    }
+  });
+
+  // --- Phase 3 (serial): assemble pools and spread each cluster's train
+  // samples over its clients with Dirichlet label skew.
+  size_t next_plan = 0;
+  for (int k = 0; k < num_clusters; ++k) {
+    std::vector<size_t> cluster_samples;
+    while (next_plan < plans.size() && plans[next_plan].cluster == k) {
+      const FederatedSamplePlan& p = plans[next_plan];
+      if (p.test) {
+        out.cluster_tests[static_cast<size_t>(k)].Add(
+            std::move(graphs[next_plan]));
+      } else {
+        cluster_samples.push_back(out.data.size());
+        out.data.Add(std::move(graphs[next_plan]));
+      }
+      ++next_plan;
+    }
+    assert(static_cast<int>(cluster_samples.size()) ==
+           train_quota[static_cast<size_t>(k)]);
+    rng->Shuffle(&cluster_samples);
+
     std::vector<int> clients;
     for (int c = 0; c < num_clients; ++c) {
       if (out.partition.client_cluster[static_cast<size_t>(c)] == k) {

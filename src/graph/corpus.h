@@ -48,6 +48,13 @@ class GraphCorpusGenerator {
 
   /// \brief Generates \p count graphs with the configured vulnerable
   /// fraction; vulnerability types cycle uniformly.
+  ///
+  /// Parallel by stream splitting: the shared rng is consumed only for one
+  /// Fork() and the final shuffle; graph i is generated from the fork's
+  /// ForkAt(i) child by a worker generator, fanned out over parallel::For
+  /// with results written by index. The corpus is therefore a pure
+  /// function of (seed, call sequence) — bit-identical for every thread
+  /// count and generation order (pinned by test_corpus_determinism).
   std::vector<InteractionGraph> GenerateDataset(int count);
 
   /// \brief Random vulnerability type (uniform over the six).
@@ -87,6 +94,9 @@ class GraphCorpusGenerator {
   Rng* rng_;
   std::vector<RuleGenerator> generators_;
   int vuln_type_cursor_ = 0;
+  /// Device profiles applied so far, replayed onto the per-graph worker
+  /// generators that parallel GenerateDataset spawns.
+  std::vector<std::pair<uint64_t, double>> device_profiles_;
 };
 
 /// \brief Dataset statistics matching Table I of the paper.
@@ -100,6 +110,14 @@ struct CorpusStats {
 };
 
 CorpusStats ComputeCorpusStats(const std::vector<InteractionGraph>& graphs);
+
+/// \brief Order-sensitive 64-bit FNV-1a digest over every byte of corpus
+/// content: rule text, feature-vector bit patterns, edges, labels,
+/// vulnerability types, and witnesses. Two corpora fingerprint equal iff
+/// they are bit-identical — the parity probe behind the thread-count
+/// determinism tests and bench_corpus.
+uint64_t CorpusContentFingerprint(const std::vector<InteractionGraph>& graphs);
+
 
 /// \brief A federated corpus: the pooled training dataset, the client
 /// partition that induced it, and one held-out test pool per latent
@@ -121,5 +139,10 @@ struct FederatedCorpus {
 FederatedCorpus BuildClusteredFederatedCorpus(
     const CorpusOptions& base, int total_graphs, int num_clients,
     int num_clusters, double alpha, double profile_strength, Rng* rng);
+
+/// \brief Extends CorpusContentFingerprint over a full federated corpus:
+/// pooled data, client partition indices, cluster assignment, and every
+/// per-cluster test pool.
+uint64_t FederatedCorpusContentFingerprint(const FederatedCorpus& corpus);
 
 }  // namespace fexiot

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <numeric>
 
+#include "common/logging.h"
+
 namespace fexiot {
 
 std::vector<int> GraphDataset::Labels() const {
@@ -22,9 +24,18 @@ double GraphDataset::VulnerableFraction() const {
 
 void GraphDataset::Split(double train_fraction, Rng* rng, GraphDataset* train,
                          GraphDataset* test) const {
+  assert(train != nullptr && test != nullptr);
+  assert(rng != nullptr);
   std::vector<size_t> idx(graphs_.size());
   std::iota(idx.begin(), idx.end(), 0);
-  rng->Shuffle(&idx);
+  if (rng == nullptr) {
+    // Release-mode guard: a null rng degrades to a deterministic
+    // unshuffled split instead of crashing.
+    FEXIOT_LOG(Error) << "GraphDataset::Split called with null rng; "
+                         "splitting in dataset order";
+  } else {
+    rng->Shuffle(&idx);
+  }
   const size_t n_train =
       static_cast<size_t>(train_fraction * static_cast<double>(idx.size()));
   train->mutable_graphs().clear();
@@ -49,8 +60,21 @@ GraphDataset GraphDataset::Subset(const std::vector<size_t>& indices) const {
 
 ClientPartition PartitionDirichlet(const GraphDataset& data, int num_clients,
                                    double alpha, Rng* rng) {
+  assert(rng != nullptr);
   assert(num_clients > 0);
   ClientPartition part;
+  if (num_clients <= 0 || rng == nullptr) {
+    // Release-mode guard for invalid inputs: an empty partition is the
+    // only answer that cannot silently mis-assign samples.
+    FEXIOT_LOG(Error) << "PartitionDirichlet: invalid input (num_clients="
+                      << num_clients << ", rng=" << (rng ? "set" : "null")
+                      << "); returning empty partition";
+    return part;
+  }
+  // alpha -> 0 concentrates all mass on one client; clamp away from the
+  // Gamma(shape > 0) precondition so degenerate callers get the documented
+  // uniform fallback of Rng::Dirichlet instead of an assert.
+  alpha = std::max(alpha, 1e-12);
   part.indices.resize(static_cast<size_t>(num_clients));
   part.client_cluster.assign(static_cast<size_t>(num_clients), -1);
 
@@ -95,7 +119,16 @@ ClientPartition PartitionDirichlet(const GraphDataset& data, int num_clients,
 
 ClientPartition PartitionClustered(const GraphDataset& data, int num_clients,
                                    int num_clusters, double alpha, Rng* rng) {
+  assert(rng != nullptr);
   assert(num_clients > 0 && num_clusters > 0);
+  if (num_clients <= 0 || num_clusters <= 0 || rng == nullptr) {
+    FEXIOT_LOG(Error) << "PartitionClustered: invalid input (num_clients="
+                      << num_clients << ", num_clusters=" << num_clusters
+                      << ", rng=" << (rng ? "set" : "null")
+                      << "); returning empty partition";
+    return ClientPartition{};
+  }
+  alpha = std::max(alpha, 1e-12);
   num_clusters = std::min(num_clusters, num_clients);
   ClientPartition part;
   part.indices.resize(static_cast<size_t>(num_clients));

@@ -30,6 +30,8 @@ class GraphDataset {
   double VulnerableFraction() const;
 
   /// \brief Random train/test split (by fraction of the whole set).
+  /// \p rng must be non-null (asserted; a release build degrades to a
+  /// deterministic unshuffled split).
   void Split(double train_fraction, Rng* rng, GraphDataset* train,
              GraphDataset* test) const;
 
@@ -51,7 +53,10 @@ struct ClientPartition {
 
 /// \brief Dirichlet label-skew partition (Section IV-C): each class's
 /// samples are spread over clients with proportions ~ Dirichlet(alpha).
-/// Small alpha -> highly unbalanced non-i.i.d. clients.
+/// Small alpha -> highly unbalanced non-i.i.d. clients. \p rng must be
+/// non-null and \p num_clients positive (asserted; release builds return
+/// an empty partition). alpha is clamped to a tiny positive floor, so
+/// alpha -> 0 degrades to Rng::Dirichlet's uniform fallback.
 ClientPartition PartitionDirichlet(const GraphDataset& data, int num_clients,
                                    double alpha, Rng* rng);
 

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <set>
 #include <stdexcept>
 #include <thread>
@@ -302,6 +303,58 @@ TEST(Rng, ForkIndependent) {
   Rng b = a.Fork();
   // Forked stream differs from parent's continued stream.
   EXPECT_NE(a.NextU64(), b.NextU64());
+}
+
+TEST(Rng, ForkAtIsPureAndOrderIndependent) {
+  // ForkAt is a pure function of (state, index): the same child comes back
+  // no matter how many children were derived before it or in what order,
+  // and the parent stream never advances.
+  Rng a(10), b(10);
+  Rng a_probe(10);
+  const uint64_t parent_next = a_probe.NextU64();
+
+  std::vector<uint64_t> forward, backward;
+  for (uint64_t i = 0; i < 8; ++i) forward.push_back(a.ForkAt(i).NextU64());
+  for (uint64_t i = 8; i-- > 0;) backward.push_back(b.ForkAt(i).NextU64());
+  for (size_t i = 0; i < 8; ++i) EXPECT_EQ(forward[i], backward[7 - i]);
+
+  // Parent unaffected: its next draw is what it would have been with no
+  // forking at all.
+  EXPECT_EQ(a.NextU64(), parent_next);
+  EXPECT_EQ(b.NextU64(), parent_next);
+}
+
+TEST(Rng, ForkAtChildrenDistinct) {
+  Rng parent(11);
+  std::set<uint64_t> first_draws;
+  for (uint64_t i = 0; i < 256; ++i) {
+    first_draws.insert(parent.ForkAt(i).NextU64());
+  }
+  EXPECT_EQ(first_draws.size(), 256u);
+}
+
+TEST(Rng, ForkAtStreamsUncorrelated) {
+  // Adjacent children, and child-vs-parent, show no linear correlation:
+  // |Pearson r| over 4096 uniform draws stays in the small-sample noise
+  // band (~1/sqrt(n) ≈ 0.016; allow 4 sigma).
+  Rng parent(12);
+  auto correlation = [](Rng x, Rng y) {
+    const int n = 4096;
+    double sx = 0, sy = 0, sxx = 0, syy = 0, sxy = 0;
+    for (int i = 0; i < n; ++i) {
+      const double u = x.Uniform();
+      const double v = y.Uniform();
+      sx += u; sy += v; sxx += u * u; syy += v * v; sxy += u * v;
+    }
+    const double cov = sxy / n - (sx / n) * (sy / n);
+    const double vx = sxx / n - (sx / n) * (sx / n);
+    const double vy = syy / n - (sy / n) * (sy / n);
+    return cov / std::sqrt(vx * vy);
+  };
+  EXPECT_LT(std::fabs(correlation(parent.ForkAt(0), parent.ForkAt(1))), 0.07);
+  EXPECT_LT(std::fabs(correlation(parent.ForkAt(41), parent.ForkAt(42))),
+            0.07);
+  EXPECT_LT(std::fabs(correlation(parent, parent.ForkAt(7))), 0.07);
 }
 
 }  // namespace

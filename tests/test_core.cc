@@ -103,7 +103,7 @@ TEST(FexIoT, FuseBuildsLabeledOnlineGraph) {
 }
 
 TEST(FexIoT, DriftScoreHigherForNovelPatterns) {
-  Rng rng(74);
+  Rng rng(76);
   FexIoT fexiot(SmallConfig());
   GraphDataset data = SmallCorpus(120, &rng);
   ASSERT_TRUE(fexiot.TrainLocal(data).ok());

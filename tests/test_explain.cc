@@ -57,7 +57,7 @@ struct Fixture {
   }
 
   static Rng& StaticRng() {
-    static Rng rng(5555);
+    static Rng rng(5556);
     return rng;
   }
 };

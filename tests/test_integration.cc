@@ -135,7 +135,7 @@ TEST(Integration, HeterogeneousCorpusWithMagnn) {
   gc.embedding_dim = 12;
   GnnModel model(gc);
   TrainConfig tc;
-  tc.epochs = 15;
+  tc.epochs = 30;
   tc.learning_rate = 0.03;
   GnnTrainer trainer(&model, tc);
   const auto prepared = PrepareDataset(data, gc);

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <set>
 
 #include "graph/corpus.h"
 #include "graph/vuln_checker.h"
@@ -134,6 +135,67 @@ INSTANTIATE_TEST_SUITE_P(AllPlatforms, CorpusPlatformProperty,
                                            Platform::kIfttt,
                                            Platform::kGoogleAssistant,
                                            Platform::kAlexa));
+
+// Structural invariants of stream-split parallel corpus generation, swept
+// over seeds: well-formed edges, labels consistent with the ground-truth
+// checker, and the platform mix pinned by CorpusOptions.
+class CorpusStructuralProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CorpusStructuralProperty, InvariantsHoldForEverySeed) {
+  Rng rng(static_cast<uint64_t>(500 + GetParam()));
+  CorpusOptions opt;
+  opt.platforms = {Platform::kSmartThings, Platform::kIfttt,
+                   Platform::kAlexa};
+  opt.min_nodes = 3;
+  opt.max_nodes = 9;
+  opt.vulnerable_fraction = 0.4;
+  GraphCorpusGenerator gen(opt, &rng);
+  const auto graphs = gen.GenerateDataset(30);
+  ASSERT_EQ(graphs.size(), 30u);
+
+  std::set<Platform> allowed(opt.platforms.begin(), opt.platforms.end());
+  std::set<Platform> seen;
+  int vulnerable = 0;
+  for (const auto& g : graphs) {
+    const int n = g.num_nodes();
+    EXPECT_GE(n, 2);
+    // Every edge endpoint in range, no self loops.
+    for (const auto& [u, v] : g.edges()) {
+      EXPECT_GE(u, 0);
+      EXPECT_LT(u, n);
+      EXPECT_GE(v, 0);
+      EXPECT_LT(v, n);
+      EXPECT_NE(u, v);
+    }
+    // Platform mix matches CorpusOptions.
+    for (int i = 0; i < n; ++i) {
+      EXPECT_TRUE(allowed.count(g.node(i).rule.platform));
+      seen.insert(g.node(i).rule.platform);
+    }
+    // Labels consistent with the ground-truth checker: planted graphs
+    // carry a witness and the planted type is findable; benign graphs
+    // certify clean.
+    if (g.label() == 1) {
+      ++vulnerable;
+      ASSERT_NE(g.vulnerability(), VulnerabilityType::kNone);
+      EXPECT_FALSE(g.witness().empty());
+      EXPECT_FALSE(
+          VulnerabilityChecker::CheckType(g, g.vulnerability()).empty())
+          << "checker missed planted "
+          << VulnerabilityTypeName(g.vulnerability()) << "\n" << g.ToString();
+    } else {
+      EXPECT_TRUE(VulnerabilityChecker::Check(g).empty()) << g.ToString();
+    }
+  }
+  // The configured vulnerable fraction is honored exactly (the planner
+  // rounds once, before the fan-out).
+  EXPECT_EQ(vulnerable, 12);
+  // Every configured platform actually appears somewhere in the corpus.
+  EXPECT_EQ(seen.size(), allowed.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CorpusStructuralProperty,
+                         ::testing::Range(1, 4));
 
 // --- Simulator properties ---------------------------------------------------
 
