@@ -48,7 +48,7 @@ int main() {
                          Row{"none (FedAvg)", FlAlgorithm::kFedAvg}}) {
     FederatedSimulator sim(gc, fc);
     sim.SetupClients(corpus.data, corpus.partition, corpus.cluster_tests);
-    const FlResult res = sim.Run(row.alg);
+    const FlResult res = sim.Run(row.alg).value();
     // Pairwise co-clustering agreement with the latent ground truth.
     int agree = 0, total = 0;
     for (size_t i = 0; i < res.client_cluster.size(); ++i) {

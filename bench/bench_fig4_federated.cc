@@ -59,7 +59,7 @@ int main() {
       for (FlAlgorithm alg : algorithms) {
         FederatedSimulator sim(gc, fc);
         sim.SetupClients(corpus.data, corpus.partition, corpus.cluster_tests);
-        const FlResult res = sim.Run(alg);
+        const FlResult res = sim.Run(alg).value();
         row.push_back(Fmt(res.mean.accuracy));
         if (alg == FlAlgorithm::kFexiot) fexiot_f1 = res.mean.f1;
         if (alg == FlAlgorithm::kFedAvg) fedavg_f1 = res.mean.f1;

@@ -41,7 +41,7 @@ void RunDataset(const char* name, const CorpusOptions& copt, GnnType type,
 
     FederatedSimulator sim(gc, fc);
     sim.SetupClients(corpus.data, corpus.partition, corpus.cluster_tests);
-    const FlResult res = sim.Run(FlAlgorithm::kFexiot);
+    const FlResult res = sim.Run(FlAlgorithm::kFexiot).value();
     std::vector<double> accs;
     for (const auto& m : res.client_metrics) accs.push_back(m.accuracy);
     const BoxStats box = ComputeBoxStats(accs);

@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # Tier-1 gate: full release-mode test suite, a corpus thread-count parity
 # check (golden statistics + content fingerprints must be byte-identical
-# between FEXIOT_THREADS=1 and FEXIOT_THREADS=4), then a ThreadSanitizer
+# between FEXIOT_THREADS=1 and FEXIOT_THREADS=4), a federated-runtime
+# parity check (the discrete-event trace + result digest of a faulty run
+# must be byte-identical across thread counts), then a ThreadSanitizer
 # pass over the concurrency-bearing binaries (thread pool / parallel
-# facade / blocked GEMM race harness / stream-split corpus fan-out).
+# facade / blocked GEMM race harness / stream-split corpus fan-out /
+# runtime-driven federated rounds).
 #
 # Usage: ci/run_tests.sh [build-dir] [tsan-build-dir]
 set -euo pipefail
@@ -13,14 +16,14 @@ BUILD_DIR="${1:-build}"
 TSAN_DIR="${2:-build-tsan}"
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
-echo "==> [1/4] configure + build (${BUILD_DIR})"
+echo "==> [1/5] configure + build (${BUILD_DIR})"
 cmake -B "${BUILD_DIR}" -S . >/dev/null
 cmake --build "${BUILD_DIR}" -j "${JOBS}"
 
-echo "==> [2/4] full test suite"
+echo "==> [2/5] full test suite"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
 
-echo "==> [3/4] corpus thread-count parity (FEXIOT_THREADS=1 vs 4)"
+echo "==> [3/5] corpus thread-count parity (FEXIOT_THREADS=1 vs 4)"
 STATS_DIR="${BUILD_DIR}/corpus-parity"
 mkdir -p "${STATS_DIR}"
 FEXIOT_THREADS=1 FEXIOT_STATS_OUT="${STATS_DIR}/stats_t1.json" \
@@ -35,15 +38,31 @@ if ! diff -u "${STATS_DIR}/stats_t1.json" "${STATS_DIR}/stats_t4.json"; then
 fi
 echo "    stats + fingerprints identical across thread counts"
 
-echo "==> [4/4] TSAN pass (test_common + test_kernels + test_corpus_determinism)"
+echo "==> [4/5] runtime thread-count parity (event trace + result digest)"
+TRACE_DIR="${BUILD_DIR}/runtime-parity"
+mkdir -p "${TRACE_DIR}"
+FEXIOT_THREADS=1 FEXIOT_TRACE_OUT="${TRACE_DIR}/trace_t1.txt" \
+  "${BUILD_DIR}/tests/test_runtime" \
+  --gtest_filter='RuntimeParity.*' >/dev/null
+FEXIOT_THREADS=4 FEXIOT_TRACE_OUT="${TRACE_DIR}/trace_t4.txt" \
+  "${BUILD_DIR}/tests/test_runtime" \
+  --gtest_filter='RuntimeParity.*' >/dev/null
+if ! diff -u "${TRACE_DIR}/trace_t1.txt" "${TRACE_DIR}/trace_t4.txt"; then
+  echo "FAIL: federated runtime trace/results differ across thread counts"
+  exit 1
+fi
+echo "    event trace + result digest identical across thread counts"
+
+echo "==> [5/5] TSAN pass (test_common + test_kernels + test_corpus_determinism + test_runtime)"
 cmake -B "${TSAN_DIR}" -S . \
   -DFEXIOT_SANITIZE=thread \
   -DFEXIOT_BUILD_BENCHMARKS=OFF \
   -DFEXIOT_BUILD_EXAMPLES=OFF >/dev/null
 cmake --build "${TSAN_DIR}" -j "${JOBS}" \
-  --target test_common test_kernels test_corpus_determinism
+  --target test_common test_kernels test_corpus_determinism test_runtime
 "${TSAN_DIR}/tests/test_common"
 "${TSAN_DIR}/tests/test_kernels"
 FEXIOT_THREADS=4 "${TSAN_DIR}/tests/test_corpus_determinism"
+FEXIOT_THREADS=4 "${TSAN_DIR}/tests/test_runtime"
 
 echo "OK: tier-1 suite green, thread-count parity holds, TSAN clean"

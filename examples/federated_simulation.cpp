@@ -45,7 +45,7 @@ int main() {
                           FlAlgorithm::kLocalOnly}) {
     FederatedSimulator sim(gc, fc);
     sim.SetupClients(corpus.data, corpus.partition, corpus.cluster_tests);
-    const FlResult res = sim.Run(alg);
+    const FlResult res = sim.Run(alg).value();
     std::printf("\n%-7s %s\n", FlAlgorithmName(alg), res.Summary().c_str());
     if (alg == FlAlgorithm::kFexiot) {
       std::printf("  discovered clusters:");

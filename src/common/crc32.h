@@ -1,0 +1,15 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace fexiot {
+
+/// \brief CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over a byte
+/// range. Used as the integrity footer of every versioned FexIoT binary
+/// encoding: the GNN model file format (gnn/serialization) and the federated
+/// wire messages built on top of it (runtime/message). Pass the result of a
+/// previous call as \p seed to checksum discontiguous ranges.
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
+}  // namespace fexiot

@@ -1,33 +1,6 @@
 #include "federated/fl_client.h"
 
-#include <cstdio>
-
 namespace fexiot {
-
-const char* FlAlgorithmName(FlAlgorithm algorithm) {
-  switch (algorithm) {
-    case FlAlgorithm::kFedAvg:
-      return "FedAvg";
-    case FlAlgorithm::kFmtl:
-      return "FMTL";
-    case FlAlgorithm::kGcfl:
-      return "GCFL+";
-    case FlAlgorithm::kFexiot:
-      return "FexIoT";
-    case FlAlgorithm::kLocalOnly:
-      return "Client";
-  }
-  return "?";
-}
-
-std::string FlResult::Summary() const {
-  char buf[160];
-  std::snprintf(buf, sizeof(buf),
-                "acc=%.3f (std %.3f) prec=%.3f rec=%.3f f1=%.3f comm=%.1fMB",
-                mean.accuracy, accuracy_std, mean.precision, mean.recall,
-                mean.f1, total_comm_bytes / (1024.0 * 1024.0));
-  return buf;
-}
 
 FlClient::FlClient(int id, const GnnConfig& model_config,
                    const TrainConfig& train,

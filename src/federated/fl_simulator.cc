@@ -10,6 +10,7 @@
 #include "common/logging.h"
 #include "ml/kmeans.h"
 #include "ml/metrics.h"
+#include "runtime/message.h"
 #include "tensor/ops.h"
 
 namespace fexiot {
@@ -125,6 +126,56 @@ double FederatedSimulator::LayerExchangeBytes(int layer,
          static_cast<double>(clients_.front()->LayerBytes(layer));
 }
 
+std::vector<int> FederatedSimulator::FilterDelivered(
+    const std::vector<int>& group, const std::vector<char>& delivered) const {
+  std::vector<int> active;
+  active.reserve(group.size());
+  for (int c : group) {
+    if (delivered[static_cast<size_t>(c)] != 0) active.push_back(c);
+  }
+  return active;
+}
+
+std::vector<int> FederatedSimulator::FexiotLayersThisRound() const {
+  const int num_layers = clients_.front()->num_layers();
+  const int exchanged = std::min(unlocked_layers_, num_layers);
+  std::vector<int> layers;
+  // FexiotRound increments the round counter before the lazy-sync check;
+  // mirror the post-increment value it will see.
+  const int counter = fexiot_round_counter_ + 1;
+  for (int l = 0; l < exchanged; ++l) {
+    const bool stable =
+        static_cast<size_t>(l) < layer_stable_rounds_.size() &&
+        layer_stable_rounds_[static_cast<size_t>(l)] >= 3;
+    if (stable && counter % 2 == 1) continue;
+    layers.push_back(l);
+  }
+  return layers;
+}
+
+double FederatedSimulator::RoundWireBytesPerClient(
+    FlAlgorithm algorithm) const {
+  const FlClient& c0 = *clients_.front();
+  auto layer_doubles = [&](int l) {
+    return c0.LayerBytes(l) / sizeof(double);
+  };
+  double bytes = 0.0;
+  switch (algorithm) {
+    case FlAlgorithm::kLocalOnly:
+      return 0.0;
+    case FlAlgorithm::kFexiot:
+      for (int l : FexiotLayersThisRound()) {
+        bytes += static_cast<double>(MessageWireBytes(layer_doubles(l)));
+      }
+      return bytes;
+    default:
+      for (int l = 0; l < c0.num_layers(); ++l) {
+        bytes += static_cast<double>(MessageWireBytes(layer_doubles(l)));
+      }
+      return bytes;
+  }
+}
+
 std::vector<double> FederatedSimulator::ConcatAllLayers(int client) const {
   std::vector<double> out;
   const auto& cl = clients_[static_cast<size_t>(client)];
@@ -145,7 +196,8 @@ std::vector<double> FederatedSimulator::ConcatAllDeltas(int client) const {
   return out;
 }
 
-bool FederatedSimulator::FexiotRound(double* bytes) {
+bool FederatedSimulator::FexiotRound(double* bytes,
+                                     const std::vector<char>& delivered) {
   const int num_layers = clients_.front()->num_layers();
   if (fexiot_partition_.empty()) {
     std::vector<int> all(clients_.size());
@@ -169,18 +221,24 @@ bool FederatedSimulator::FexiotRound(double* bytes) {
     const std::vector<std::vector<int>> groups =
         fexiot_partition_[static_cast<size_t>(l)];
     for (const auto& group : groups) {
-      *bytes += LayerExchangeBytes(l, group.size());
-      AverageLayer(l, group);
+      // Only clients whose updates the runtime delivered contribute to
+      // (and receive) this round's aggregate; absent members keep their
+      // local weights and re-sync when they next deliver.
+      const std::vector<int> active = FilterDelivered(group, delivered);
+      if (active.empty()) continue;
+      *bytes += LayerExchangeBytes(l, active.size());
+      AverageLayer(l, active);
 
-      // Gate of Eq. 3 on this layer's deltas within the group.
+      // Gate of Eq. 3 on this layer's deltas within the delivered part of
+      // the group.
       double weight_sum = 0.0;
-      for (int c : group) {
+      for (int c : active) {
         weight_sum += client_weight_[static_cast<size_t>(c)];
       }
       std::vector<double> weighted_delta;
       double max_norm = 0.0;
       std::vector<std::vector<double>> deltas;
-      for (int c : group) {
+      for (int c : active) {
         const std::vector<double>& d =
             clients_[static_cast<size_t>(c)]->LayerDelta(l);
         if (weighted_delta.empty()) weighted_delta.assign(d.size(), 0.0);
@@ -191,14 +249,18 @@ bool FederatedSimulator::FexiotRound(double* bytes) {
         deltas.push_back(clients_[static_cast<size_t>(c)]->LayerDeltaEma(l));
       }
       const double mean_norm = VectorNorm(weighted_delta);
+      // Splits are deferred until the whole group delivered fresh updates:
+      // bisecting on a partial view would assign absent members by stale
+      // information (and could duplicate them across halves).
       const bool should_split =
+          active.size() == group.size() &&
           static_cast<int>(group.size()) >= fl_config_.min_cluster_size &&
           mean_norm < fl_config_.epsilon1 && max_norm > fl_config_.epsilon2;
       if (std::getenv("FEXIOT_DEBUG_FL") != nullptr) {
         std::fprintf(stderr,
-                     "[fexiot-fl] layer=%d group=%zu mean_norm=%.4f "
-                     "max_norm=%.4f split=%d\n",
-                     l, group.size(), mean_norm, max_norm,
+                     "[fexiot-fl] layer=%d group=%zu active=%zu "
+                     "mean_norm=%.4f max_norm=%.4f split=%d\n",
+                     l, group.size(), active.size(), mean_norm, max_norm,
                      should_split ? 1 : 0);
       }
       if (!should_split) continue;
@@ -277,33 +339,33 @@ bool FederatedSimulator::FexiotRound(double* bytes) {
   return split_happened;
 }
 
-void FederatedSimulator::ClusteredWholeModelRound(FlAlgorithm algorithm,
-                                                  double* bytes) {
+void FederatedSimulator::ClusteredWholeModelRound(
+    FlAlgorithm algorithm, double* bytes,
+    const std::vector<char>& delivered) {
   if (whole_model_clusters_.empty()) {
     std::vector<int> all(clients_.size());
     std::iota(all.begin(), all.end(), 0);
     whole_model_clusters_.push_back(std::move(all));
   }
-  // Whole model exchanged by every client regardless of clusters.
-  for (const auto& cluster : whole_model_clusters_) {
-    for (int l = 0; l < clients_.front()->num_layers(); ++l) {
-      *bytes += LayerExchangeBytes(l, cluster.size());
-    }
-  }
-
   std::vector<std::vector<int>> next_clusters;
   for (const auto& cluster : whole_model_clusters_) {
-    // Aggregate whole model within the cluster.
-    for (int l = 0; l < clients_.front()->num_layers(); ++l) {
-      AverageLayer(l, cluster);
+    const std::vector<int> active = FilterDelivered(cluster, delivered);
+    if (active.empty()) {
+      next_clusters.push_back(cluster);
+      continue;
     }
-    // Split test (Eq. 3 over whole-model deltas).
+    // Whole model exchanged by every delivered cluster member.
+    for (int l = 0; l < clients_.front()->num_layers(); ++l) {
+      *bytes += LayerExchangeBytes(l, active.size());
+      AverageLayer(l, active);
+    }
+    // Split test (Eq. 3 over whole-model deltas of delivered members).
     double weight_sum = 0.0;
-    for (int c : cluster) weight_sum += client_weight_[static_cast<size_t>(c)];
+    for (int c : active) weight_sum += client_weight_[static_cast<size_t>(c)];
     std::vector<double> weighted;
     double max_norm = 0.0;
     std::vector<std::vector<double>> sims;
-    for (int c : cluster) {
+    for (int c : active) {
       std::vector<double> d = ConcatAllDeltas(c);
       max_norm = std::max(max_norm, VectorNorm(d));
       if (weighted.empty()) weighted.assign(d.size(), 0.0);
@@ -323,7 +385,9 @@ void FederatedSimulator::ClusteredWholeModelRound(FlAlgorithm algorithm,
         sims.push_back(std::move(d));
       }
     }
+    // As in FexiotRound, re-clustering waits for a complete view.
     const bool should_split =
+        active.size() == cluster.size() &&
         static_cast<int>(cluster.size()) >= fl_config_.min_cluster_size &&
         VectorNorm(weighted) < fl_config_.epsilon1 &&
         max_norm > fl_config_.epsilon2;
@@ -349,60 +413,97 @@ void FederatedSimulator::ClusteredWholeModelRound(FlAlgorithm algorithm,
   whole_model_clusters_ = std::move(next_clusters);
 }
 
-FlResult FederatedSimulator::Run(FlAlgorithm algorithm) {
-  assert(!clients_.empty());
+Result<FlResult> FederatedSimulator::Run(FlAlgorithm algorithm) {
+  FEXIOT_RETURN_NOT_OK(ValidateFlConfig(fl_config_));
+  if (clients_.empty()) {
+    return Status::FailedPrecondition(
+        "FederatedSimulator::Run called before SetupClients");
+  }
   FlResult result;
   whole_model_clusters_.clear();
   for (auto& seq : gradient_sequences_) seq.clear();
   unlocked_layers_ = 1;
   fexiot_partition_.clear();
+  layer_stable_rounds_.clear();
+  fexiot_round_counter_ = 0;
   double bytes = 0.0;
+  double retransmit_bytes = 0.0;
+
+  runtime_ = std::make_unique<FederatedRuntime>(
+      fl_config_.runtime, static_cast<int>(clients_.size()));
+
+  // Compute model: nominal local-training seconds per client (scaled by
+  // the straggler profile inside the runtime).
+  std::vector<double> train_seconds(clients_.size(), 0.0);
+  for (size_t c = 0; c < clients_.size(); ++c) {
+    train_seconds[c] = fl_config_.runtime.train_seconds_per_graph *
+                       static_cast<double>(clients_[c]->num_train_graphs()) *
+                       static_cast<double>(std::max(1, fl_config_.local.epochs));
+  }
 
   const int num_layers = clients_.front()->num_layers();
   for (int round = 0; round < fl_config_.num_rounds; ++round) {
-    // Parallel local training.
+    // 1. Discrete-event round: selection, faults, wire-priced transfers.
+    const double wire_bytes = RoundWireBytesPerClient(algorithm);
+    const std::vector<double> upload_bytes(clients_.size(), wire_bytes);
+    const RoundOutcome outcome =
+        runtime_->ExecuteRound(round, wire_bytes, upload_bytes, train_seconds);
+    std::vector<char> delivered_mask(clients_.size(), 0);
+    for (int c : outcome.delivered) {
+      delivered_mask[static_cast<size_t>(c)] = 1;
+    }
+
+    // 2. Parallel local training of this round's participants.
     std::vector<double> losses(clients_.size(), 0.0);
-    pool_->ParallelFor(clients_.size(), [&](size_t c) {
+    const std::vector<int>& participants = outcome.participants;
+    pool_->ParallelFor(participants.size(), [&](size_t i) {
+      const size_t c = static_cast<size_t>(participants[i]);
       losses[c] = clients_[c]->LocalTrain();
     });
 
-    // Aggregation.
+    // 3. Aggregation over the updates the runtime delivered.
     switch (algorithm) {
       case FlAlgorithm::kLocalOnly:
         break;
       case FlAlgorithm::kFedAvg: {
-        std::vector<int> all(clients_.size());
-        std::iota(all.begin(), all.end(), 0);
         for (int l = 0; l < num_layers; ++l) {
-          AverageLayer(l, all);
-          bytes += LayerExchangeBytes(l, all.size());
+          AverageLayer(l, outcome.delivered);
+          bytes += LayerExchangeBytes(l, outcome.delivered.size());
         }
         break;
       }
       case FlAlgorithm::kFmtl:
       case FlAlgorithm::kGcfl:
-        ClusteredWholeModelRound(algorithm, &bytes);
+        ClusteredWholeModelRound(algorithm, &bytes, delivered_mask);
         break;
       case FlAlgorithm::kFexiot: {
-        const bool split = FexiotRound(&bytes);
+        const bool split = FexiotRound(&bytes, delivered_mask);
         // Progressive unlock: once the current layers' clustering is
         // stable (no split this round), start exchanging the next layer.
         if (!split && unlocked_layers_ < num_layers) ++unlocked_layers_;
         break;
       }
     }
+    retransmit_bytes += outcome.retransmit_bytes;
 
     FlRoundStats stats;
     stats.round = round;
+    double loss_sum = 0.0;
+    for (int c : participants) loss_sum += losses[static_cast<size_t>(c)];
     stats.mean_local_loss =
-        std::accumulate(losses.begin(), losses.end(), 0.0) /
-        static_cast<double>(losses.size());
+        participants.empty()
+            ? 0.0
+            : loss_sum / static_cast<double>(participants.size());
     stats.cumulative_comm_bytes = bytes;
     stats.num_clusters = static_cast<int>(std::max<size_t>(
         1, algorithm == FlAlgorithm::kFexiot
                ? (fexiot_partition_.empty() ? 1
                                             : fexiot_partition_.back().size())
                : whole_model_clusters_.size()));
+    stats.participants = static_cast<int>(participants.size());
+    stats.delivered = static_cast<int>(outcome.delivered.size());
+    stats.sim_time_s = outcome.end_time_s;
+    stats.retransmit_bytes = retransmit_bytes;
     result.rounds.push_back(stats);
   }
 
@@ -427,6 +528,8 @@ FlResult FederatedSimulator::Run(FlAlgorithm algorithm) {
   result.mean.f1 /= n;
   result.accuracy_std = ComputeMeanStd(accs).stddev;
   result.total_comm_bytes = bytes;
+  result.total_sim_time_s = runtime_->now();
+  result.total_retransmit_bytes = retransmit_bytes;
 
   // Final cluster assignment per client (bottom layer).
   result.client_cluster.assign(clients_.size(), 0);

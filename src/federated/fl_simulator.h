@@ -4,21 +4,34 @@
 #include <memory>
 #include <vector>
 
+#include "common/result.h"
 #include "common/thread_pool.h"
 #include "federated/fl_client.h"
 #include "graph/dataset.h"
+#include "runtime/runtime.h"
 
 namespace fexiot {
 
 /// \brief In-process federated learning simulator.
 ///
-/// Hosts n FlClients and a logical server, runs synchronous rounds of
-/// local training + aggregation under one of five strategies, and accounts
-/// every byte exchanged (Figure 7). The FexIoT strategy implements the
-/// paper's Algorithm 1: bottom-up layer-wise recursive clustering with the
+/// Hosts n FlClients and a logical server, runs rounds of local training +
+/// aggregation under one of five strategies, and accounts every byte
+/// exchanged (Figure 7). The FexIoT strategy implements the paper's
+/// Algorithm 1: bottom-up layer-wise recursive clustering with the
 /// (epsilon1, epsilon2) stationarity/heterogeneity gate, progressive layer
 /// unlocking ("at the initial stage only the first layer's parameters are
 /// uploaded"), and per-cluster FedAvg.
+///
+/// Each strategy executes as a program on the discrete-event
+/// FederatedRuntime (runtime/runtime.h): the runtime decides who
+/// participates (crash/rejoin faults), prices the broadcast and every
+/// upload through per-link network models from serialized wire-message
+/// sizes, and applies the server round policy (synchronous / deadline /
+/// timeout+retry). Aggregation is restricted to the updates the runtime
+/// delivered. Under the default passthrough runtime (zero latency, no
+/// faults, synchronous rounds) every client delivers instantly and the
+/// results are bit-identical to the plain synchronous simulator
+/// (DESIGN.md 5.7).
 class FederatedSimulator {
  public:
   FederatedSimulator(GnnConfig model_config, FlConfig fl_config);
@@ -34,10 +47,19 @@ class FederatedSimulator {
                     const std::vector<GraphDataset>& cluster_tests);
 
   /// \brief Runs \p algorithm for the configured rounds and evaluates.
-  FlResult Run(FlAlgorithm algorithm);
+  /// Fails with InvalidArgument when the FlConfig (or its runtime section)
+  /// is out of range.
+  Result<FlResult> Run(FlAlgorithm algorithm);
 
   size_t num_clients() const { return clients_.size(); }
   FlClient* client(size_t i) { return clients_[i].get(); }
+
+  /// Event trace of the last Run (empty unless
+  /// fl_config.runtime.record_trace).
+  const std::vector<std::string>& runtime_trace() const {
+    static const std::vector<std::string> kEmpty;
+    return runtime_ ? runtime_->trace() : kEmpty;
+  }
 
  private:
   /// Weighted FedAvg of one layer over a client group; installs result.
@@ -45,16 +67,30 @@ class FederatedSimulator {
   /// Bytes for exchanging (up + down) one layer with a client group.
   double LayerExchangeBytes(int layer, size_t group_size) const;
 
+  /// Members of \p group whose updates the runtime delivered this round.
+  std::vector<int> FilterDelivered(const std::vector<int>& group,
+                                   const std::vector<char>& delivered) const;
+
+  /// Parameter layers FexIoT exchanges in the upcoming round (progressive
+  /// unlock minus the lazy stable-layer skip), without mutating state.
+  std::vector<int> FexiotLayersThisRound() const;
+
+  /// Serialized wire bytes of one round's downlink broadcast / per-client
+  /// upload under \p algorithm (prices the network model transfers).
+  double RoundWireBytesPerClient(FlAlgorithm algorithm) const;
+
   /// One FexIoT round (Algorithm 1 with a persistent layer-wise cluster
-  /// tree): aggregates every unlocked layer within its current groups,
-  /// evaluates the (epsilon1, epsilon2) gate per group, and permanently
-  /// bisects a group when the gate fires — the split refines the partition
-  /// of that layer and all deeper layers. Returns true if any split
-  /// happened this round.
-  bool FexiotRound(double* bytes);
+  /// tree): aggregates every unlocked layer within its current groups
+  /// (restricted to delivered clients), evaluates the (epsilon1, epsilon2)
+  /// gate per group, and permanently bisects a group when the gate fires —
+  /// the split refines the partition of that layer and all deeper layers.
+  /// Splits are deferred while any group member's update is missing.
+  /// Returns true if any split happened this round.
+  bool FexiotRound(double* bytes, const std::vector<char>& delivered);
 
   /// Whole-model clustered aggregation step used by FMTL / GCFL+.
-  void ClusteredWholeModelRound(FlAlgorithm algorithm, double* bytes);
+  void ClusteredWholeModelRound(FlAlgorithm algorithm, double* bytes,
+                                const std::vector<char>& delivered);
 
   /// Cosine-similarity matrix over per-client vectors.
   static Matrix SimilarityMatrix(const std::vector<std::vector<double>>& v);
@@ -66,6 +102,7 @@ class FederatedSimulator {
   FlConfig fl_config_;
   Rng rng_;
   std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<FederatedRuntime> runtime_;
   std::vector<std::unique_ptr<FlClient>> clients_;
   std::vector<double> client_weight_;  // |G_c| / |G|
 

@@ -3,8 +3,10 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "gnn/trainer.h"
 #include "ml/metrics.h"
+#include "runtime/runtime.h"
 
 namespace fexiot {
 
@@ -42,7 +44,16 @@ struct FlConfig {
   /// Worker threads for parallel client training (0 = hardware).
   int threads = 0;
   uint64_t seed = 59;
+  /// Discrete-event runtime: network links, faults, round policy. The
+  /// default is the passthrough runtime (synchronous, zero latency, no
+  /// faults), which reproduces the paper's results bit-identically.
+  RuntimeConfig runtime;
 };
+
+/// \brief Rejects invalid federated configurations (non-positive rounds,
+/// local_train_fraction outside (0,1), negative epsilons, bad runtime
+/// knobs) with a descriptive Status instead of silently misbehaving.
+Status ValidateFlConfig(const FlConfig& config);
 
 /// \brief Per-round telemetry.
 struct FlRoundStats {
@@ -52,6 +63,14 @@ struct FlRoundStats {
   double cumulative_comm_bytes = 0.0;
   /// Number of leaf clusters at the bottom layer after this round.
   int num_clusters = 1;
+  /// Clients selected and alive this round (ran local training).
+  int participants = 0;
+  /// Clients whose updates arrived in time and entered aggregation.
+  int delivered = 0;
+  /// Simulated wall-clock at the end of this round (seconds).
+  double sim_time_s = 0.0;
+  /// Cumulative retransmitted bytes (timeout+retry policy) up to here.
+  double retransmit_bytes = 0.0;
 };
 
 /// \brief Outcome of one federated run.
@@ -63,6 +82,10 @@ struct FlResult {
   /// Std-dev of client accuracies (stability evaluation).
   double accuracy_std = 0.0;
   double total_comm_bytes = 0.0;
+  /// Simulated wall-clock of the whole run (seconds; 0 under the
+  /// passthrough runtime's zero-latency links).
+  double total_sim_time_s = 0.0;
+  double total_retransmit_bytes = 0.0;
   std::vector<FlRoundStats> rounds;
   /// Final first-layer cluster assignment per client.
   std::vector<int> client_cluster;

@@ -1,14 +1,81 @@
 #include "gnn/serialization.h"
 
-#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <memory>
 
+#include "common/crc32.h"
+
 namespace fexiot {
+
+namespace wire {
+
+void AppendU32(std::vector<uint8_t>* out, uint32_t v) {
+  const size_t off = out->size();
+  out->resize(off + sizeof(v));
+  std::memcpy(out->data() + off, &v, sizeof(v));
+}
+
+void AppendU64(std::vector<uint8_t>* out, uint64_t v) {
+  const size_t off = out->size();
+  out->resize(off + sizeof(v));
+  std::memcpy(out->data() + off, &v, sizeof(v));
+}
+
+void AppendDoubles(std::vector<uint8_t>* out, const double* p, size_t n) {
+  const size_t off = out->size();
+  out->resize(off + n * sizeof(double));
+  if (n > 0) std::memcpy(out->data() + off, p, n * sizeof(double));
+}
+
+bool ReadU32(const uint8_t* data, size_t size, size_t* off, uint32_t* v) {
+  if (*off + sizeof(*v) > size) return false;
+  std::memcpy(v, data + *off, sizeof(*v));
+  *off += sizeof(*v);
+  return true;
+}
+
+bool ReadU64(const uint8_t* data, size_t size, size_t* off, uint64_t* v) {
+  if (*off + sizeof(*v) > size) return false;
+  std::memcpy(v, data + *off, sizeof(*v));
+  *off += sizeof(*v);
+  return true;
+}
+
+bool ReadDoubles(const uint8_t* data, size_t size, size_t* off, double* p,
+                 size_t n) {
+  if (*off > size || n > (size - *off) / sizeof(double)) return false;
+  if (n > 0) std::memcpy(p, data + *off, n * sizeof(double));
+  *off += n * sizeof(double);
+  return true;
+}
+
+void AppendLayerRecord(std::vector<uint8_t>* out,
+                       const std::vector<double>& flat) {
+  AppendU64(out, flat.size());
+  AppendDoubles(out, flat.data(), flat.size());
+}
+
+bool ReadLayerRecord(const uint8_t* data, size_t size, size_t* off,
+                     std::vector<double>* flat) {
+  uint64_t n = 0;
+  if (!ReadU64(data, size, off, &n)) return false;
+  // Reject record lengths the remaining buffer cannot possibly hold before
+  // allocating (a corrupted length would otherwise request petabytes).
+  if (*off > size || n > (size - *off) / sizeof(double)) return false;
+  flat->resize(static_cast<size_t>(n));
+  return ReadDoubles(data, size, off, flat->data(), flat->size());
+}
+
+}  // namespace wire
+
 namespace {
 
-constexpr char kMagic[8] = {'F', 'E', 'X', 'G', 'N', 'N', '0', '1'};
+// "FEXGNN" + 2-digit format version. v02 appended a CRC-32 footer over
+// everything after the magic so payload corruption is detected instead of
+// silently loading garbage weights.
+constexpr char kMagicPrefix[6] = {'F', 'E', 'X', 'G', 'N', 'N'};
+constexpr char kMagic[8] = {'F', 'E', 'X', 'G', 'N', 'N', '0', '2'};
 
 struct FileCloser {
   void operator()(std::FILE* f) const {
@@ -17,21 +84,11 @@ struct FileCloser {
 };
 using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
 
-bool WriteU64(std::FILE* f, uint64_t v) {
-  return std::fwrite(&v, sizeof(v), 1, f) == 1;
-}
-bool ReadU64(std::FILE* f, uint64_t* v) {
-  return std::fread(v, sizeof(*v), 1, f) == 1;
-}
-
 }  // namespace
 
-Status SaveGnnModel(const GnnModel& model, const std::string& path) {
-  FilePtr f(std::fopen(path.c_str(), "wb"));
-  if (!f) return Status::IOError("cannot open for writing: " + path);
-  if (std::fwrite(kMagic, sizeof(kMagic), 1, f.get()) != 1) {
-    return Status::IOError("write failed: " + path);
-  }
+std::vector<uint8_t> SerializeGnnModel(const GnnModel& model) {
+  std::vector<uint8_t> out;
+  out.insert(out.end(), kMagic, kMagic + sizeof(kMagic));
   const GnnConfig& c = model.config();
   const uint64_t header[] = {
       static_cast<uint64_t>(c.type),
@@ -43,36 +100,48 @@ Status SaveGnnModel(const GnnModel& model, const std::string& path) {
       c.seed,
       static_cast<uint64_t>(model.num_layers()),
   };
-  for (uint64_t v : header) {
-    if (!WriteU64(f.get(), v)) return Status::IOError("write failed");
-  }
+  for (uint64_t v : header) wire::AppendU64(&out, v);
   for (int l = 0; l < model.num_layers(); ++l) {
-    const std::vector<double> flat = model.GetLayerFlat(l);
-    if (!WriteU64(f.get(), flat.size())) return Status::IOError("write failed");
-    if (!flat.empty() &&
-        std::fwrite(flat.data(), sizeof(double), flat.size(), f.get()) !=
-            flat.size()) {
-      return Status::IOError("write failed: " + path);
-    }
+    wire::AppendLayerRecord(&out, model.GetLayerFlat(l));
   }
-  return Status::OK();
+  wire::AppendU32(&out, Crc32(out.data() + sizeof(kMagic),
+                              out.size() - sizeof(kMagic)));
+  return out;
 }
 
-Result<GnnModel> LoadGnnModel(const std::string& path) {
-  FilePtr f(std::fopen(path.c_str(), "rb"));
-  if (!f) return Status::IOError("cannot open: " + path);
-  char magic[8];
-  if (std::fread(magic, sizeof(magic), 1, f.get()) != 1 ||
-      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    return Status::InvalidArgument("not a FexIoT GNN model file: " + path);
+Result<GnnModel> DeserializeGnnModel(const uint8_t* data, size_t size) {
+  if (size < sizeof(kMagic) ||
+      std::memcmp(data, kMagicPrefix, sizeof(kMagicPrefix)) != 0) {
+    return Status::InvalidArgument("not a FexIoT GNN model encoding");
   }
+  if (std::memcmp(data, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument(
+        "unsupported FexIoT GNN model format version (expected FEXGNN02)");
+  }
+  if (size < sizeof(kMagic) + sizeof(uint32_t)) {
+    return Status::IOError("truncated GNN model encoding");
+  }
+  // Verify the CRC footer before interpreting any field.
+  size_t off = size - sizeof(uint32_t);
+  uint32_t stored_crc = 0;
+  (void)wire::ReadU32(data, size, &off, &stored_crc);
+  const uint32_t actual_crc =
+      Crc32(data + sizeof(kMagic), size - sizeof(kMagic) - sizeof(uint32_t));
+  if (stored_crc != actual_crc) {
+    return Status::InvalidArgument("GNN model payload corrupted (CRC mismatch)");
+  }
+  const size_t body_end = size - sizeof(uint32_t);
+
+  off = sizeof(kMagic);
   uint64_t header[8];
   for (auto& v : header) {
-    if (!ReadU64(f.get(), &v)) return Status::IOError("truncated: " + path);
+    if (!wire::ReadU64(data, body_end, &off, &v)) {
+      return Status::IOError("truncated GNN model encoding");
+    }
   }
   GnnConfig c;
   if (header[0] > static_cast<uint64_t>(GnnType::kMagnn)) {
-    return Status::InvalidArgument("unknown model type in: " + path);
+    return Status::InvalidArgument("unknown model type in GNN model encoding");
   }
   c.type = static_cast<GnnType>(header[0]);
   c.input_dim = static_cast<int>(header[1]);
@@ -83,22 +152,46 @@ Result<GnnModel> LoadGnnModel(const std::string& path) {
   c.seed = header[6];
   GnnModel model(c);
   if (static_cast<int>(header[7]) != model.num_layers()) {
-    return Status::InvalidArgument("layer count mismatch in: " + path);
+    return Status::InvalidArgument("layer count mismatch in GNN model encoding");
   }
   for (int l = 0; l < model.num_layers(); ++l) {
-    uint64_t n = 0;
-    if (!ReadU64(f.get(), &n)) return Status::IOError("truncated: " + path);
-    if (n != model.LayerSize(l)) {
-      return Status::InvalidArgument("layer size mismatch in: " + path);
+    std::vector<double> flat;
+    if (!wire::ReadLayerRecord(data, body_end, &off, &flat)) {
+      return Status::IOError("truncated GNN model encoding");
     }
-    std::vector<double> flat(n);
-    if (n > 0 &&
-        std::fread(flat.data(), sizeof(double), n, f.get()) != n) {
-      return Status::IOError("truncated: " + path);
+    if (flat.size() != model.LayerSize(l)) {
+      return Status::InvalidArgument("layer size mismatch in GNN model encoding");
     }
     model.SetLayerFlat(l, flat);
   }
   return model;
+}
+
+Status SaveGnnModel(const GnnModel& model, const std::string& path) {
+  const std::vector<uint8_t> bytes = SerializeGnnModel(model);
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return Status::IOError("cannot open for writing: " + path);
+  if (std::fwrite(bytes.data(), 1, bytes.size(), f.get()) != bytes.size()) {
+    return Status::IOError("write failed: " + path);
+  }
+  return Status::OK();
+}
+
+Result<GnnModel> LoadGnnModel(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Status::IOError("cannot open: " + path);
+  std::vector<uint8_t> bytes;
+  uint8_t buf[4096];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f.get())) > 0) {
+    bytes.insert(bytes.end(), buf, buf + n);
+  }
+  if (std::ferror(f.get())) return Status::IOError("read failed: " + path);
+  Result<GnnModel> r = DeserializeGnnModel(bytes.data(), bytes.size());
+  if (!r.ok()) {
+    return Status(r.status().code(), r.status().message() + ": " + path);
+  }
+  return r;
 }
 
 }  // namespace fexiot

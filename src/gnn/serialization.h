@@ -1,16 +1,58 @@
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/result.h"
 #include "gnn/gnn_model.h"
 
 namespace fexiot {
 
-/// \brief Saves a trained GNN (config + all layer parameters) to a binary
-/// file. The format is versioned ("FEXGNN01" magic); a server can persist
-/// the federally-trained model and ship it to new houses, which restore
-/// it with LoadGnnModel and fit their local head via FexIoT::AdoptModel.
+/// \brief Little-endian byte codec shared by every versioned FexIoT binary
+/// encoding. The GNN model file format below and the federated wire
+/// messages (runtime/message.h) are both built from these primitives, so a
+/// layer payload carried inside a wire message is byte-identical to the
+/// corresponding layer record of a serialized model.
+namespace wire {
+
+void AppendU32(std::vector<uint8_t>* out, uint32_t v);
+void AppendU64(std::vector<uint8_t>* out, uint64_t v);
+void AppendDoubles(std::vector<uint8_t>* out, const double* p, size_t n);
+
+/// Read helpers: advance \p *off on success, return false on overrun.
+bool ReadU32(const uint8_t* data, size_t size, size_t* off, uint32_t* v);
+bool ReadU64(const uint8_t* data, size_t size, size_t* off, uint64_t* v);
+bool ReadDoubles(const uint8_t* data, size_t size, size_t* off, double* p,
+                 size_t n);
+
+/// \brief Appends a flat parameter vector as a length-prefixed record
+/// (u64 count + raw doubles) — the per-layer encoding of the model file
+/// format and the payload encoding of layer-update wire messages.
+void AppendLayerRecord(std::vector<uint8_t>* out,
+                       const std::vector<double>& flat);
+/// \brief Parses a record written by AppendLayerRecord.
+bool ReadLayerRecord(const uint8_t* data, size_t size, size_t* off,
+                     std::vector<double>* flat);
+
+}  // namespace wire
+
+/// \brief Serializes a trained GNN (config + all layer parameters) to the
+/// versioned in-memory encoding: "FEXGNN02" magic, 8 u64 header fields,
+/// one layer record per layer, and a trailing CRC-32 over everything after
+/// the magic. The same bytes are written by SaveGnnModel and carried as
+/// the payload of model-broadcast wire messages.
+std::vector<uint8_t> SerializeGnnModel(const GnnModel& model);
+
+/// \brief Restores a model from SerializeGnnModel bytes. Fails with
+/// InvalidArgument on bad magic, version mismatch, shape mismatch or CRC
+/// (payload corruption) failure, and IOError on truncation.
+Result<GnnModel> DeserializeGnnModel(const uint8_t* data, size_t size);
+
+/// \brief Saves a trained GNN to a binary file (the SerializeGnnModel
+/// encoding). A server can persist the federally-trained model and ship it
+/// to new houses, which restore it with LoadGnnModel and fit their local
+/// head via FexIoT::AdoptModel.
 Status SaveGnnModel(const GnnModel& model, const std::string& path);
 
 /// \brief Restores a model saved by SaveGnnModel. Fails with IOError /

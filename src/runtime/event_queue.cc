@@ -1,0 +1,60 @@
+#include "runtime/event_queue.h"
+
+namespace fexiot {
+
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t MixKey(uint64_t a, uint64_t b, uint64_t c, uint64_t d) {
+  uint64_t h = Mix64(a);
+  h = Mix64(h ^ b);
+  h = Mix64(h ^ c);
+  h = Mix64(h ^ d);
+  return h;
+}
+
+const char* EventKindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kDownlinkArrive:
+      return "down-arrive";
+    case EventKind::kUploadArrive:
+      return "up-arrive";
+    case EventKind::kUploadLost:
+      return "up-lost";
+    case EventKind::kRetrySend:
+      return "retry-send";
+  }
+  return "?";
+}
+
+bool EventQueue::Later::operator()(const SimEvent& a, const SimEvent& b) const {
+  if (a.time != b.time) return a.time > b.time;
+  if (a.tie_key != b.tie_key) return a.tie_key > b.tie_key;
+  return a.seq > b.seq;
+}
+
+void EventQueue::Schedule(double time, EventKind kind, int client,
+                          int attempt) {
+  SimEvent ev;
+  ev.time = time;
+  ev.kind = kind;
+  ev.client = client;
+  ev.attempt = attempt;
+  ev.tie_key = MixKey(seed_, static_cast<uint64_t>(kind),
+                      static_cast<uint64_t>(client) + 1,
+                      static_cast<uint64_t>(attempt) + 1);
+  ev.seq = next_seq_++;
+  heap_.push(ev);
+}
+
+SimEvent EventQueue::Pop() {
+  SimEvent ev = heap_.top();
+  heap_.pop();
+  return ev;
+}
+
+}  // namespace fexiot

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+namespace fexiot {
+
+/// \brief SplitMix64 finalizer: a deterministic 64-bit bijection used to
+/// derive stable tie-break keys and counter-based RNG stream keys from
+/// structured identifiers (round, client, direction, attempt).
+uint64_t Mix64(uint64_t x);
+
+/// \brief Combines up to four fields into one stream key. Order-sensitive.
+uint64_t MixKey(uint64_t a, uint64_t b, uint64_t c = 0, uint64_t d = 0);
+
+/// \brief Discrete-event kinds of the federated runtime.
+enum class EventKind : int32_t {
+  kDownlinkArrive = 0,  ///< broadcast model reaches the client
+  kUploadArrive = 1,    ///< client layer-update reaches the server
+  kUploadLost = 2,      ///< update lost in transit (loss/drop draw fired)
+  kRetrySend = 3,       ///< client retransmits after timeout + backoff
+};
+
+const char* EventKindName(EventKind kind);
+
+/// \brief One scheduled event of the federated round simulation.
+struct SimEvent {
+  double time = 0.0;
+  EventKind kind = EventKind::kDownlinkArrive;
+  int client = -1;
+  int attempt = 0;      ///< transmission attempt (0 = first send)
+  uint64_t tie_key = 0; ///< seeded stable tie-break at equal timestamps
+  uint64_t seq = 0;     ///< schedule order, last-resort total ordering
+};
+
+/// \brief Deterministic discrete-event scheduler.
+///
+/// Events pop in (time, tie_key, seq) order. The tie_key is a seeded hash
+/// of (kind, client, attempt): simultaneous events break ties in a
+/// reproducible pseudo-random order rather than always lowest-client-first,
+/// so deadline races carry no systematic client bias, yet the full event
+/// trace is a pure function of the seed — identical for any FEXIOT_THREADS
+/// because scheduling is strictly serial (only the work *inside* an event,
+/// e.g. local training, is farmed out to the pool).
+class EventQueue {
+ public:
+  explicit EventQueue(uint64_t seed) : seed_(seed) {}
+
+  void Schedule(double time, EventKind kind, int client, int attempt);
+
+  bool empty() const { return heap_.empty(); }
+  size_t scheduled() const { return next_seq_; }
+
+  /// Pops the next event in deterministic order. Queue must be non-empty.
+  SimEvent Pop();
+
+ private:
+  struct Later {
+    bool operator()(const SimEvent& a, const SimEvent& b) const;
+  };
+
+  std::priority_queue<SimEvent, std::vector<SimEvent>, Later> heap_;
+  uint64_t seed_;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace fexiot

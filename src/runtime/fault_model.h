@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace fexiot {
+
+/// \brief Per-client fault injection profile.
+struct ClientFaultProfile {
+  /// Straggler multiplier on local training time (1.0 = nominal; a 4x
+  /// straggler trains four times slower in simulated time).
+  double slowdown = 1.0;
+  /// Probability the client crashes at the start of a round (skips it).
+  double crash_prob = 0.0;
+  /// Rounds a crashed client stays offline before rejoining.
+  int rejoin_rounds = 1;
+  /// Probability a finished update is dropped client-side (e.g. app
+  /// killed mid-upload) — indistinguishable from uplink loss to the server.
+  double drop_update_prob = 0.0;
+};
+
+/// \brief Stateful crash/rejoin + stateless straggler/drop injection.
+///
+/// Crash draws are counter-based (Rng::ForkAt keyed on (round, client)),
+/// so whether client c crashes in round r is a pure function of the seed —
+/// independent of event order, thread count, and which other faults fire.
+/// Crash state (offline-until round) is the only mutable state and is
+/// advanced in client index order by the runtime.
+class FaultModel {
+ public:
+  FaultModel(ClientFaultProfile default_profile,
+             std::vector<ClientFaultProfile> per_client, int num_clients,
+             uint64_t seed);
+
+  const ClientFaultProfile& profile(int client) const;
+
+  /// Applies the crash draw for (round, client) and the rejoin window.
+  /// Must be called exactly once per client per round, in client order.
+  bool Alive(int round, int client);
+
+  /// Whether the client drops its finished update on attempt \p attempt.
+  bool DropsUpdate(int round, int client, int attempt) const;
+
+  double Slowdown(int client) const { return profile(client).slowdown; }
+
+ private:
+  ClientFaultProfile default_profile_;
+  std::vector<ClientFaultProfile> per_client_;
+  std::vector<int> offline_until_;  ///< first round the client is back
+  Rng base_;
+};
+
+}  // namespace fexiot

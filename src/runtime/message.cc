@@ -1,0 +1,78 @@
+#include "runtime/message.h"
+
+#include <cstring>
+
+#include "common/crc32.h"
+
+namespace fexiot {
+namespace {
+
+constexpr char kMagicPrefix[6] = {'F', 'E', 'X', 'M', 'S', 'G'};
+constexpr char kMagic[8] = {'F', 'E', 'X', 'M', 'S', 'G', '0', '1'};
+
+}  // namespace
+
+std::vector<uint8_t> EncodeMessage(const WireMessage& msg) {
+  std::vector<uint8_t> out;
+  out.reserve(MessageWireBytes(msg.payload.size()));
+  out.insert(out.end(), kMagic, kMagic + sizeof(kMagic));
+  wire::AppendU32(&out, static_cast<uint32_t>(msg.type));
+  wire::AppendU32(&out, msg.round);
+  wire::AppendU32(&out, msg.sender);
+  wire::AppendU32(&out, msg.layer);
+  wire::AppendLayerRecord(&out, msg.payload);
+  wire::AppendU32(&out, Crc32(out.data() + sizeof(kMagic),
+                              out.size() - sizeof(kMagic)));
+  return out;
+}
+
+Result<WireMessage> DecodeMessage(const uint8_t* data, size_t size) {
+  if (size < sizeof(kMagic) ||
+      std::memcmp(data, kMagicPrefix, sizeof(kMagicPrefix)) != 0) {
+    return Status::InvalidArgument("not a FexIoT wire message");
+  }
+  if (std::memcmp(data, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument(
+        "unsupported FexIoT wire message version (expected FEXMSG01)");
+  }
+  if (size < MessageWireBytes(0)) {
+    return Status::IOError("truncated wire message");
+  }
+  size_t off = size - sizeof(uint32_t);
+  uint32_t stored_crc = 0;
+  (void)wire::ReadU32(data, size, &off, &stored_crc);
+  const uint32_t actual_crc =
+      Crc32(data + sizeof(kMagic), size - sizeof(kMagic) - sizeof(uint32_t));
+  if (stored_crc != actual_crc) {
+    return Status::InvalidArgument("wire message corrupted (CRC mismatch)");
+  }
+  const size_t body_end = size - sizeof(uint32_t);
+
+  off = sizeof(kMagic);
+  WireMessage msg;
+  uint32_t type = 0;
+  if (!wire::ReadU32(data, body_end, &off, &type) ||
+      !wire::ReadU32(data, body_end, &off, &msg.round) ||
+      !wire::ReadU32(data, body_end, &off, &msg.sender) ||
+      !wire::ReadU32(data, body_end, &off, &msg.layer)) {
+    return Status::IOError("truncated wire message");
+  }
+  if (type > static_cast<uint32_t>(MessageType::kLayerUpdate)) {
+    return Status::InvalidArgument("unknown wire message type");
+  }
+  msg.type = static_cast<MessageType>(type);
+  if (!wire::ReadLayerRecord(data, body_end, &off, &msg.payload)) {
+    return Status::IOError("truncated wire message");
+  }
+  if (off != body_end) {
+    return Status::InvalidArgument("trailing bytes in wire message");
+  }
+  return msg;
+}
+
+size_t MessageWireBytes(size_t payload_doubles) {
+  return sizeof(kMagic) + 4 * sizeof(uint32_t) + sizeof(uint64_t) +
+         payload_doubles * sizeof(double) + sizeof(uint32_t);
+}
+
+}  // namespace fexiot

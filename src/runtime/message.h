@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "gnn/serialization.h"
+
+namespace fexiot {
+
+/// \brief Kinds of federated wire messages.
+enum class MessageType : uint32_t {
+  kBroadcast = 0,    ///< server -> client: serialized global model / layers
+  kLayerUpdate = 1,  ///< client -> server: one layer's local weights
+};
+
+/// Sender id of the logical server in wire messages.
+constexpr uint32_t kServerSenderId = 0xFFFFFFFFu;
+
+/// \brief One federated update/broadcast message.
+///
+/// The payload is the flat layer parameter vector, encoded on the wire as
+/// the gnn/serialization layer record (u64 count + raw doubles) — byte
+/// identical to the per-layer record of a saved model file, so a server
+/// can splice received updates straight into a persisted FEXGNN02 model.
+struct WireMessage {
+  MessageType type = MessageType::kLayerUpdate;
+  uint32_t round = 0;
+  uint32_t sender = 0;  ///< client id, or kServerSenderId
+  uint32_t layer = 0;
+  std::vector<double> payload;
+};
+
+/// \brief Encodes a message with the versioned framing:
+///   "FEXMSG01" magic | u32 type | u32 round | u32 sender | u32 layer |
+///   layer record (u64 count + doubles) | u32 CRC-32 over all fields after
+///   the magic.
+std::vector<uint8_t> EncodeMessage(const WireMessage& msg);
+
+/// \brief Decodes EncodeMessage bytes. Fails with InvalidArgument on bad
+/// magic / version mismatch / CRC (corruption) failure and IOError on
+/// truncation.
+Result<WireMessage> DecodeMessage(const uint8_t* data, size_t size);
+
+/// \brief Exact on-wire size of a message carrying \p payload_doubles
+/// doubles — what the network model prices transfers from. Matches
+/// EncodeMessage(msg).size() for any message with that payload length
+/// (asserted in test_runtime).
+size_t MessageWireBytes(size_t payload_doubles);
+
+}  // namespace fexiot

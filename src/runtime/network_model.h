@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace fexiot {
+
+/// \brief One direction of a client's access link.
+///
+/// A transfer of b bytes costs latency_s + b / bandwidth_bps + jitter,
+/// where jitter is drawn uniformly from [0, jitter_s). bandwidth_bps == 0
+/// means infinite bandwidth, so the all-zero default prices every transfer
+/// at exactly 0 seconds — the paper's instantaneous-upload assumption.
+struct LinkModel {
+  double latency_s = 0.0;
+  double bandwidth_bps = 0.0;  ///< 0 = infinite
+  double jitter_s = 0.0;       ///< uniform extra delay in [0, jitter_s)
+  double loss_prob = 0.0;      ///< per-transfer loss probability (uplink)
+};
+
+enum class LinkDirection : int { kDown = 0, kUp = 1 };
+
+/// \brief Per-client network model pricing transfers from serialized
+/// message sizes.
+///
+/// All stochastic draws (jitter, loss) come from counter-based child
+/// streams keyed on (round, client, direction, attempt) via Rng::ForkAt,
+/// so a draw is a pure function of the seed and the transfer's identity —
+/// never of event processing order or thread count.
+///
+/// Downlink broadcasts are modeled reliable-but-priced (a real server
+/// re-streams until delivery; the cost shows up as latency), so loss_prob
+/// is only consulted for uplink transfers.
+class NetworkModel {
+ public:
+  NetworkModel(LinkModel default_down, LinkModel default_up,
+               std::vector<LinkModel> down_overrides,
+               std::vector<LinkModel> up_overrides, uint64_t seed);
+
+  const LinkModel& link(int client, LinkDirection dir) const;
+
+  /// Transfer duration of \p bytes over the client's link.
+  double TransferSeconds(int round, int client, LinkDirection dir,
+                         int attempt, double bytes) const;
+
+  /// Whether this uplink transfer attempt is lost in transit.
+  bool LostInTransit(int round, int client, int attempt) const;
+
+ private:
+  Rng DrawStream(int round, int client, LinkDirection dir, int attempt,
+                 uint64_t salt) const;
+
+  LinkModel default_down_;
+  LinkModel default_up_;
+  std::vector<LinkModel> down_;  ///< per-client overrides (may be empty)
+  std::vector<LinkModel> up_;
+  Rng base_;
+};
+
+}  // namespace fexiot

@@ -1,0 +1,263 @@
+#include "runtime/runtime.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace fexiot {
+
+const char* RoundPolicyName(RoundPolicy policy) {
+  switch (policy) {
+    case RoundPolicy::kSynchronous:
+      return "synchronous";
+    case RoundPolicy::kDeadline:
+      return "deadline";
+    case RoundPolicy::kTimeoutRetry:
+      return "timeout-retry";
+  }
+  return "?";
+}
+
+namespace {
+
+Status ValidateLink(const LinkModel& link, const char* what) {
+  if (link.latency_s < 0.0 || link.bandwidth_bps < 0.0 ||
+      link.jitter_s < 0.0) {
+    return Status::InvalidArgument(std::string(what) +
+                                   ": latency/bandwidth/jitter must be >= 0");
+  }
+  if (link.loss_prob < 0.0 || link.loss_prob >= 1.0) {
+    return Status::InvalidArgument(std::string(what) +
+                                   ": loss_prob must be in [0, 1)");
+  }
+  return Status::OK();
+}
+
+Status ValidateFault(const ClientFaultProfile& fault, const char* what) {
+  if (fault.slowdown <= 0.0) {
+    return Status::InvalidArgument(std::string(what) +
+                                   ": slowdown must be > 0");
+  }
+  if (fault.crash_prob < 0.0 || fault.crash_prob >= 1.0) {
+    return Status::InvalidArgument(std::string(what) +
+                                   ": crash_prob must be in [0, 1)");
+  }
+  if (fault.drop_update_prob < 0.0 || fault.drop_update_prob >= 1.0) {
+    return Status::InvalidArgument(std::string(what) +
+                                   ": drop_update_prob must be in [0, 1)");
+  }
+  if (fault.rejoin_rounds < 1) {
+    return Status::InvalidArgument(std::string(what) +
+                                   ": rejoin_rounds must be >= 1");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ValidateRuntimeConfig(const RuntimeConfig& config) {
+  if (config.policy == RoundPolicy::kDeadline && config.deadline_s <= 0.0) {
+    return Status::InvalidArgument(
+        "runtime: deadline policy requires deadline_s > 0");
+  }
+  if (config.target_fraction <= 0.0 || config.target_fraction > 1.0) {
+    return Status::InvalidArgument(
+        "runtime: target_fraction must be in (0, 1]");
+  }
+  if (config.over_selection < 1.0) {
+    return Status::InvalidArgument("runtime: over_selection must be >= 1");
+  }
+  if (config.policy == RoundPolicy::kTimeoutRetry &&
+      config.retry_timeout_s <= 0.0) {
+    return Status::InvalidArgument(
+        "runtime: timeout-retry policy requires retry_timeout_s > 0");
+  }
+  if (config.max_retries < 0) {
+    return Status::InvalidArgument("runtime: max_retries must be >= 0");
+  }
+  if (config.backoff_factor < 1.0) {
+    return Status::InvalidArgument("runtime: backoff_factor must be >= 1");
+  }
+  if (config.train_seconds_per_graph < 0.0) {
+    return Status::InvalidArgument(
+        "runtime: train_seconds_per_graph must be >= 0");
+  }
+  FEXIOT_RETURN_NOT_OK(ValidateLink(config.default_down, "runtime downlink"));
+  FEXIOT_RETURN_NOT_OK(ValidateLink(config.default_up, "runtime uplink"));
+  for (const LinkModel& l : config.down_links) {
+    FEXIOT_RETURN_NOT_OK(ValidateLink(l, "runtime downlink"));
+  }
+  for (const LinkModel& l : config.up_links) {
+    FEXIOT_RETURN_NOT_OK(ValidateLink(l, "runtime uplink"));
+  }
+  FEXIOT_RETURN_NOT_OK(ValidateFault(config.default_fault, "runtime fault"));
+  for (const ClientFaultProfile& f : config.faults) {
+    FEXIOT_RETURN_NOT_OK(ValidateFault(f, "runtime fault"));
+  }
+  return Status::OK();
+}
+
+FederatedRuntime::FederatedRuntime(const RuntimeConfig& config,
+                                   int num_clients)
+    : config_(config),
+      num_clients_(num_clients),
+      network_(config.default_down, config.default_up, config.down_links,
+               config.up_links, MixKey(config.seed, /*net*/ 11)),
+      faults_(config.default_fault, config.faults, num_clients,
+              MixKey(config.seed, /*fault*/ 13)),
+      select_rng_(MixKey(config.seed, /*select*/ 17)),
+      send_time_(static_cast<size_t>(num_clients), 0.0),
+      arrival_time_(static_cast<size_t>(num_clients), 0.0),
+      arrived_(static_cast<size_t>(num_clients), 0) {}
+
+void FederatedRuntime::TraceLine(const std::string& line) {
+  if (config_.record_trace) trace_.push_back(line);
+}
+
+void FederatedRuntime::Trace(int round, const SimEvent& event) {
+  if (!config_.record_trace) return;
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "r=%d t=%.6f %s c=%d a=%d", round,
+                event.time, EventKindName(event.kind), event.client,
+                event.attempt);
+  trace_.push_back(buf);
+}
+
+void FederatedRuntime::SendUpload(EventQueue* queue, RoundOutcome* outcome,
+                                  int round, int client, int attempt,
+                                  double send_time,
+                                  const std::vector<double>& upload_bytes) {
+  send_time_[static_cast<size_t>(client)] = send_time;
+  if (attempt > 0) {
+    ++outcome->retransmissions;
+    outcome->retransmit_bytes += upload_bytes[static_cast<size_t>(client)];
+  }
+  const double duration =
+      network_.TransferSeconds(round, client, LinkDirection::kUp, attempt,
+                               upload_bytes[static_cast<size_t>(client)]);
+  const bool lost = network_.LostInTransit(round, client, attempt) ||
+                    faults_.DropsUpdate(round, client, attempt);
+  queue->Schedule(send_time + duration,
+                  lost ? EventKind::kUploadLost : EventKind::kUploadArrive,
+                  client, attempt);
+}
+
+RoundOutcome FederatedRuntime::ExecuteRound(
+    int round, double broadcast_bytes, const std::vector<double>& upload_bytes,
+    const std::vector<double>& train_seconds) {
+  RoundOutcome outcome;
+  outcome.start_time_s = now_;
+  std::fill(arrived_.begin(), arrived_.end(), 0);
+
+  // 1. Selection: crash/rejoin filter, then policy-driven (over-)selection.
+  std::vector<int> alive;
+  for (int c = 0; c < num_clients_; ++c) {
+    if (faults_.Alive(round, c)) alive.push_back(c);
+  }
+  outcome.participants = alive;
+  if (config_.policy == RoundPolicy::kDeadline && !alive.empty()) {
+    // Absorb fp dust before the ceil so e.g. 0.4 * 1.5 * 10 invites
+    // exactly 6 clients, not 7.
+    const double invited = config_.target_fraction * config_.over_selection *
+                           static_cast<double>(num_clients_);
+    const size_t want = std::min(
+        alive.size(),
+        static_cast<size_t>(std::max(1.0, std::ceil(invited - 1e-9))));
+    if (want < alive.size()) {
+      Rng r = select_rng_.ForkAt(static_cast<uint64_t>(round) + 1);
+      const std::vector<size_t> picks =
+          r.SampleWithoutReplacement(alive.size(), want);
+      std::vector<int> selected;
+      selected.reserve(want);
+      for (size_t i : picks) selected.push_back(alive[i]);
+      std::sort(selected.begin(), selected.end());
+      outcome.participants = std::move(selected);
+    }
+  }
+  {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "round=%d policy=%s start=%.6f participants=%zu", round,
+                  RoundPolicyName(config_.policy), outcome.start_time_s,
+                  outcome.participants.size());
+    TraceLine(buf);
+  }
+
+  // 2. Discrete-event simulation of broadcast -> train -> upload.
+  EventQueue queue(MixKey(config_.seed, static_cast<uint64_t>(round) + 1));
+  for (int c : outcome.participants) {
+    queue.Schedule(now_ + network_.TransferSeconds(round, c,
+                                                   LinkDirection::kDown, 0,
+                                                   broadcast_bytes),
+                   EventKind::kDownlinkArrive, c, 0);
+  }
+  double last_event_time = now_;
+  while (!queue.empty()) {
+    const SimEvent ev = queue.Pop();
+    last_event_time = std::max(last_event_time, ev.time);
+    Trace(round, ev);
+    const size_t c = static_cast<size_t>(ev.client);
+    switch (ev.kind) {
+      case EventKind::kDownlinkArrive: {
+        const double finish =
+            ev.time + train_seconds[c] * faults_.Slowdown(ev.client);
+        SendUpload(&queue, &outcome, round, ev.client, 0, finish,
+                   upload_bytes);
+        break;
+      }
+      case EventKind::kUploadArrive:
+        if (arrived_[c] == 0) {
+          arrived_[c] = 1;
+          arrival_time_[c] = ev.time;
+        }
+        break;
+      case EventKind::kUploadLost:
+        if (config_.policy == RoundPolicy::kTimeoutRetry &&
+            ev.attempt < config_.max_retries) {
+          // The sender times out waiting for the server ack and
+          // retransmits with exponential backoff.
+          const double resend = std::max(
+              ev.time, send_time_[c] + config_.retry_timeout_s *
+                                           std::pow(config_.backoff_factor,
+                                                    ev.attempt));
+          queue.Schedule(resend, EventKind::kRetrySend, ev.client,
+                         ev.attempt + 1);
+        } else {
+          ++outcome.lost_updates;
+        }
+        break;
+      case EventKind::kRetrySend:
+        SendUpload(&queue, &outcome, round, ev.client, ev.attempt, ev.time,
+                   upload_bytes);
+        break;
+    }
+  }
+
+  // 3. Round-completion policy.
+  const double deadline = outcome.start_time_s + config_.deadline_s;
+  for (int c : outcome.participants) {
+    if (arrived_[static_cast<size_t>(c)] == 0) continue;
+    if (config_.policy == RoundPolicy::kDeadline &&
+        arrival_time_[static_cast<size_t>(c)] > deadline) {
+      ++outcome.late_updates;
+      continue;
+    }
+    outcome.delivered.push_back(c);
+  }
+  outcome.end_time_s = config_.policy == RoundPolicy::kDeadline
+                           ? deadline
+                           : last_event_time;
+  now_ = outcome.end_time_s;
+  {
+    char buf[112];
+    std::snprintf(buf, sizeof(buf),
+                  "round=%d end=%.6f delivered=%zu late=%d lost=%d retx=%d",
+                  round, outcome.end_time_s, outcome.delivered.size(),
+                  outcome.late_updates, outcome.lost_updates,
+                  outcome.retransmissions);
+    TraceLine(buf);
+  }
+  return outcome;
+}
+
+}  // namespace fexiot

@@ -1,0 +1,147 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "runtime/event_queue.h"
+#include "runtime/fault_model.h"
+#include "runtime/network_model.h"
+
+namespace fexiot {
+
+/// \brief Server round-completion policy.
+enum class RoundPolicy : int {
+  /// Wait for every surviving upload (today's paper behavior; with zero
+  /// latency and no faults this is exactly the synchronous simulator).
+  kSynchronous = 0,
+  /// Close the round at a fixed simulated deadline, aggregating whatever
+  /// arrived; over-selects clients so stragglers do not starve the round.
+  kDeadline = 1,
+  /// Wait for every upload, but lost updates are retransmitted after a
+  /// timeout with exponential backoff (up to max_retries attempts).
+  kTimeoutRetry = 2,
+};
+
+const char* RoundPolicyName(RoundPolicy policy);
+
+/// \brief Configuration of the discrete-event federated runtime.
+///
+/// The default configuration is the *passthrough* runtime: synchronous
+/// rounds, zero-latency links, no faults. Under it every client
+/// participates and delivers instantly, which reproduces the paper's
+/// synchronous federated results bit-identically (DESIGN.md 5.7).
+struct RuntimeConfig {
+  RoundPolicy policy = RoundPolicy::kSynchronous;
+
+  /// Deadline policy: simulated seconds the server waits per round.
+  double deadline_s = 0.0;
+  /// Deadline policy: fraction of clients the server wants per round.
+  double target_fraction = 1.0;
+  /// Deadline policy: over-selection factor — ceil(target_fraction *
+  /// over_selection * n) clients are invited to absorb stragglers.
+  double over_selection = 1.0;
+
+  /// Timeout+retry policy: seconds after sending before a lost update is
+  /// retransmitted; doubled^attempt by backoff_factor.
+  double retry_timeout_s = 1.0;
+  int max_retries = 2;
+  double backoff_factor = 2.0;
+
+  /// Compute model: simulated seconds of local training per prepared
+  /// graph per epoch (scaled by the client's straggler slowdown).
+  double train_seconds_per_graph = 0.0;
+
+  LinkModel default_down;
+  LinkModel default_up;
+  /// Per-client link overrides; clients beyond the vector use the default.
+  std::vector<LinkModel> down_links;
+  std::vector<LinkModel> up_links;
+
+  ClientFaultProfile default_fault;
+  /// Per-client fault overrides; clients beyond the vector use the default.
+  std::vector<ClientFaultProfile> faults;
+
+  /// Record a human-readable deterministic event trace (testing/CI).
+  bool record_trace = false;
+  uint64_t seed = 0x7E57AB1EULL;
+};
+
+/// \brief Rejects out-of-range runtime knobs with a descriptive Status.
+Status ValidateRuntimeConfig(const RuntimeConfig& config);
+
+/// \brief Outcome of one simulated federated round.
+struct RoundOutcome {
+  /// Clients selected and alive this round (sorted ascending). These are
+  /// the clients that run local training.
+  std::vector<int> participants;
+  /// Clients whose updates reached the server in time (sorted ascending).
+  /// Aggregation is restricted to these.
+  std::vector<int> delivered;
+  double start_time_s = 0.0;
+  double end_time_s = 0.0;
+  /// Bytes of retransmitted updates (attempt > 0) this round.
+  double retransmit_bytes = 0.0;
+  int retransmissions = 0;
+  /// Updates permanently lost this round (retries exhausted or no retry).
+  int lost_updates = 0;
+  /// Updates that arrived after the deadline and were discarded.
+  int late_updates = 0;
+};
+
+/// \brief Deterministic discrete-event federated round executor.
+///
+/// FederatedSimulator drives one ExecuteRound call per federated round:
+/// the runtime decides who participates (crash/rejoin), prices the model
+/// broadcast and every layer-update upload through the per-link network
+/// model from serialized message sizes, injects stragglers and losses, and
+/// applies the server's round policy. It simulates *timing and delivery*
+/// only — the actual training/aggregation math stays in the simulator, so
+/// the passthrough configuration leaves results bit-identical.
+///
+/// Determinism: the scheduler is strictly serial and every stochastic draw
+/// is counter-based (pure function of seed and the draw's identity), so
+/// the event trace and outcome are identical for any FEXIOT_THREADS.
+class FederatedRuntime {
+ public:
+  FederatedRuntime(const RuntimeConfig& config, int num_clients);
+
+  /// Simulates round \p round: \p broadcast_bytes is the serialized
+  /// downlink message size per client; \p upload_bytes[c] the total
+  /// serialized upload of client c; \p train_seconds[c] its nominal local
+  /// training time (scaled by the straggler profile inside).
+  RoundOutcome ExecuteRound(int round, double broadcast_bytes,
+                            const std::vector<double>& upload_bytes,
+                            const std::vector<double>& train_seconds);
+
+  /// Simulated wall-clock after the last executed round.
+  double now() const { return now_; }
+
+  /// Event trace (empty unless config.record_trace).
+  const std::vector<std::string>& trace() const { return trace_; }
+
+  const RuntimeConfig& config() const { return config_; }
+
+ private:
+  void SendUpload(EventQueue* queue, RoundOutcome* outcome, int round,
+                  int client, int attempt, double send_time,
+                  const std::vector<double>& upload_bytes);
+  void Trace(int round, const SimEvent& event);
+  void TraceLine(const std::string& line);
+
+  RuntimeConfig config_;
+  int num_clients_;
+  NetworkModel network_;
+  FaultModel faults_;
+  Rng select_rng_;
+  double now_ = 0.0;
+  std::vector<std::string> trace_;
+  // Per-round scratch (indexed by client).
+  std::vector<double> send_time_;
+  std::vector<double> arrival_time_;
+  std::vector<char> arrived_;
+};
+
+}  // namespace fexiot

@@ -43,6 +43,58 @@ TEST(FlAlgorithmName, Stable) {
   EXPECT_STREQ(FlAlgorithmName(FlAlgorithm::kLocalOnly), "Client");
 }
 
+TEST(ValidateFlConfig, AcceptsDefaults) {
+  EXPECT_TRUE(ValidateFlConfig(FlConfig{}).ok());
+}
+
+TEST(ValidateFlConfig, RejectsBadValues) {
+  {
+    FlConfig fc;
+    fc.num_rounds = 0;
+    const Status s = ValidateFlConfig(fc);
+    ASSERT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  }
+  {
+    FlConfig fc;
+    fc.num_rounds = -3;
+    EXPECT_FALSE(ValidateFlConfig(fc).ok());
+  }
+  for (double f : {0.0, 1.0, -0.2, 1.5}) {
+    FlConfig fc;
+    fc.local_train_fraction = f;
+    EXPECT_FALSE(ValidateFlConfig(fc).ok()) << "fraction " << f;
+  }
+  {
+    FlConfig fc;
+    fc.epsilon1 = -0.1;
+    EXPECT_FALSE(ValidateFlConfig(fc).ok());
+  }
+  {
+    FlConfig fc;
+    fc.epsilon2 = -1.0;
+    EXPECT_FALSE(ValidateFlConfig(fc).ok());
+  }
+  {
+    // Runtime knobs are validated through the same entry point.
+    FlConfig fc;
+    fc.runtime.policy = RoundPolicy::kDeadline;
+    fc.runtime.deadline_s = 0.0;
+    EXPECT_FALSE(ValidateFlConfig(fc).ok());
+  }
+}
+
+TEST(ValidateFlConfig, RunRejectsInvalidConfigWithStatus) {
+  const Fixture& f = Fixture::Get();
+  FlConfig fc = f.fc;
+  fc.num_rounds = 0;
+  FederatedSimulator sim(f.gc, fc);
+  sim.SetupClients(f.corpus.data, f.corpus.partition, f.corpus.cluster_tests);
+  const Result<FlResult> res = sim.Run(FlAlgorithm::kFedAvg);
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kInvalidArgument);
+}
+
 TEST(FlClient, LocalTrainRecordsDeltas) {
   const Fixture& f = Fixture::Get();
   FederatedSimulator sim(f.gc, f.fc);
@@ -77,7 +129,7 @@ TEST_P(FlAlgorithmRun, ProducesSaneResult) {
   const Fixture& f = Fixture::Get();
   FederatedSimulator sim(f.gc, f.fc);
   sim.SetupClients(f.corpus.data, f.corpus.partition, f.corpus.cluster_tests);
-  const FlResult res = sim.Run(GetParam());
+  const FlResult res = sim.Run(GetParam()).value();
   EXPECT_EQ(res.client_metrics.size(), 6u);
   EXPECT_GE(res.mean.accuracy, 0.0);
   EXPECT_LE(res.mean.accuracy, 1.0);
@@ -104,7 +156,7 @@ TEST(FederatedSimulator, FedAvgSynchronizesWeights) {
   const Fixture& f = Fixture::Get();
   FederatedSimulator sim(f.gc, f.fc);
   sim.SetupClients(f.corpus.data, f.corpus.partition, f.corpus.cluster_tests);
-  (void)sim.Run(FlAlgorithm::kFedAvg);
+  ASSERT_TRUE(sim.Run(FlAlgorithm::kFedAvg).ok());
   // After a FedAvg round every client holds identical weights.
   const std::vector<double> w0 = sim.client(0)->LayerWeights(0);
   for (size_t c = 1; c < sim.num_clients(); ++c) {
@@ -125,13 +177,13 @@ TEST(FederatedSimulator, FexiotCheaperThanFedAvg) {
     FederatedSimulator sim(f.gc, fc);
     sim.SetupClients(f.corpus.data, f.corpus.partition,
                      f.corpus.cluster_tests);
-    fedavg_bytes = sim.Run(FlAlgorithm::kFedAvg).total_comm_bytes;
+    fedavg_bytes = sim.Run(FlAlgorithm::kFedAvg).value().total_comm_bytes;
   }
   {
     FederatedSimulator sim(f.gc, fc);
     sim.SetupClients(f.corpus.data, f.corpus.partition,
                      f.corpus.cluster_tests);
-    fexiot_bytes = sim.Run(FlAlgorithm::kFexiot).total_comm_bytes;
+    fexiot_bytes = sim.Run(FlAlgorithm::kFexiot).value().total_comm_bytes;
   }
   EXPECT_LT(fexiot_bytes, fedavg_bytes);
 }
@@ -149,7 +201,7 @@ TEST(FederatedSimulator, RunIsBitIdenticalAcrossThreadCounts) {
     FederatedSimulator sim(f.gc, fc);
     sim.SetupClients(f.corpus.data, f.corpus.partition,
                      f.corpus.cluster_tests);
-    const FlResult res = sim.Run(FlAlgorithm::kFexiot);
+    const FlResult res = sim.Run(FlAlgorithm::kFexiot).value();
     parallel::SetThreads(0);
     return res;
   };
@@ -173,7 +225,7 @@ TEST(FederatedSimulator, LocalOnlyClientsStayIndependent) {
   const Fixture& f = Fixture::Get();
   FederatedSimulator sim(f.gc, f.fc);
   sim.SetupClients(f.corpus.data, f.corpus.partition, f.corpus.cluster_tests);
-  (void)sim.Run(FlAlgorithm::kLocalOnly);
+  ASSERT_TRUE(sim.Run(FlAlgorithm::kLocalOnly).ok());
   const std::vector<double> w0 = sim.client(0)->LayerWeights(0);
   const std::vector<double> w1 = sim.client(1)->LayerWeights(0);
   double diff = 0.0;

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 
 #include "gnn/contrastive.h"
 #include "gnn/gnn_model.h"
@@ -341,6 +342,68 @@ TEST(Serialization, RejectsMissingAndCorruptFiles) {
   const Result<GnnModel> r = LoadGnnModel(path);
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Serialization, RejectsTruncatedBuffer) {
+  const GnnConfig c = SmallConfig(GnnType::kGin);
+  const std::vector<uint8_t> bytes = SerializeGnnModel(GnnModel(c));
+  // Every proper prefix must fail cleanly rather than crash or misread;
+  // sample a spread of cut points including mid-header and mid-payload.
+  for (size_t cut : {size_t{0}, size_t{3}, size_t{8}, size_t{40},
+                     bytes.size() / 2, bytes.size() - 1}) {
+    ASSERT_LT(cut, bytes.size());
+    const Result<GnnModel> r = DeserializeGnnModel(bytes.data(), cut);
+    EXPECT_FALSE(r.ok()) << "prefix of " << cut << " bytes accepted";
+  }
+}
+
+TEST(Serialization, RejectsTruncatedFile) {
+  const GnnConfig c = SmallConfig(GnnType::kGcn);
+  const std::vector<uint8_t> bytes = SerializeGnnModel(GnnModel(c));
+  const std::string path = "/tmp/fexiot_truncated.bin";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  std::fwrite(bytes.data(), 1, bytes.size() / 2, f);
+  std::fclose(f);
+  EXPECT_FALSE(LoadGnnModel(path).ok());
+}
+
+TEST(Serialization, RejectsVersionMismatch) {
+  const GnnConfig c = SmallConfig(GnnType::kGin);
+  std::vector<uint8_t> bytes = SerializeGnnModel(GnnModel(c));
+  // Same FEXGNN prefix, older version digits: must be reported as a
+  // version mismatch, not as random garbage.
+  std::memcpy(bytes.data(), "FEXGNN01", 8);
+  const Result<GnnModel> r = DeserializeGnnModel(bytes.data(), bytes.size());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("version"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(Serialization, RejectsCorruptedPayload) {
+  const GnnConfig c = SmallConfig(GnnType::kGin);
+  std::vector<uint8_t> bytes = SerializeGnnModel(GnnModel(c));
+  // Flip one bit in the middle of the weight payload: the trailing CRC
+  // must catch it even though every field still parses.
+  bytes[bytes.size() / 2] ^= 0x10;
+  const Result<GnnModel> r = DeserializeGnnModel(bytes.data(), bytes.size());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("corrupt"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(Serialization, BufferRoundTripMatchesFileFormat) {
+  const GnnConfig c = SmallConfig(GnnType::kMagnn);
+  GnnModel original(c);
+  const std::vector<uint8_t> bytes = SerializeGnnModel(original);
+  const Result<GnnModel> back = DeserializeGnnModel(bytes.data(), bytes.size());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  for (int l = 0; l < original.num_layers(); ++l) {
+    EXPECT_EQ(original.GetLayerFlat(l), back->GetLayerFlat(l)) << "layer " << l;
+  }
+  // Re-serializing the deserialized model is byte-identical.
+  EXPECT_EQ(SerializeGnnModel(*back), bytes);
 }
 
 }  // namespace

@@ -34,7 +34,7 @@ TEST(Integration, FederatedTrainingThenLocalPipeline) {
   fc.local.margin = 3.0;
   FederatedSimulator sim(gc, fc);
   sim.SetupClients(corpus.data, corpus.partition, corpus.cluster_tests);
-  const FlResult res = sim.Run(FlAlgorithm::kFexiot);
+  const FlResult res = sim.Run(FlAlgorithm::kFexiot).value();
   EXPECT_GT(res.mean.accuracy, 0.5);
 
   // A fresh house adopts the federally-trained model and runs the full
