@@ -1,7 +1,10 @@
 // GEMM kernel trajectory bench: blocked/packed/parallel MatMul vs the
 // retained ReferenceMatMul at square sizes 64/256/512/1024. Prints a table
 // and writes a JSON perf record (BENCH_kernels.json by default, or the
-// path in argv[1]) so kernel work accumulates a measurable history.
+// path in argv[1]) so kernel work accumulates a measurable history. The
+// record names the dispatched ISA tier, its register tile, and whether
+// the wide-C pack-reuse path engaged at each size, so entries are
+// comparable across hosts (and across FEXIOT_ISA overrides).
 
 #include <algorithm>
 #include <cmath>
@@ -13,6 +16,7 @@
 #include "common/parallel.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
+#include "tensor/gemm.h"
 #include "tensor/matrix.h"
 #include "tensor/ops.h"
 
@@ -28,6 +32,7 @@ struct KernelRecord {
   double blocked_gflops = 0.0;
   double speedup = 0.0;
   double max_abs_diff = 0.0;
+  bool pack_reuse = false;
 };
 
 double MedianSeconds(std::vector<double> samples) {
@@ -53,7 +58,9 @@ KernelRecord BenchSize(size_t size, Rng* rng) {
   rec.size = size;
   const Matrix a = Matrix::RandomNormal(size, size, 1.0, rng);
   const Matrix b = Matrix::RandomNormal(size, size, 1.0, rng);
-  const int reps = size >= 1024 ? 2 : (size >= 512 ? 3 : 5);
+  // Odd rep counts so the median is a real middle sample (with 2 samples
+  // samples[1] is the max, which punishes the kernel on noisy hosts).
+  const int reps = size >= 1024 ? 3 : (size >= 512 ? 5 : 7);
 
   Matrix c_ref, c_blk;
   rec.ref_seconds = TimeKernel([&] { c_ref = ReferenceMatMul(a, b); }, reps);
@@ -67,6 +74,7 @@ KernelRecord BenchSize(size_t size, Rng* rng) {
   rec.ref_gflops = flops / rec.ref_seconds * 1e-9;
   rec.blocked_gflops = flops / rec.blocked_seconds * 1e-9;
   rec.speedup = rec.ref_seconds / rec.blocked_seconds;
+  rec.pack_reuse = gemm::PackReuseEngages(size);
   return rec;
 }
 
@@ -77,8 +85,14 @@ bool WriteJson(const std::string& path,
     std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
     return false;
   }
+  const gemm::KernelInfo& ker = gemm::ActiveKernel();
   std::fprintf(f, "{\n  \"bench\": \"kernels\",\n");
-  std::fprintf(f, "  \"kernel\": \"blocked-packed-gemm\",\n");
+  std::fprintf(f, "  \"kernel\": \"simd-dispatch-gemm\",\n");
+  std::fprintf(f, "  \"isa\": \"%s\",\n", ker.name);
+  std::fprintf(f, "  \"tile\": \"%s\",\n", ker.tile);
+  std::fprintf(f,
+               "  \"blocking\": {\"mc\": %zu, \"kc\": %zu, \"nc\": %zu},\n",
+               ker.mc, ker.kc, ker.nc);
   std::fprintf(f, "  \"threads\": %zu,\n", parallel::NumThreads());
   std::fprintf(f, "  \"records\": [\n");
   for (size_t i = 0; i < records.size(); ++i) {
@@ -87,9 +101,10 @@ bool WriteJson(const std::string& path,
                  "    {\"size\": %zu, \"ref_seconds\": %.6f, "
                  "\"blocked_seconds\": %.6f, \"ref_gflops\": %.3f, "
                  "\"blocked_gflops\": %.3f, \"speedup\": %.3f, "
-                 "\"max_abs_diff\": %.3e}%s\n",
+                 "\"max_abs_diff\": %.3e, \"pack_reuse\": %s}%s\n",
                  r.size, r.ref_seconds, r.blocked_seconds, r.ref_gflops,
                  r.blocked_gflops, r.speedup, r.max_abs_diff,
+                 r.pack_reuse ? "true" : "false",
                  i + 1 < records.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
@@ -120,6 +135,9 @@ int main(int argc, char** argv) {
     records.push_back(rec);
   }
   std::printf("%s\n", table.ToString().c_str());
+  const gemm::KernelInfo& ker = gemm::ActiveKernel();
+  std::printf("dispatched isa: %s (tile %s, mc=%zu kc=%zu nc=%zu)\n",
+              ker.name, ker.tile, ker.mc, ker.kc, ker.nc);
   std::printf("pool threads: %zu\n", parallel::NumThreads());
 
   return WriteJson(argc > 1 ? argv[1] : "BENCH_kernels.json", records) ? 0

@@ -1,12 +1,16 @@
 #!/usr/bin/env bash
-# Tier-1 gate: full release-mode test suite, a corpus thread-count parity
-# check (golden statistics + content fingerprints must be byte-identical
-# between FEXIOT_THREADS=1 and FEXIOT_THREADS=4), a federated-runtime
-# parity check (the discrete-event trace + result digest of a faulty run
-# must be byte-identical across thread counts), then a ThreadSanitizer
-# pass over the concurrency-bearing binaries (thread pool / parallel
-# facade / blocked GEMM race harness / stream-split corpus fan-out /
-# runtime-driven federated rounds).
+# Tier-1 gate: full release-mode test suite, a GEMM ISA-dispatch sweep
+# (test_kernels rerun under each FEXIOT_ISA tier — unsupported tiers
+# degrade to the widest available one, so the sweep is safe on any
+# host), a corpus thread-count parity check (golden statistics + content
+# fingerprints must be byte-identical between FEXIOT_THREADS=1 and
+# FEXIOT_THREADS=4), a federated-runtime parity check (the
+# discrete-event trace + result digest of a faulty run must be
+# byte-identical across thread counts), then a ThreadSanitizer pass over
+# the concurrency-bearing binaries (thread pool / parallel facade /
+# blocked GEMM race harness incl. the parallel PackB + pack-reuse
+# fan-out / stream-split corpus fan-out / runtime-driven federated
+# rounds).
 #
 # Usage: ci/run_tests.sh [build-dir] [tsan-build-dir]
 set -euo pipefail
@@ -16,14 +20,22 @@ BUILD_DIR="${1:-build}"
 TSAN_DIR="${2:-build-tsan}"
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
-echo "==> [1/5] configure + build (${BUILD_DIR})"
+echo "==> [1/6] configure + build (${BUILD_DIR})"
 cmake -B "${BUILD_DIR}" -S . >/dev/null
 cmake --build "${BUILD_DIR}" -j "${JOBS}"
 
-echo "==> [2/5] full test suite"
+echo "==> [2/6] full test suite"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
 
-echo "==> [3/5] corpus thread-count parity (FEXIOT_THREADS=1 vs 4)"
+echo "==> [3/6] GEMM ISA dispatch sweep (FEXIOT_ISA=scalar/avx2/avx512)"
+for isa in scalar avx2 avx512; do
+  echo "    FEXIOT_ISA=${isa}"
+  FEXIOT_ISA="${isa}" "${BUILD_DIR}/tests/test_kernels" \
+    --gtest_brief=1 >/dev/null
+done
+echo "    kernel parity holds under every FEXIOT_ISA tier"
+
+echo "==> [4/6] corpus thread-count parity (FEXIOT_THREADS=1 vs 4)"
 STATS_DIR="${BUILD_DIR}/corpus-parity"
 mkdir -p "${STATS_DIR}"
 FEXIOT_THREADS=1 FEXIOT_STATS_OUT="${STATS_DIR}/stats_t1.json" \
@@ -38,7 +50,7 @@ if ! diff -u "${STATS_DIR}/stats_t1.json" "${STATS_DIR}/stats_t4.json"; then
 fi
 echo "    stats + fingerprints identical across thread counts"
 
-echo "==> [4/5] runtime thread-count parity (event trace + result digest)"
+echo "==> [5/6] runtime thread-count parity (event trace + result digest)"
 TRACE_DIR="${BUILD_DIR}/runtime-parity"
 mkdir -p "${TRACE_DIR}"
 FEXIOT_THREADS=1 FEXIOT_TRACE_OUT="${TRACE_DIR}/trace_t1.txt" \
@@ -53,7 +65,7 @@ if ! diff -u "${TRACE_DIR}/trace_t1.txt" "${TRACE_DIR}/trace_t4.txt"; then
 fi
 echo "    event trace + result digest identical across thread counts"
 
-echo "==> [5/5] TSAN pass (test_common + test_kernels + test_corpus_determinism + test_runtime)"
+echo "==> [6/6] TSAN pass (test_common + test_kernels + test_corpus_determinism + test_runtime)"
 cmake -B "${TSAN_DIR}" -S . \
   -DFEXIOT_SANITIZE=thread \
   -DFEXIOT_BUILD_BENCHMARKS=OFF \

@@ -1,0 +1,87 @@
+#include "common/cpu_features.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace fexiot {
+namespace cpu {
+namespace {
+
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define FEXIOT_CPU_CAN_PROBE 1
+#else
+#define FEXIOT_CPU_CAN_PROBE 0
+#endif
+
+bool ProbeAvx2() {
+#if FEXIOT_CPU_CAN_PROBE
+  // The AVX2 microkernel uses vfmadd, so FMA3 is part of the tier.
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+bool ProbeAvx512() {
+#if FEXIOT_CPU_CAN_PROBE
+  // The AVX-512 microkernel only needs the foundation subset (loads,
+  // stores, broadcast, vfmadd on zmm), all of which are AVX512F.
+  return __builtin_cpu_supports("avx512f");
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+const char* IsaName(Isa isa) {
+  switch (isa) {
+    case Isa::kAvx512:
+      return "avx512";
+    case Isa::kAvx2:
+      return "avx2";
+    case Isa::kScalar:
+      return "scalar";
+  }
+  return "scalar";
+}
+
+bool ParseIsa(const std::string& name, Isa* out) {
+  std::string s = name;
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (s == "scalar") {
+    *out = Isa::kScalar;
+  } else if (s == "avx2") {
+    *out = Isa::kAvx2;
+  } else if (s == "avx512" || s == "avx-512") {
+    *out = Isa::kAvx512;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool IsaSupported(Isa isa) {
+  static const bool avx2 = ProbeAvx2();
+  static const bool avx512 = ProbeAvx512();
+  switch (isa) {
+    case Isa::kAvx512:
+      return avx512;
+    case Isa::kAvx2:
+      return avx2;
+    case Isa::kScalar:
+      return true;
+  }
+  return false;
+}
+
+Isa BestSupportedIsa() {
+  if (IsaSupported(Isa::kAvx512)) return Isa::kAvx512;
+  if (IsaSupported(Isa::kAvx2)) return Isa::kAvx2;
+  return Isa::kScalar;
+}
+
+}  // namespace cpu
+}  // namespace fexiot

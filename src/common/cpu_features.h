@@ -1,0 +1,35 @@
+#pragma once
+
+#include <string>
+
+namespace fexiot {
+namespace cpu {
+
+/// \brief Instruction-set tiers the tensor microkernels are specialized
+/// for, ordered from most portable to widest vectors. Values are ordered
+/// so that a numerically smaller tier is always a safe fallback for a
+/// larger one.
+enum class Isa {
+  kScalar = 0,  ///< portable C++, no explicit SIMD (always available)
+  kAvx2 = 1,    ///< 256-bit AVX2 + FMA
+  kAvx512 = 2,  ///< 512-bit AVX-512F
+};
+
+/// \brief Canonical lowercase name ("scalar" | "avx2" | "avx512"); the
+/// same spelling the FEXIOT_ISA environment variable accepts.
+const char* IsaName(Isa isa);
+
+/// \brief Parses an FEXIOT_ISA-style name (case-insensitive). Returns
+/// false and leaves \p out untouched on an unrecognized spelling.
+bool ParseIsa(const std::string& name, Isa* out);
+
+/// \brief True when the running CPU can execute the tier. Probed once via
+/// CPUID (__builtin_cpu_supports) and cached; kScalar is always true, and
+/// on non-x86 builds every SIMD tier reports false.
+bool IsaSupported(Isa isa);
+
+/// \brief The widest tier the running CPU supports.
+Isa BestSupportedIsa();
+
+}  // namespace cpu
+}  // namespace fexiot

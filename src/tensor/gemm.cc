@@ -1,0 +1,220 @@
+// Runtime-dispatched, cache-blocked packed GEMM (GotoBLAS / BLIS
+// structure). docs/KERNELS.md is the architecture handbook for this
+// unit: blocking scheme, dispatch mechanism, pack reuse, and the
+// determinism/parity contracts.
+//
+// Loop nest (depth block outermost so packed A blocks can be reused
+// across column panels):
+//
+//   for pc over k in kc steps:            # depth block
+//     [wide C] pack all A row blocks once (parallel over row blocks)
+//     for jc over m in nc steps:          # column panel
+//       pack B(pc, jc) panel              (parallel over nr-wide panels)
+//       for ic over n in mc steps:        # row block, parallel::For
+//         [narrow C] pack A(ic, pc) into a thread-local buffer
+//         microkernel sweep over the mr x nr tiles of the block
+//
+// Every C element accumulates its depth blocks in ascending pc order and
+// its in-block products in ascending p order regardless of thread count,
+// pack-reuse path, or tile shape — so results are bit-identical across
+// FEXIOT_THREADS values for a fixed ISA, and differ across ISAs only by
+// the scalar tier's mul+add vs the SIMD tiers' fused multiply-add.
+
+#include "tensor/gemm.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/parallel.h"
+
+namespace fexiot {
+namespace gemm {
+namespace {
+
+const KernelInfo* KernelForIsa(cpu::Isa isa) {
+  switch (isa) {
+    case cpu::Isa::kAvx512:
+      return Avx512Kernel();
+    case cpu::Isa::kAvx2:
+      return Avx2Kernel();
+    case cpu::Isa::kScalar:
+      return ScalarKernel();
+  }
+  return ScalarKernel();
+}
+
+// Widest tier at or below `isa` that the CPU supports and the build
+// compiled in (scalar always qualifies).
+const KernelInfo* BestKernelAtOrBelow(cpu::Isa isa) {
+  for (int tier = static_cast<int>(isa); tier > 0; --tier) {
+    const cpu::Isa t = static_cast<cpu::Isa>(tier);
+    const KernelInfo* k = KernelForIsa(t);
+    if (k != nullptr && cpu::IsaSupported(t)) return k;
+  }
+  return ScalarKernel();
+}
+
+const KernelInfo* ChooseDefaultKernel() {
+  cpu::Isa want = cpu::BestSupportedIsa();
+  if (const char* env = std::getenv("FEXIOT_ISA")) {
+    cpu::Isa requested;
+    if (!cpu::ParseIsa(env, &requested)) {
+      FEXIOT_LOG(Warning) << "FEXIOT_ISA='" << env
+                          << "' not recognized (scalar|avx2|avx512); "
+                          << "using CPUID selection";
+    } else if (!cpu::IsaSupported(requested) ||
+               KernelForIsa(requested) == nullptr) {
+      FEXIOT_LOG(Warning)
+          << "FEXIOT_ISA=" << cpu::IsaName(requested)
+          << (cpu::IsaSupported(requested) ? " not compiled into this build"
+                                           : " not supported by this CPU")
+          << "; falling back to the widest available tier";
+      want = std::min(want, requested);
+    } else {
+      want = requested;
+    }
+  }
+  return BestKernelAtOrBelow(want);
+}
+
+std::atomic<const KernelInfo*> g_active_kernel{nullptr};
+
+// Packs op(A)(i0:i0+mc, p0:p0+kc) into mr-tall micro-panels, zero-padding
+// the row remainder. a(i, p) = trans ? A[p * lda + i] : A[i * lda + p].
+void PackA(const double* a, size_t lda, bool trans, size_t i0, size_t mc,
+           size_t p0, size_t kc, size_t mr, double* ap) {
+  const size_t panels = (mc + mr - 1) / mr;
+  for (size_t ir = 0; ir < panels; ++ir) {
+    double* panel = ap + ir * mr * kc;
+    const size_t rmax = std::min(mr, mc - ir * mr);
+    for (size_t p = 0; p < kc; ++p) {
+      for (size_t r = 0; r < mr; ++r) {
+        const size_t i = i0 + ir * mr + r;
+        panel[p * mr + r] =
+            r < rmax ? (trans ? a[(p0 + p) * lda + i] : a[i * lda + (p0 + p)])
+                     : 0.0;
+      }
+    }
+  }
+}
+
+// Packs op(B)(p0:p0+kc, j0:j0+nc) into nr-wide micro-panels, zero-padding
+// the column remainder. b(p, j) = trans ? B[j * ldb + p] : B[p * ldb + j].
+void PackB(const double* b, size_t ldb, bool trans, size_t p0, size_t kc,
+           size_t j0, size_t nc, size_t nr, double* bp) {
+  const size_t panels = (nc + nr - 1) / nr;
+  for (size_t jr = 0; jr < panels; ++jr) {
+    double* panel = bp + jr * nr * kc;
+    const size_t cmax = std::min(nr, nc - jr * nr);
+    for (size_t p = 0; p < kc; ++p) {
+      for (size_t c = 0; c < nr; ++c) {
+        const size_t j = j0 + jr * nr + c;
+        panel[p * nr + c] =
+            c < cmax ? (trans ? b[j * ldb + (p0 + p)] : b[(p0 + p) * ldb + j])
+                     : 0.0;
+      }
+    }
+  }
+}
+
+size_t RoundUp(size_t x, size_t to) { return (x + to - 1) / to * to; }
+
+}  // namespace
+
+const KernelInfo& ActiveKernel() {
+  const KernelInfo* k = g_active_kernel.load(std::memory_order_acquire);
+  if (k == nullptr) {
+    // First use (or racing first uses): ChooseDefaultKernel is pure given
+    // the environment, so concurrent initializers store the same pointer.
+    k = ChooseDefaultKernel();
+    g_active_kernel.store(k, std::memory_order_release);
+  }
+  return *k;
+}
+
+bool SetActiveIsa(cpu::Isa isa) {
+  if (!cpu::IsaSupported(isa)) return false;
+  const KernelInfo* k = KernelForIsa(isa);
+  if (k == nullptr) return false;
+  g_active_kernel.store(k, std::memory_order_release);
+  return true;
+}
+
+bool PackReuseEngages(size_t m) { return m > ActiveKernel().nc; }
+
+void GemmBlocked(size_t n, size_t k, size_t m, const double* a, size_t lda,
+                 bool trans_a, const double* b, size_t ldb, bool trans_b,
+                 double* c) {
+  if (n == 0 || k == 0 || m == 0) return;
+  const KernelInfo& ker = ActiveKernel();
+  const size_t mr = ker.mr, nr = ker.nr;
+  const size_t mcb = ker.mc, kcb = ker.kc, ncb = ker.nc;
+
+  const size_t nc_buf = std::min(ncb, RoundUp(m, nr));
+  std::vector<double> bpack(kcb * nc_buf);
+
+  // Wide-C pack reuse: with more than one column panel, each A block
+  // would be repacked per (jc, pc) pair; packing the whole n x kc depth
+  // slab once per pc (in parallel) amortizes it across panels.
+  const bool reuse_a = m > ncb;
+  std::vector<double> apack_all;
+  if (reuse_a) apack_all.resize(RoundUp(n, mr) * kcb);
+
+  const size_t iblocks = (n + mcb - 1) / mcb;
+  for (size_t pc = 0; pc < k; pc += kcb) {
+    const size_t kc = std::min(kcb, k - pc);
+    if (reuse_a) {
+      // Write phase: row blocks land in disjoint [ic/mr * mr * kc) slabs;
+      // the read phase below only starts after this barrier returns.
+      parallel::For(iblocks, [&](size_t ib) {
+        const size_t ic = ib * mcb;
+        const size_t mc = std::min(mcb, n - ic);
+        PackA(a, lda, trans_a, ic, mc, pc, kc, mr,
+              apack_all.data() + (ic / mr) * mr * kc);
+      });
+    }
+    for (size_t jc = 0; jc < m; jc += ncb) {
+      const size_t nc = std::min(ncb, m - jc);
+      // Parallel PackB: shard the nr-wide panels over the pool in
+      // contiguous ranges (disjoint writes; content is a pure function
+      // of B, so it is thread-count invariant).
+      const size_t bpanels = (nc + nr - 1) / nr;
+      parallel::ForRange(bpanels, [&](size_t begin, size_t end) {
+        PackB(b, ldb, trans_b, pc, kc, jc + begin * nr,
+              std::min(nc, end * nr) - begin * nr, nr,
+              bpack.data() + begin * nr * kc);
+      });
+      // Row-block parallelism: tasks write disjoint C rows and share the
+      // read-only packs, so results are thread-count invariant.
+      parallel::For(iblocks, [&](size_t ib) {
+        const size_t ic = ib * mcb;
+        const size_t mc = std::min(mcb, n - ic);
+        const double* apack;
+        if (reuse_a) {
+          apack = apack_all.data() + (ic / mr) * mr * kc;
+        } else {
+          thread_local std::vector<double> local_apack;
+          local_apack.resize(mcb * kcb);
+          PackA(a, lda, trans_a, ic, mc, pc, kc, mr, local_apack.data());
+          apack = local_apack.data();
+        }
+        for (size_t ir = 0; ir < mc; ir += mr) {
+          const size_t rmax = std::min(mr, mc - ir);
+          for (size_t jr = 0; jr < nc; jr += nr) {
+            const size_t cmax = std::min(nr, nc - jr);
+            ker.fn(kc, apack + (ir / mr) * mr * kc,
+                   bpack.data() + (jr / nr) * nr * kc,
+                   c + (ic + ir) * m + (jc + jr), m, rmax, cmax);
+          }
+        }
+      });
+    }
+  }
+}
+
+}  // namespace gemm
+}  // namespace fexiot

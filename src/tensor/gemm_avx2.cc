@@ -1,0 +1,88 @@
+// AVX2 + FMA GEMM microkernel: 6x8 register tile (12 ymm accumulators,
+// 2 ymm B loads and 1 broadcast live per depth step — 15 of the 16
+// architectural ymm registers, the classic BLIS double-precision shape).
+//
+// This translation unit builds with -mavx2 -mfma (and only this unit —
+// the rest of the library stays at the project baseline), and the
+// dispatcher never selects it unless CPUID reports avx2+fma, so the
+// binary stays runnable on older hosts. When the compiler lacks the
+// flags, CMake omits FEXIOT_GEMM_AVX2 and the stub below unregisters
+// the tier.
+
+#include "tensor/gemm.h"
+
+#if defined(FEXIOT_GEMM_AVX2)
+
+#include <immintrin.h>
+
+namespace fexiot {
+namespace gemm {
+namespace {
+
+constexpr size_t kMr = 6;
+constexpr size_t kNr = 8;
+
+void MicroKernelAvx2(size_t kc, const double* ap, const double* bp,
+                     double* c, size_t ldc, size_t rmax, size_t cmax) {
+  __m256d acc[kMr][2];
+  for (size_t r = 0; r < kMr; ++r) {
+    acc[r][0] = _mm256_setzero_pd();
+    acc[r][1] = _mm256_setzero_pd();
+  }
+  for (size_t p = 0; p < kc; ++p) {
+    const __m256d b0 = _mm256_loadu_pd(bp + p * kNr);
+    const __m256d b1 = _mm256_loadu_pd(bp + p * kNr + 4);
+    const double* av = ap + p * kMr;
+    for (size_t r = 0; r < kMr; ++r) {
+      const __m256d ar = _mm256_broadcast_sd(av + r);
+      acc[r][0] = _mm256_fmadd_pd(ar, b0, acc[r][0]);
+      acc[r][1] = _mm256_fmadd_pd(ar, b1, acc[r][1]);
+    }
+  }
+  if (rmax == kMr && cmax == kNr) {
+    for (size_t r = 0; r < kMr; ++r) {
+      double* crow = c + r * ldc;
+      _mm256_storeu_pd(crow,
+                       _mm256_add_pd(_mm256_loadu_pd(crow), acc[r][0]));
+      _mm256_storeu_pd(crow + 4,
+                       _mm256_add_pd(_mm256_loadu_pd(crow + 4), acc[r][1]));
+    }
+  } else {
+    alignas(32) double buf[kMr * kNr];
+    for (size_t r = 0; r < kMr; ++r) {
+      _mm256_store_pd(buf + r * kNr, acc[r][0]);
+      _mm256_store_pd(buf + r * kNr + 4, acc[r][1]);
+    }
+    for (size_t r = 0; r < rmax; ++r) {
+      double* crow = c + r * ldc;
+      for (size_t j = 0; j < cmax; ++j) crow[j] += buf[r * kNr + j];
+    }
+  }
+}
+
+constexpr KernelInfo kAvx2Info = {
+    cpu::Isa::kAvx2, "avx2", "6x8",
+    /*mr=*/kMr,      /*nr=*/kNr,
+    /*mc=*/60,  // multiple of mr=6; same L2 budget as the 64-row tiers
+    /*kc=*/256, /*nc=*/512,
+    MicroKernelAvx2,
+};
+
+}  // namespace
+
+const KernelInfo* Avx2Kernel() { return &kAvx2Info; }
+
+}  // namespace gemm
+}  // namespace fexiot
+
+#else  // !FEXIOT_GEMM_AVX2
+
+namespace fexiot {
+namespace gemm {
+
+const KernelInfo* Avx2Kernel() { return nullptr; }
+
+}  // namespace gemm
+}  // namespace fexiot
+
+#endif

@@ -1,0 +1,88 @@
+// AVX-512F GEMM microkernel: 8x16 register tile (16 zmm accumulators,
+// 2 zmm B loads and 1 broadcast per depth step — 19 of the 32
+// architectural zmm registers, leaving room for the compiler to
+// software-pipeline the loads). Eight rows give 16 independent FMA
+// chains, enough to cover 2 FMA ports x ~4-cycle latency.
+//
+// This translation unit builds with -mavx512f -mavx512dq -mavx512vl
+// -mfma -mprefer-vector-width=512 (and only this unit); the dispatcher
+// selects it only when CPUID reports avx512f. When the compiler lacks
+// the flags, CMake omits FEXIOT_GEMM_AVX512 and the stub below
+// unregisters the tier.
+
+#include "tensor/gemm.h"
+
+#if defined(FEXIOT_GEMM_AVX512)
+
+#include <immintrin.h>
+
+namespace fexiot {
+namespace gemm {
+namespace {
+
+constexpr size_t kMr = 8;
+constexpr size_t kNr = 16;
+
+void MicroKernelAvx512(size_t kc, const double* ap, const double* bp,
+                       double* c, size_t ldc, size_t rmax, size_t cmax) {
+  __m512d acc[kMr][2];
+  for (size_t r = 0; r < kMr; ++r) {
+    acc[r][0] = _mm512_setzero_pd();
+    acc[r][1] = _mm512_setzero_pd();
+  }
+  for (size_t p = 0; p < kc; ++p) {
+    const __m512d b0 = _mm512_loadu_pd(bp + p * kNr);
+    const __m512d b1 = _mm512_loadu_pd(bp + p * kNr + 8);
+    const double* av = ap + p * kMr;
+    for (size_t r = 0; r < kMr; ++r) {
+      const __m512d ar = _mm512_set1_pd(av[r]);
+      acc[r][0] = _mm512_fmadd_pd(ar, b0, acc[r][0]);
+      acc[r][1] = _mm512_fmadd_pd(ar, b1, acc[r][1]);
+    }
+  }
+  if (rmax == kMr && cmax == kNr) {
+    for (size_t r = 0; r < kMr; ++r) {
+      double* crow = c + r * ldc;
+      _mm512_storeu_pd(crow,
+                       _mm512_add_pd(_mm512_loadu_pd(crow), acc[r][0]));
+      _mm512_storeu_pd(crow + 8,
+                       _mm512_add_pd(_mm512_loadu_pd(crow + 8), acc[r][1]));
+    }
+  } else {
+    alignas(64) double buf[kMr * kNr];
+    for (size_t r = 0; r < kMr; ++r) {
+      _mm512_store_pd(buf + r * kNr, acc[r][0]);
+      _mm512_store_pd(buf + r * kNr + 8, acc[r][1]);
+    }
+    for (size_t r = 0; r < rmax; ++r) {
+      double* crow = c + r * ldc;
+      for (size_t j = 0; j < cmax; ++j) crow[j] += buf[r * kNr + j];
+    }
+  }
+}
+
+constexpr KernelInfo kAvx512Info = {
+    cpu::Isa::kAvx512, "avx512", "8x16",
+    /*mr=*/kMr,        /*nr=*/kNr,
+    /*mc=*/64,         /*kc=*/256, /*nc=*/512,
+    MicroKernelAvx512,
+};
+
+}  // namespace
+
+const KernelInfo* Avx512Kernel() { return &kAvx512Info; }
+
+}  // namespace gemm
+}  // namespace fexiot
+
+#else  // !FEXIOT_GEMM_AVX512
+
+namespace fexiot {
+namespace gemm {
+
+const KernelInfo* Avx512Kernel() { return nullptr; }
+
+}  // namespace gemm
+}  // namespace fexiot
+
+#endif

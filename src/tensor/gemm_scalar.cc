@@ -1,0 +1,59 @@
+// Scalar (portable C++) GEMM microkernel: the reference tier of the
+// runtime ISA dispatch and the fallback on hosts/builds without AVX2.
+//
+// This translation unit builds with -ffp-contract=off (see
+// src/tensor/CMakeLists.txt): every accumulator update is a rounded
+// multiply followed by a rounded add, so the scalar tier produces the
+// same bits on every host and compiler regardless of FMA availability.
+// The SIMD tiers fuse the multiply-add; docs/KERNELS.md documents the
+// resulting cross-ISA ULP bound that tests/test_kernels.cc enforces.
+
+#include "tensor/gemm.h"
+
+namespace fexiot {
+namespace gemm {
+namespace {
+
+constexpr size_t kMr = 4;
+constexpr size_t kNr = 16;
+
+// The row dimension is unrolled by hand into four independent accumulator
+// arrays so the compiler vectorizes the j loop directly: each acc row is
+// kNr contiguous doubles updated by a broadcast of one A value. A
+// two-dimensional acc[kMr][kNr] formulation tempted GCC into outer-loop
+// vectorization with a per-iteration permute storm (~14x slower at -O3).
+void MicroKernelScalar(size_t kc, const double* ap, const double* bp,
+                       double* c, size_t ldc, size_t rmax, size_t cmax) {
+  double acc0[kNr] = {}, acc1[kNr] = {}, acc2[kNr] = {}, acc3[kNr] = {};
+  for (size_t p = 0; p < kc; ++p) {
+    const double a0 = ap[p * kMr + 0], a1 = ap[p * kMr + 1];
+    const double a2 = ap[p * kMr + 2], a3 = ap[p * kMr + 3];
+    const double* bv = bp + p * kNr;
+    for (size_t j = 0; j < kNr; ++j) {
+      const double bj = bv[j];
+      acc0[j] += a0 * bj;
+      acc1[j] += a1 * bj;
+      acc2[j] += a2 * bj;
+      acc3[j] += a3 * bj;
+    }
+  }
+  const double* accs[kMr] = {acc0, acc1, acc2, acc3};
+  for (size_t r = 0; r < rmax; ++r) {
+    double* crow = c + r * ldc;
+    for (size_t j = 0; j < cmax; ++j) crow[j] += accs[r][j];
+  }
+}
+
+constexpr KernelInfo kScalarInfo = {
+    cpu::Isa::kScalar, "scalar", "4x16",
+    /*mr=*/kMr,        /*nr=*/kNr,
+    /*mc=*/64,         /*kc=*/256, /*nc=*/512,
+    MicroKernelScalar,
+};
+
+}  // namespace
+
+const KernelInfo* ScalarKernel() { return &kScalarInfo; }
+
+}  // namespace gemm
+}  // namespace fexiot

@@ -15,6 +15,18 @@ namespace fexiot {
 /// models, GNN layers and the SHAP solver. Kept deliberately simple: no
 /// views, no broadcasting — shapes are always explicit, and shape mismatches
 /// assert in debug builds.
+///
+/// Contracts:
+///  - Layout: one contiguous buffer, element (r, c) at data()[r * cols() + c].
+///    RowPtr(r) is valid for cols() elements; pointers from data()/RowPtr()
+///    are invalidated by Resize and by assignment/moves, like the underlying
+///    std::vector's.
+///  - Thread-safety: const members are safe to call concurrently. Mutation
+///    requires external synchronization — the idiomatic pattern under
+///    parallel::For is disjoint writes (each task owns distinct rows via
+///    RowPtr), which the GEMM macro-kernel, k-means and t-SNE all follow.
+///  - Indexing: At/operator() assert bounds in debug builds and perform no
+///    checking in release builds.
 class Matrix {
  public:
   Matrix() : rows_(0), cols_(0) {}

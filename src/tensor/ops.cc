@@ -4,7 +4,7 @@
 #include <cassert>
 #include <cmath>
 
-#include "common/parallel.h"
+#include "tensor/gemm.h"
 
 namespace fexiot {
 
@@ -62,134 +62,10 @@ Matrix ReferenceMatMulTransB(const Matrix& a, const Matrix& b) {
 
 namespace {
 
-// Cache-blocked packed GEMM (GotoBLAS / BLIS structure). op(A) is n x k,
-// op(B) is k x m, C is n x m row-major and starts zeroed.
-//
-// Blocking: B panels of kKc x kNc are packed once into kNr-wide
-// micro-panels (lives in L2); each kMc x kKc block of A is packed into
-// kMr-tall micro-panels by the task computing it (lives in L1). The
-// microkernel holds a kMr x kNr accumulator in registers, so per fused
-// multiply-add it touches one element of each packed panel instead of
-// loading and storing a C row — the naive i-k-j kernel re-streams the
-// whole of B from memory for every row of A, which is what it loses on.
-//
-// Transposition is absorbed by the packing functions, so all three MatMul
-// variants share this single macro-kernel.
-constexpr size_t kMr = 4;    // microkernel rows (accumulator height)
-constexpr size_t kNr = 16;   // microkernel cols (2 AVX-512 / 4 AVX2 lanes)
-constexpr size_t kMc = 64;   // A block rows; also the parallel row grain
-constexpr size_t kKc = 256;  // depth block: kKc*kNr*8B B-panel fits L1
-constexpr size_t kNc = 1024; // B block cols: kKc*kNc*8B pack buffer in L2
-
 // Products below this flop count run the reference kernel: packing costs
 // more than it saves (GNN layers at hidden_dim <= 32 live here, and keep
 // the reference kernel's zero-skip on sparse propagation matrices).
 constexpr size_t kSmallFlops = 64 * 64 * 64;
-
-// Packs A(i0:i0+mc, p0:p0+kc) into kMr-tall micro-panels, zero-padding
-// the row remainder. a(i, p) = trans ? A[p * lda + i] : A[i * lda + p].
-void PackA(const double* a, size_t lda, bool trans, size_t i0, size_t mc,
-           size_t p0, size_t kc, double* ap) {
-  const size_t panels = (mc + kMr - 1) / kMr;
-  for (size_t ir = 0; ir < panels; ++ir) {
-    double* panel = ap + ir * kMr * kc;
-    const size_t rmax = std::min(kMr, mc - ir * kMr);
-    for (size_t p = 0; p < kc; ++p) {
-      for (size_t r = 0; r < kMr; ++r) {
-        const size_t i = i0 + ir * kMr + r;
-        panel[p * kMr + r] =
-            r < rmax ? (trans ? a[(p0 + p) * lda + i] : a[i * lda + (p0 + p)])
-                     : 0.0;
-      }
-    }
-  }
-}
-
-// Packs B(p0:p0+kc, j0:j0+nc) into kNr-wide micro-panels, zero-padding
-// the column remainder. b(p, j) = trans ? B[j * ldb + p] : B[p * ldb + j].
-void PackB(const double* b, size_t ldb, bool trans, size_t p0, size_t kc,
-           size_t j0, size_t nc, double* bp) {
-  const size_t panels = (nc + kNr - 1) / kNr;
-  for (size_t jr = 0; jr < panels; ++jr) {
-    double* panel = bp + jr * kNr * kc;
-    const size_t cmax = std::min(kNr, nc - jr * kNr);
-    for (size_t p = 0; p < kc; ++p) {
-      for (size_t c = 0; c < kNr; ++c) {
-        const size_t j = j0 + jr * kNr + c;
-        panel[p * kNr + c] =
-            c < cmax ? (trans ? b[j * ldb + (p0 + p)] : b[(p0 + p) * ldb + j])
-                     : 0.0;
-      }
-    }
-  }
-}
-
-// C(0:rmax, 0:cmax) += Ap-panel * Bp-panel over depth kc. The accumulator
-// covers the full padded tile; only the valid part is stored.
-//
-// The row dimension is unrolled by hand into four independent accumulator
-// arrays so the compiler vectorizes the j loop directly: each acc row is
-// kNr contiguous doubles (4 AVX2 / 2 AVX-512 register lanes) updated by a
-// broadcast of one A value. The earlier acc[kMr][kNr] formulation tempted
-// GCC into outer-loop vectorization with a per-iteration permute storm
-// (~14x slower than this shape at -O3 -march=native).
-inline void MicroKernel(size_t kc, const double* ap, const double* bp,
-                        double* c, size_t ldc, size_t rmax, size_t cmax) {
-  double acc0[kNr] = {}, acc1[kNr] = {}, acc2[kNr] = {}, acc3[kNr] = {};
-  static_assert(kMr == 4, "row unroll below assumes kMr == 4");
-  for (size_t p = 0; p < kc; ++p) {
-    const double a0 = ap[p * kMr + 0], a1 = ap[p * kMr + 1];
-    const double a2 = ap[p * kMr + 2], a3 = ap[p * kMr + 3];
-    const double* bv = bp + p * kNr;
-    for (size_t j = 0; j < kNr; ++j) {
-      const double bj = bv[j];
-      acc0[j] += a0 * bj;
-      acc1[j] += a1 * bj;
-      acc2[j] += a2 * bj;
-      acc3[j] += a3 * bj;
-    }
-  }
-  const double* accs[kMr] = {acc0, acc1, acc2, acc3};
-  for (size_t r = 0; r < rmax; ++r) {
-    double* crow = c + r * ldc;
-    for (size_t j = 0; j < cmax; ++j) crow[j] += accs[r][j];
-  }
-}
-
-// C += op(A) * op(B); C is n x m row-major, already zeroed.
-void GemmBlocked(size_t n, size_t k, size_t m, const double* a, size_t lda,
-                 bool trans_a, const double* b, size_t ldb, bool trans_b,
-                 double* c) {
-  if (n == 0 || k == 0 || m == 0) return;
-  const size_t nc_buf = std::min(kNc, (m + kNr - 1) / kNr * kNr);
-  std::vector<double> bpack(kKc * nc_buf);
-  for (size_t jc = 0; jc < m; jc += kNc) {
-    const size_t nc = std::min(kNc, m - jc);
-    for (size_t pc = 0; pc < k; pc += kKc) {
-      const size_t kc = std::min(kKc, k - pc);
-      PackB(b, ldb, trans_b, pc, kc, jc, nc, bpack.data());
-      // Row-block parallelism: tasks write disjoint C rows and share the
-      // read-only B pack, so results are thread-count invariant.
-      const size_t iblocks = (n + kMc - 1) / kMc;
-      parallel::For(iblocks, [&](size_t ib) {
-        const size_t ic = ib * kMc;
-        const size_t mc = std::min(kMc, n - ic);
-        thread_local std::vector<double> apack;
-        apack.resize(kMc * kKc);
-        PackA(a, lda, trans_a, ic, mc, pc, kc, apack.data());
-        for (size_t ir = 0; ir < mc; ir += kMr) {
-          const size_t rmax = std::min(kMr, mc - ir);
-          for (size_t jr = 0; jr < nc; jr += kNr) {
-            const size_t cmax = std::min(kNr, nc - jr);
-            MicroKernel(kc, apack.data() + (ir / kMr) * kMr * kc,
-                        bpack.data() + (jr / kNr) * kNr * kc,
-                        c + (ic + ir) * m + (jc + jr), m, rmax, cmax);
-          }
-        }
-      });
-    }
-  }
-}
 
 }  // namespace
 
@@ -198,8 +74,8 @@ Matrix MatMul(const Matrix& a, const Matrix& b) {
   const size_t n = a.rows(), k = a.cols(), m = b.cols();
   if (n * k * m < kSmallFlops) return ReferenceMatMul(a, b);
   Matrix c(n, m);
-  GemmBlocked(n, k, m, a.data(), a.cols(), false, b.data(), b.cols(), false,
-              c.data());
+  gemm::GemmBlocked(n, k, m, a.data(), a.cols(), false, b.data(), b.cols(),
+                    false, c.data());
   return c;
 }
 
@@ -208,8 +84,8 @@ Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
   const size_t n = a.cols(), k = a.rows(), m = b.cols();
   if (n * k * m < kSmallFlops) return ReferenceMatMulTransA(a, b);
   Matrix c(n, m);
-  GemmBlocked(n, k, m, a.data(), a.cols(), true, b.data(), b.cols(), false,
-              c.data());
+  gemm::GemmBlocked(n, k, m, a.data(), a.cols(), true, b.data(), b.cols(),
+                    false, c.data());
   return c;
 }
 
@@ -218,8 +94,8 @@ Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
   const size_t n = a.rows(), k = a.cols(), m = b.rows();
   if (n * k * m < kSmallFlops) return ReferenceMatMulTransB(a, b);
   Matrix c(n, m);
-  GemmBlocked(n, k, m, a.data(), a.cols(), false, b.data(), b.cols(), true,
-              c.data());
+  gemm::GemmBlocked(n, k, m, a.data(), a.cols(), false, b.data(), b.cols(),
+                    true, c.data());
   return c;
 }
 

@@ -6,32 +6,55 @@
 
 namespace fexiot {
 
-/// \brief Matrix product C = A * B. Shapes must agree.
+/// \brief Matrix product C = A * B. Shapes must agree (asserted in debug
+/// builds); all operands are dense row-major.
 ///
-/// Large products run through a cache-blocked, packed GEMM with a
-/// compiler-vectorized microkernel, row-block-parallel over the shared
-/// parallel::For pool; small products fall through to the reference
-/// kernel (packing overhead dominates below the blocking grain). Results
-/// are bit-identical across thread counts; they may differ from the
-/// reference kernel by floating-point reassociation across depth blocks
-/// when the inner dimension exceeds the depth blocking factor.
+/// Large products run through the cache-blocked packed GEMM in
+/// tensor/gemm.h with an explicit-SIMD microkernel selected once at
+/// startup by CPUID — scalar, AVX2 (6x8 tile) or AVX-512 (8x16 tile),
+/// overridable via the FEXIOT_ISA environment variable — and
+/// row-block-parallel over the shared parallel::For pool. Small products
+/// (under 64^3 flops) fall through to the reference kernel, where packing
+/// overhead dominates. See docs/KERNELS.md for the full architecture.
+///
+/// Contracts:
+///  - Thread-safety: safe to call concurrently from many threads; callers
+///    already running on a pool worker compute inline-serially (the
+///    nested-parallelism guard in common/parallel.h).
+///  - Aliasing: the result is a freshly allocated Matrix, so inputs are
+///    never aliased by the output.
+///  - Determinism: for a fixed ISA tier, results are bit-identical across
+///    thread counts. Across ISA tiers, results agree bit-for-bit between
+///    AVX2 and AVX-512 (same fused-multiply-add sequence per element) and
+///    within a documented ULP bound against scalar (mul+add vs FMA
+///    rounding; see docs/KERNELS.md and tests/test_kernels.cc). The
+///    blocked path may differ from the reference kernel by floating-point
+///    reassociation across depth blocks when the inner dimension exceeds
+///    the depth blocking factor.
 Matrix MatMul(const Matrix& a, const Matrix& b);
 
-/// \brief C = A^T * B without materializing the transpose.
+/// \brief C = A^T * B without materializing the transpose (A is stored
+/// k x n; transposition is absorbed by the pack step). Same dispatch,
+/// thread-safety, aliasing and determinism contracts as MatMul.
 Matrix MatMulTransA(const Matrix& a, const Matrix& b);
 
-/// \brief C = A * B^T without materializing the transpose.
+/// \brief C = A * B^T without materializing the transpose (B is stored
+/// m x k). Same dispatch, thread-safety, aliasing and determinism
+/// contracts as MatMul.
 Matrix MatMulTransB(const Matrix& a, const Matrix& b);
 
 /// \brief Reference GEMM kernels: the original naive triple-loop
 /// implementations, retained as the parity oracle for the blocked kernels
 /// (tests/test_kernels.cc) and as the baseline bench_kernels measures
-/// speedup against. Also the small-product fast path of MatMul*.
+/// speedup against. Also the small-product fast path of MatMul*, where
+/// their zero-skip keeps sparse GNN propagation products cheap.
+/// Single-threaded and ISA-independent (never dispatched).
 Matrix ReferenceMatMul(const Matrix& a, const Matrix& b);
 Matrix ReferenceMatMulTransA(const Matrix& a, const Matrix& b);
 Matrix ReferenceMatMulTransB(const Matrix& a, const Matrix& b);
 
 /// \brief Adds a 1 x cols bias row to every row of \p m, in place.
+/// \p bias must not alias \p m (use a copy to broadcast a row of m).
 void AddBiasRow(Matrix* m, const Matrix& bias);
 
 /// \brief Element-wise max(x, 0).
@@ -70,6 +93,10 @@ double VectorNorm(const std::vector<double>& v);
 
 /// \brief Stacks equal-length vectors as matrix rows.
 Matrix StackRows(const std::vector<std::vector<double>>& rows);
+
+/// All element-wise and reduction helpers above are single-threaded pure
+/// functions returning fresh matrices (no aliasing with their inputs) and
+/// are safe to call concurrently, including from parallel::For bodies.
 
 /// \brief Solves the symmetric positive-definite system A x = b via
 /// Cholesky. Adds \p ridge to the diagonal for conditioning.

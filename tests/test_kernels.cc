@@ -1,20 +1,26 @@
-// Parity, determinism, and race harness for the blocked GEMM kernels.
+// Parity, determinism, and race harness for the blocked GEMM kernels and
+// their runtime ISA dispatch (tensor/gemm.h).
 //
 // MatMul/MatMulTransA/MatMulTransB are checked against the retained
 // reference kernels over a randomized shape sweep (degenerate, tiny,
-// non-block-multiple, and above the small-product cutoff so the blocked
-// path actually runs), must be bit-identical across pool sizes, and must
-// survive concurrent callers sharing the global pool (run under
-// -DFEXIOT_SANITIZE=thread in ci/run_tests.sh).
+// non-block-multiple, wide-C pack-reuse, and above the small-product
+// cutoff so the blocked path actually runs), must be bit-identical across
+// pool sizes and across the AVX2/AVX-512 tiers (ULP-bounded against the
+// scalar tier — see docs/KERNELS.md), and must survive concurrent callers
+// sharing the global pool (run under -DFEXIOT_SANITIZE=thread in
+// ci/run_tests.sh, which also reruns this binary under each FEXIOT_ISA).
 
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <thread>
 #include <vector>
 
+#include "common/cpu_features.h"
 #include "common/parallel.h"
 #include "common/rng.h"
+#include "tensor/gemm.h"
 #include "tensor/matrix.h"
 #include "tensor/ops.h"
 
@@ -36,6 +42,9 @@ std::vector<Shape> ParityShapes() {
       {65, 65, 65}, {64, 1, 64},  {1, 300, 900}, {100, 128, 100},
       {128, 128, 128}, {130, 70, 90}, {200, 16, 300}, {32, 512, 32},
       {96, 257, 48}, {40, 600, 24},
+      // Wide C (m > nc): the pack-reuse path caches packed A blocks per
+      // depth block and reuses them across column panels.
+      {40, 500, 1500}, {24, 700, 600},
   };
   // Randomized fill to ~50 shapes, biased to straddle the cutoff.
   Rng rng(20250806);
@@ -171,6 +180,180 @@ TEST(Kernels, ConcurrentCallersShareThePool) {
   parallel::SetThreads(0);
   for (int t = 0; t < kCallers; ++t) {
     EXPECT_EQ(ok[t], 1) << "caller " << t << " saw a wrong product";
+  }
+}
+
+// --- Runtime ISA dispatch (tensor/gemm.h) ---------------------------------
+//
+// ci/run_tests.sh reruns this whole binary under FEXIOT_ISA=scalar/avx2/
+// avx512, which exercises the environment-variable path end to end; the
+// in-process suite below uses gemm::SetActiveIsa to sweep every tier a
+// single host supports.
+
+// Restores the dispatched kernel on scope exit so direct (non-ctest)
+// runs of this binary don't leak an override into later tests.
+class IsaGuard {
+ public:
+  IsaGuard() : saved_(gemm::ActiveKernel().isa) {}
+  ~IsaGuard() { gemm::SetActiveIsa(saved_); }
+
+ private:
+  cpu::Isa saved_;
+};
+
+const gemm::KernelInfo* CompiledKernel(cpu::Isa isa) {
+  switch (isa) {
+    case cpu::Isa::kAvx512:
+      return gemm::Avx512Kernel();
+    case cpu::Isa::kAvx2:
+      return gemm::Avx2Kernel();
+    case cpu::Isa::kScalar:
+      return gemm::ScalarKernel();
+  }
+  return nullptr;
+}
+
+TEST(IsaDispatch, ActiveKernelIsRunnableAndHonorsEnv) {
+  const gemm::KernelInfo& active = gemm::ActiveKernel();
+  EXPECT_TRUE(cpu::IsaSupported(active.isa));
+  ASSERT_NE(CompiledKernel(active.isa), nullptr);
+  EXPECT_EQ(active.mc % active.mr, 0u);
+  EXPECT_EQ(active.nc % active.nr, 0u);
+  // When FEXIOT_ISA names a tier this host can actually run, the
+  // dispatcher must have picked exactly that tier.
+  const char* env = std::getenv("FEXIOT_ISA");
+  cpu::Isa requested;
+  if (env != nullptr && cpu::ParseIsa(env, &requested) &&
+      cpu::IsaSupported(requested) && CompiledKernel(requested) != nullptr) {
+    EXPECT_EQ(active.isa, requested) << "FEXIOT_ISA=" << env << " ignored";
+  }
+}
+
+TEST(IsaDispatch, SetActiveIsaRejectsUnsupportedTiers) {
+  IsaGuard guard;
+  const cpu::Isa before = gemm::ActiveKernel().isa;
+  for (cpu::Isa isa :
+       {cpu::Isa::kScalar, cpu::Isa::kAvx2, cpu::Isa::kAvx512}) {
+    const bool available =
+        cpu::IsaSupported(isa) && CompiledKernel(isa) != nullptr;
+    EXPECT_EQ(gemm::SetActiveIsa(isa), available) << cpu::IsaName(isa);
+    if (!available) {
+      EXPECT_EQ(gemm::ActiveKernel().isa, before)
+          << "failed override must leave the selection unchanged";
+    }
+  }
+  ASSERT_TRUE(gemm::SetActiveIsa(cpu::Isa::kScalar));
+  EXPECT_EQ(gemm::ActiveKernel().isa, cpu::Isa::kScalar);
+}
+
+// The cross-ISA / cross-thread-count parity contract (docs/KERNELS.md):
+//  - per tier, results are bit-identical for every thread count;
+//  - AVX2 and AVX-512 agree bit-for-bit (identical per-element FMA
+//    sequence, only the vector grouping differs);
+//  - the scalar tier (mul+add, -ffp-contract=off) differs from the FMA
+//    tiers by at most one rounding per accumulation step, enforced here
+//    with the conservative envelope 1e-9 * (k+1) relative to |element|.
+TEST(IsaDispatch, ParityAcrossIsasAndThreadCounts) {
+  IsaGuard guard;
+  // Sizes straddle the small-product cutoff, block boundaries, and the
+  // wide-C pack-reuse threshold (m > nc); k > kc exercises multiple
+  // depth blocks.
+  const std::vector<Shape> shapes = {
+      {96, 96, 96},  {130, 257, 120}, {64, 512, 64},
+      {65, 300, 70}, {70, 300, 1100}, {33, 80, 550},
+  };
+  Rng rng(20260806);
+  for (const Shape& s : shapes) {
+    const Matrix a = Matrix::RandomNormal(s.n, s.k, 1.0, &rng);
+    const Matrix b = Matrix::RandomNormal(s.k, s.m, 1.0, &rng);
+    const Matrix at = a.Transposed();
+    const Matrix bt = b.Transposed();
+
+    std::vector<cpu::Isa> ran;
+    std::vector<Matrix> c_by_isa, ta_by_isa, tb_by_isa;
+    for (cpu::Isa isa :
+         {cpu::Isa::kScalar, cpu::Isa::kAvx2, cpu::Isa::kAvx512}) {
+      if (!gemm::SetActiveIsa(isa)) continue;  // host can't run this tier
+      parallel::SetThreads(1);
+      const Matrix c1 = MatMul(a, b);
+      const Matrix ta1 = MatMulTransA(at, b);
+      const Matrix tb1 = MatMulTransB(a, bt);
+      parallel::SetThreads(4);
+      const Matrix c4 = MatMul(a, b);
+      const Matrix ta4 = MatMulTransA(at, b);
+      const Matrix tb4 = MatMulTransB(a, bt);
+      parallel::SetThreads(0);
+      for (size_t i = 0; i < c1.size(); ++i) {
+        ASSERT_EQ(c1.data()[i], c4.data()[i])
+            << cpu::IsaName(isa) << " MatMul thread-count divergence at "
+            << i << " (n=" << s.n << " k=" << s.k << " m=" << s.m << ")";
+      }
+      for (size_t i = 0; i < ta1.size(); ++i) {
+        ASSERT_EQ(ta1.data()[i], ta4.data()[i])
+            << cpu::IsaName(isa) << " TransA thread-count divergence at "
+            << i;
+      }
+      for (size_t i = 0; i < tb1.size(); ++i) {
+        ASSERT_EQ(tb1.data()[i], tb4.data()[i])
+            << cpu::IsaName(isa) << " TransB thread-count divergence at "
+            << i;
+      }
+      ran.push_back(isa);
+      c_by_isa.push_back(c1);
+      ta_by_isa.push_back(ta1);
+      tb_by_isa.push_back(tb1);
+    }
+    ASSERT_FALSE(ran.empty());  // scalar always runs
+
+    for (size_t x = 1; x < ran.size(); ++x) {
+      for (size_t y = 0; y < x; ++y) {
+        const bool both_fma =
+            ran[x] != cpu::Isa::kScalar && ran[y] != cpu::Isa::kScalar;
+        if (both_fma) {
+          // AVX2 vs AVX-512: exactly the same bits.
+          for (size_t i = 0; i < c_by_isa[x].size(); ++i) {
+            ASSERT_EQ(c_by_isa[x].data()[i], c_by_isa[y].data()[i])
+                << cpu::IsaName(ran[x]) << " vs " << cpu::IsaName(ran[y])
+                << " MatMul divergence at " << i << " (n=" << s.n
+                << " k=" << s.k << " m=" << s.m << ")";
+          }
+          for (size_t i = 0; i < ta_by_isa[x].size(); ++i) {
+            ASSERT_EQ(ta_by_isa[x].data()[i], ta_by_isa[y].data()[i])
+                << "TransA divergence at " << i;
+          }
+          for (size_t i = 0; i < tb_by_isa[x].size(); ++i) {
+            ASSERT_EQ(tb_by_isa[x].data()[i], tb_by_isa[y].data()[i])
+                << "TransB divergence at " << i;
+          }
+        } else {
+          ExpectMatricesNear(c_by_isa[y], c_by_isa[x], s.k, "isa MatMul",
+                             s);
+          ExpectMatricesNear(ta_by_isa[y], ta_by_isa[x], s.k, "isa TransA",
+                             s);
+          ExpectMatricesNear(tb_by_isa[y], tb_by_isa[x], s.k, "isa TransB",
+                             s);
+        }
+      }
+    }
+  }
+}
+
+// Every compiled+supported tier must match the ISA-independent reference
+// on the wide-C pack-reuse path (m > nc) with multiple depth blocks, the
+// shape where A packs are cached per depth block and PackB fans out over
+// the pool.
+TEST(IsaDispatch, PackReusePathMatchesReferencePerIsa) {
+  IsaGuard guard;
+  Rng rng(18);
+  const Shape s{70, 600, 1300};
+  const Matrix a = Matrix::RandomNormal(s.n, s.k, 1.0, &rng);
+  const Matrix b = Matrix::RandomNormal(s.k, s.m, 1.0, &rng);
+  const Matrix expected = ReferenceMatMul(a, b);
+  for (cpu::Isa isa :
+       {cpu::Isa::kScalar, cpu::Isa::kAvx2, cpu::Isa::kAvx512}) {
+    if (!gemm::SetActiveIsa(isa)) continue;
+    ASSERT_TRUE(gemm::PackReuseEngages(s.m)) << cpu::IsaName(isa);
+    ExpectMatricesNear(expected, MatMul(a, b), s.k, cpu::IsaName(isa), s);
   }
 }
 
