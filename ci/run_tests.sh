@@ -6,11 +6,13 @@
 # fingerprints must be byte-identical between FEXIOT_THREADS=1 and
 # FEXIOT_THREADS=4), a federated-runtime parity check (the
 # discrete-event trace + result digest of a faulty run must be
-# byte-identical across thread counts), then a ThreadSanitizer pass over
-# the concurrency-bearing binaries (thread pool / parallel facade /
+# byte-identical across thread counts), a propagation-mode sweep (GNN +
+# sparse suites rerun under FEXIOT_PROPAGATION=dense and =sparse — the
+# two engines must both pass every test), then a ThreadSanitizer pass
+# over the concurrency-bearing binaries (thread pool / parallel facade /
 # blocked GEMM race harness incl. the parallel PackB + pack-reuse
-# fan-out / stream-split corpus fan-out / runtime-driven federated
-# rounds).
+# fan-out / SpMM row fan-out / stream-split corpus fan-out /
+# runtime-driven federated rounds).
 #
 # Usage: ci/run_tests.sh [build-dir] [tsan-build-dir]
 set -euo pipefail
@@ -20,14 +22,14 @@ BUILD_DIR="${1:-build}"
 TSAN_DIR="${2:-build-tsan}"
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
-echo "==> [1/6] configure + build (${BUILD_DIR})"
+echo "==> [1/7] configure + build (${BUILD_DIR})"
 cmake -B "${BUILD_DIR}" -S . >/dev/null
 cmake --build "${BUILD_DIR}" -j "${JOBS}"
 
-echo "==> [2/6] full test suite"
+echo "==> [2/7] full test suite"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
 
-echo "==> [3/6] GEMM ISA dispatch sweep (FEXIOT_ISA=scalar/avx2/avx512)"
+echo "==> [3/7] GEMM ISA dispatch sweep (FEXIOT_ISA=scalar/avx2/avx512)"
 for isa in scalar avx2 avx512; do
   echo "    FEXIOT_ISA=${isa}"
   FEXIOT_ISA="${isa}" "${BUILD_DIR}/tests/test_kernels" \
@@ -35,7 +37,7 @@ for isa in scalar avx2 avx512; do
 done
 echo "    kernel parity holds under every FEXIOT_ISA tier"
 
-echo "==> [4/6] corpus thread-count parity (FEXIOT_THREADS=1 vs 4)"
+echo "==> [4/7] corpus thread-count parity (FEXIOT_THREADS=1 vs 4)"
 STATS_DIR="${BUILD_DIR}/corpus-parity"
 mkdir -p "${STATS_DIR}"
 FEXIOT_THREADS=1 FEXIOT_STATS_OUT="${STATS_DIR}/stats_t1.json" \
@@ -50,7 +52,7 @@ if ! diff -u "${STATS_DIR}/stats_t1.json" "${STATS_DIR}/stats_t4.json"; then
 fi
 echo "    stats + fingerprints identical across thread counts"
 
-echo "==> [5/6] runtime thread-count parity (event trace + result digest)"
+echo "==> [5/7] runtime thread-count parity (event trace + result digest)"
 TRACE_DIR="${BUILD_DIR}/runtime-parity"
 mkdir -p "${TRACE_DIR}"
 FEXIOT_THREADS=1 FEXIOT_TRACE_OUT="${TRACE_DIR}/trace_t1.txt" \
@@ -65,15 +67,26 @@ if ! diff -u "${TRACE_DIR}/trace_t1.txt" "${TRACE_DIR}/trace_t4.txt"; then
 fi
 echo "    event trace + result digest identical across thread counts"
 
-echo "==> [6/6] TSAN pass (test_common + test_kernels + test_corpus_determinism + test_runtime)"
+echo "==> [6/7] propagation-mode sweep (FEXIOT_PROPAGATION=dense/sparse)"
+for mode in dense sparse; do
+  echo "    FEXIOT_PROPAGATION=${mode}"
+  FEXIOT_PROPAGATION="${mode}" "${BUILD_DIR}/tests/test_gnn" \
+    --gtest_brief=1 >/dev/null
+  FEXIOT_PROPAGATION="${mode}" "${BUILD_DIR}/tests/test_sparse" \
+    --gtest_brief=1 >/dev/null
+done
+echo "    both propagation engines pass the GNN + sparse suites"
+
+echo "==> [7/7] TSAN pass (test_common + test_kernels + test_sparse + test_corpus_determinism + test_runtime)"
 cmake -B "${TSAN_DIR}" -S . \
   -DFEXIOT_SANITIZE=thread \
   -DFEXIOT_BUILD_BENCHMARKS=OFF \
   -DFEXIOT_BUILD_EXAMPLES=OFF >/dev/null
 cmake --build "${TSAN_DIR}" -j "${JOBS}" \
-  --target test_common test_kernels test_corpus_determinism test_runtime
+  --target test_common test_kernels test_sparse test_corpus_determinism test_runtime
 "${TSAN_DIR}/tests/test_common"
 "${TSAN_DIR}/tests/test_kernels"
+FEXIOT_THREADS=4 "${TSAN_DIR}/tests/test_sparse"
 FEXIOT_THREADS=4 "${TSAN_DIR}/tests/test_corpus_determinism"
 FEXIOT_THREADS=4 "${TSAN_DIR}/tests/test_runtime"
 

@@ -10,8 +10,18 @@ ContrastivePair ContrastiveLoss(const std::vector<double>& z_i,
                                 const std::vector<double>& z_j,
                                 bool different_class, double margin,
                                 ContrastiveForm form) {
-  assert(z_i.size() == z_j.size());
   ContrastivePair out;
+  ContrastiveLoss(z_i, z_j, different_class, margin, form, &out);
+  return out;
+}
+
+void ContrastiveLoss(const std::vector<double>& z_i,
+                     const std::vector<double>& z_j, bool different_class,
+                     double margin, ContrastiveForm form,
+                     ContrastivePair* p) {
+  assert(z_i.size() == z_j.size());
+  ContrastivePair& out = *p;
+  out.loss = 0.0;
   out.grad_i.assign(z_i.size(), 0.0);
   double d2 = 0.0;
   for (size_t k = 0; k < z_i.size(); ++k) {
@@ -24,7 +34,7 @@ ContrastivePair ContrastiveLoss(const std::vector<double>& z_i,
     for (size_t k = 0; k < z_i.size(); ++k) {
       out.grad_i[k] = 2.0 * (z_i[k] - z_j[k]);
     }
-    return out;
+    return;
   }
   if (form == ContrastiveForm::kSquaredMargin) {
     if (d2 < margin) {
@@ -33,7 +43,7 @@ ContrastivePair ContrastiveLoss(const std::vector<double>& z_i,
         out.grad_i[k] = -2.0 * (z_i[k] - z_j[k]);
       }
     }
-    return out;
+    return;
   }
   // Hadsell margin: L = max(0, m - d)^2 with d Euclidean.
   const double d = std::sqrt(d2);
@@ -52,7 +62,6 @@ ContrastivePair ContrastiveLoss(const std::vector<double>& z_i,
       out.grad_i[0] = -2.0 * gap;
     }
   }
-  return out;
 }
 
 }  // namespace fexiot

@@ -30,4 +30,12 @@ ContrastivePair ContrastiveLoss(
     bool different_class, double margin,
     ContrastiveForm form = ContrastiveForm::kHadsellMargin);
 
+/// \brief In-place overload writing into a caller-owned pair, reusing its
+/// grad_i storage (no allocation once sized). Values are identical to the
+/// allocating form.
+void ContrastiveLoss(const std::vector<double>& z_i,
+                     const std::vector<double>& z_j, bool different_class,
+                     double margin, ContrastiveForm form,
+                     ContrastivePair* out);
+
 }  // namespace fexiot

@@ -1,8 +1,12 @@
 #include "gnn/gnn_model.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 
+#include "common/logging.h"
 #include "tensor/ops.h"
 
 namespace fexiot {
@@ -19,15 +23,90 @@ const char* GnnTypeName(GnnType type) {
   return "?";
 }
 
+PropagationMode ResolvePropagationMode(PropagationMode requested) {
+  if (requested != PropagationMode::kAuto) return requested;
+  static const PropagationMode from_env = [] {
+    const char* env = std::getenv("FEXIOT_PROPAGATION");
+    if (env == nullptr || std::strcmp(env, "sparse") == 0) {
+      return PropagationMode::kSparse;
+    }
+    if (std::strcmp(env, "dense") == 0) return PropagationMode::kDense;
+    FEXIOT_LOG(Warning) << "FEXIOT_PROPAGATION='" << env
+                        << "' not recognized (dense|sparse); using sparse";
+    return PropagationMode::kSparse;
+  }();
+  return from_env;
+}
+
+namespace {
+
+/// Builds the CSR propagation matrix straight from the edge list —
+/// O(n + e log e) instead of densifying an n x n matrix first. Values are
+/// bit-identical to the dense build: GCN degrees are exact small-integer
+/// doubles either way, and each entry is the one-rounding product
+/// dinv[i] * dinv[j] (GIN entries are exactly 1.0).
+CsrMatrix BuildPropagationCsr(const InteractionGraph& g, bool gin) {
+  const size_t n = static_cast<size_t>(g.num_nodes());
+  // Undirected skeleton with self loops, deduplicated and column-sorted.
+  std::vector<std::vector<int>> adj(n);
+  for (const auto& [u, v] : g.edges()) {
+    adj[static_cast<size_t>(u)].push_back(v);
+    adj[static_cast<size_t>(v)].push_back(u);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    adj[i].push_back(static_cast<int>(i));
+    std::sort(adj[i].begin(), adj[i].end());
+    adj[i].erase(std::unique(adj[i].begin(), adj[i].end()), adj[i].end());
+  }
+  std::vector<double> dinv;
+  if (!gin) {
+    dinv.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      const double deg = static_cast<double>(adj[i].size());
+      dinv[i] = deg > 0.0 ? 1.0 / std::sqrt(deg) : 0.0;
+    }
+  }
+  std::vector<std::vector<std::pair<int, double>>> rows(n);
+  for (size_t i = 0; i < n; ++i) {
+    rows[i].reserve(adj[i].size());
+    for (int j : adj[i]) {
+      const double v =
+          gin ? 1.0 : dinv[i] * dinv[static_cast<size_t>(j)];
+      rows[i].emplace_back(j, v);
+    }
+  }
+  return CsrMatrix::FromRowLists(n, n, rows);
+}
+
+/// P * H through whichever representation the prepared graph carries.
+/// Both paths accumulate each output element's terms in ascending source
+/// order and skip exact zeros, so they agree bit for bit at interaction-
+/// graph scales (docs/KERNELS.md §5).
+void Propagate(const PreparedGraph& g, const Matrix& h, Matrix* out) {
+  if (g.mode == PropagationMode::kSparse) {
+    SpMM(g.prop_csr, h, out);
+  } else {
+    MatMulInto(g.propagation, h, out);
+  }
+}
+
+}  // namespace
+
 PreparedGraph PrepareGraph(const InteractionGraph& g,
                            const GnnConfig& config) {
   PreparedGraph p;
   p.num_nodes = g.num_nodes();
   p.label = g.label();
+  p.mode = ResolvePropagationMode(config.propagation);
   const size_t n = static_cast<size_t>(g.num_nodes());
+  const bool gin = config.type == GnnType::kGin;
+  const bool magnn = config.type == GnnType::kMagnn;
 
-  // Propagation matrix.
-  if (config.type == GnnType::kGin) {
+  // Propagation representation. Sparse mode never materializes the n x n
+  // matrix; dense mode reproduces the original build exactly.
+  if (p.mode == PropagationMode::kSparse) {
+    p.prop_csr = BuildPropagationCsr(g, gin);
+  } else if (gin) {
     // S = (1 + eps) I + A over the undirected skeleton, eps = 0.
     Matrix s(n, n);
     for (size_t i = 0; i < n; ++i) s.At(i, i) = 1.0;
@@ -40,30 +119,34 @@ PreparedGraph PrepareGraph(const InteractionGraph& g,
     p.propagation = g.NormalizedAdjacency();
   }
 
-  // Feature matrices. Word-space nodes go into `features`; sentence-space
-  // nodes (voice platforms) into `features_hetero` (only consumed by
-  // MAGNN; GCN/GIN on heterogeneous graphs would assert in FeatureMatrix,
-  // so we pad/truncate to input_dim for them).
+  // Feature matrices, one pass per node: pad/truncate into the word-space
+  // row; sentence-space rows additionally land in `features_hetero`, which
+  // only MAGNN allocates (GCN/GIN on heterogeneous graphs fold the
+  // sentence embedding into the word slot by truncation). The padding
+  // contract is documented on PreparedGraph.
   p.features = Matrix(n, static_cast<size_t>(config.input_dim));
-  p.features_hetero = Matrix(n, static_cast<size_t>(config.hetero_input_dim));
-  p.node_space.resize(n, 0);
+  if (magnn) {
+    p.features_hetero =
+        Matrix(n, static_cast<size_t>(config.hetero_input_dim));
+  }
+  p.node_space.assign(n, 0);
   for (size_t i = 0; i < n; ++i) {
     const auto& f = g.node(static_cast<int>(i)).features;
+    const size_t copy =
+        std::min(f.size(), static_cast<size_t>(config.input_dim));
+    std::copy(f.begin(), f.begin() + static_cast<long>(copy),
+              p.features.RowPtr(i));
     const bool sentence_space =
         static_cast<int>(f.size()) == config.hetero_input_dim &&
         config.hetero_input_dim != config.input_dim;
     if (sentence_space) {
       p.node_space[i] = 1;
-      for (size_t c = 0; c < f.size(); ++c) p.features_hetero.At(i, c) = f[c];
-      // For homogeneous models, fold the sentence embedding into the word
-      // slot by truncation so GCN/GIN still run on hetero graphs.
-      const size_t copy = std::min(f.size(),
-                                   static_cast<size_t>(config.input_dim));
-      for (size_t c = 0; c < copy; ++c) p.features.At(i, c) = f[c];
-    } else {
-      const size_t copy = std::min(f.size(),
-                                   static_cast<size_t>(config.input_dim));
-      for (size_t c = 0; c < copy; ++c) p.features.At(i, c) = f[c];
+      if (magnn) {
+        const size_t hcopy =
+            std::min(f.size(), static_cast<size_t>(config.hetero_input_dim));
+        std::copy(f.begin(), f.begin() + static_cast<long>(hcopy),
+                  p.features_hetero.RowPtr(i));
+      }
     }
   }
   return p;
@@ -101,14 +184,14 @@ GnnModel::GnnModel(const GnnConfig& config) : config_(config) {
   make_layer({Matrix::GlorotUniform(2 * h, e, &rng), Matrix(1, e)});
 }
 
-Matrix GnnModel::InputProjection(const PreparedGraph& g,
-                                 ForwardCache* cache) const {
+void GnnModel::InputProjectionInto(const PreparedGraph& g, Matrix* pre,
+                                   Matrix* post) const {
   // MAGNN-lite: project each node from its feature space into the shared
   // hidden space, ReLU activation.
   const Layer& proj = layers_[0];
   const size_t n = static_cast<size_t>(g.num_nodes);
   const size_t h = static_cast<size_t>(config_.hidden_dim);
-  Matrix z(n, h);
+  pre->ResizeForOverwrite(n, h);
   for (size_t i = 0; i < n; ++i) {
     const bool sent = g.node_space[i] == 1;
     const Matrix& w = sent ? proj.params[2] : proj.params[0];
@@ -117,125 +200,162 @@ Matrix GnnModel::InputProjection(const PreparedGraph& g,
     for (size_t c = 0; c < h; ++c) {
       double s = b.At(0, c);
       for (size_t k = 0; k < w.rows(); ++k) s += x.At(i, k) * w.At(k, c);
-      z.At(i, c) = s;
+      pre->At(i, c) = s;
     }
   }
-  if (cache) cache->pre.push_back(z);
-  return Relu(z);
+  ReluInto(*pre, post);
+}
+
+const Matrix& GnnModel::LayerInput(const ForwardCache& cache,
+                                   size_t l) const {
+  const size_t first_mp = config_.type == GnnType::kMagnn ? 1 : 0;
+  const size_t idx = l - first_mp;
+  // For GCN/GIN the first layer consumes the raw features, read straight
+  // from the prepared graph (post[0] is an empty placeholder).
+  if (idx == 0 && config_.type != GnnType::kMagnn) {
+    return cache.graph->features;
+  }
+  return cache.post[idx];
+}
+
+const std::vector<double>& GnnModel::ForwardImpl(const PreparedGraph& g,
+                                                 ForwardCache& cache,
+                                                 GnnWorkspace* ws) const {
+  assert(g.num_nodes > 0);
+  assert(ws != nullptr);
+  cache.graph = &g;
+
+  const size_t readout_index = layers_.size() - 1;
+  const size_t first_mp = config_.type == GnnType::kMagnn ? 1 : 0;
+  // pre[l] is layer l's pre-activation (MAGNN's projection occupies
+  // pre[0]); post[k] is the input of mp layer first_mp + k, with the
+  // final entry the pooled-over activation. Resizing the vectors is a
+  // one-time cost per cache; the matrices inside resize in place.
+  if (cache.pre.size() != readout_index) cache.pre.resize(readout_index);
+  const size_t posts = readout_index - first_mp + 1;
+  if (cache.post.size() != posts) cache.post.resize(posts);
+
+  const Matrix* h;
+  if (config_.type == GnnType::kMagnn) {
+    InputProjectionInto(g, &cache.pre[0], &cache.post[0]);
+    h = &cache.post[0];
+  } else {
+    h = &g.features;
+  }
+
+  for (size_t l = first_mp; l < readout_index; ++l) {
+    Propagate(g, *h, &ws->m);
+    Matrix& z = cache.pre[l];
+    MatMulInto(ws->m, layers_[l].params[0], &z);
+    AddBiasRow(&z, layers_[l].params[1]);
+    Matrix& act = cache.post[l - first_mp + 1];
+    ReluInto(z, &act);
+    h = &act;
+  }
+
+  // [mean | max] readout.
+  const Matrix& hf = *h;
+  const size_t hd = hf.cols();
+  cache.pooled.ResizeForOverwrite(1, 2 * hd);
+  cache.argmax.assign(hd, 0);
+  {
+    // Column means, matching ColumnMean's sum-then-scale arithmetic.
+    double* pooled = cache.pooled.RowPtr(0);
+    std::fill(pooled, pooled + hd, 0.0);
+    for (size_t r = 0; r < hf.rows(); ++r) {
+      const double* row = hf.RowPtr(r);
+      for (size_t c = 0; c < hd; ++c) pooled[c] += row[c];
+    }
+    const double scale = 1.0 / static_cast<double>(hf.rows());
+    for (size_t c = 0; c < hd; ++c) pooled[c] *= scale;
+    for (size_t c = 0; c < hd; ++c) {
+      double best = hf.At(0, c);
+      size_t best_row = 0;
+      for (size_t r = 1; r < hf.rows(); ++r) {
+        if (hf.At(r, c) > best) {
+          best = hf.At(r, c);
+          best_row = r;
+        }
+      }
+      pooled[hd + c] = best;
+      cache.argmax[c] = best_row;
+    }
+  }
+  MatMulInto(cache.pooled, layers_[readout_index].params[0], &ws->emb);
+  AddBiasRow(&ws->emb, layers_[readout_index].params[1]);
+
+  cache.embedding.assign(ws->emb.RowPtr(0), ws->emb.RowPtr(0) + ws->emb.cols());
+  return cache.embedding;
 }
 
 std::vector<double> GnnModel::Forward(const PreparedGraph& g,
                                       ForwardCache* cache) const {
-  assert(g.num_nodes > 0);
-  if (cache) {
-    cache->graph = &g;
-    cache->pre.clear();
-    cache->post.clear();
-  }
+  GnnWorkspace local;
+  ForwardCache* effective = cache != nullptr ? cache : &local.cache;
+  return ForwardImpl(g, *effective, &local);
+}
 
-  size_t first_mp = 0;
-  Matrix h;
-  if (config_.type == GnnType::kMagnn) {
-    h = InputProjection(g, cache);
-    first_mp = 1;
-  } else {
-    h = g.features;
-  }
-  if (cache) cache->post.push_back(h);
-
-  const size_t readout_index = layers_.size() - 1;
-  for (size_t l = first_mp; l < readout_index; ++l) {
-    const Matrix m = MatMul(g.propagation, h);
-    Matrix z = MatMul(m, layers_[l].params[0]);
-    AddBiasRow(&z, layers_[l].params[1]);
-    if (cache) cache->pre.push_back(z);
-    h = Relu(z);
-    if (cache) cache->post.push_back(h);
-  }
-
-  // [mean | max] readout.
-  const size_t hd = h.cols();
-  Matrix pooled(1, 2 * hd);
-  std::vector<size_t> argmax(hd, 0);
-  {
-    const Matrix mean = ColumnMean(h);
-    for (size_t c = 0; c < hd; ++c) pooled.At(0, c) = mean.At(0, c);
-    for (size_t c = 0; c < hd; ++c) {
-      double best = h.At(0, c);
-      size_t best_row = 0;
-      for (size_t r = 1; r < h.rows(); ++r) {
-        if (h.At(r, c) > best) {
-          best = h.At(r, c);
-          best_row = r;
-        }
-      }
-      pooled.At(0, hd + c) = best;
-      argmax[c] = best_row;
-    }
-  }
-  Matrix emb = MatMul(pooled, layers_[readout_index].params[0]);
-  AddBiasRow(&emb, layers_[readout_index].params[1]);
-  if (cache) {
-    cache->pooled = pooled;
-    cache->argmax = std::move(argmax);
-  }
-
-  std::vector<double> out = emb.Row(0);
-  if (cache) cache->embedding = out;
-  return out;
+const std::vector<double>& GnnModel::Forward(const PreparedGraph& g,
+                                             ForwardCache* cache,
+                                             GnnWorkspace* ws) const {
+  assert(ws != nullptr);
+  ForwardCache* effective = cache != nullptr ? cache : &ws->cache;
+  return ForwardImpl(g, *effective, ws);
 }
 
 void GnnModel::Backward(const ForwardCache& cache,
-                        const std::vector<double>& grad_embedding) {
+                        const std::vector<double>& grad_embedding,
+                        GnnWorkspace* ws) {
   assert(cache.graph != nullptr);
+  assert(ws != nullptr);
   const PreparedGraph& g = *cache.graph;
   const size_t readout_index = layers_.size() - 1;
   const size_t n = static_cast<size_t>(g.num_nodes);
 
   // Readout projection backward.
-  Matrix demb(1, grad_embedding.size());
-  demb.SetRow(0, grad_embedding);
+  ws->demb.ResizeForOverwrite(1, grad_embedding.size());
+  std::copy(grad_embedding.begin(), grad_embedding.end(),
+            ws->demb.RowPtr(0));
   Layer& readout = layers_[readout_index];
-  readout.grads[0] += MatMulTransA(cache.pooled, demb);
-  readout.grads[1] += demb;
-  const Matrix dpooled = MatMulTransB(demb, readout.params[0]);
+  MatMulTransAInto(cache.pooled, ws->demb, &ws->gw);
+  readout.grads[0] += ws->gw;
+  readout.grads[1] += ws->demb;
+  MatMulTransBInto(ws->demb, readout.params[0], &ws->dpooled);
 
   // [mean | max] readout backward: the mean half broadcasts /n to every
   // node row; the max half routes to the argmax row per dim.
-  const size_t hdim = dpooled.cols() / 2;
-  Matrix dh(n, hdim);
+  const size_t hdim = ws->dpooled.cols() / 2;
+  ws->dh.ResizeForOverwrite(n, hdim);
   for (size_t i = 0; i < n; ++i) {
     for (size_t c = 0; c < hdim; ++c) {
-      dh.At(i, c) = dpooled.At(0, c) / static_cast<double>(n);
+      ws->dh.At(i, c) = ws->dpooled.At(0, c) / static_cast<double>(n);
     }
   }
   for (size_t c = 0; c < hdim; ++c) {
-    dh.At(cache.argmax[c], c) += dpooled.At(0, hdim + c);
+    ws->dh.At(cache.argmax[c], c) += ws->dpooled.At(0, hdim + c);
   }
 
   const size_t first_mp = config_.type == GnnType::kMagnn ? 1 : 0;
-  // Message-passing layers, top-down. cache.pre[k]/cache.post[k+1] hold the
-  // k-th recorded activation pair; for MAGNN, index 0 is the projection.
+  // Message-passing layers, top-down.
   for (size_t l = readout_index; l-- > first_mp;) {
-    // pre[l] is layer l's pre-activation in both modes (MAGNN's projection
-    // occupies pre[0]); the layer's *input* activation is post[l - first_mp]
-    // (post[0] is the raw features for GCN/GIN, the projected features for
-    // MAGNN).
-    Matrix dz = ReluBackward(dh, cache.pre[l]);
-    const Matrix& h_in = cache.post[l - first_mp];
-    const Matrix m = MatMul(g.propagation, h_in);
-    layers_[l].grads[0] += MatMulTransA(m, dz);
-    layers_[l].grads[1] += ColumnSum(dz);
+    ReluBackwardInto(ws->dh, cache.pre[l], &ws->dz);
+    const Matrix& h_in = LayerInput(cache, l);
+    Propagate(g, h_in, &ws->m);
+    MatMulTransAInto(ws->m, ws->dz, &ws->gw);
+    layers_[l].grads[0] += ws->gw;
+    ColumnSumInto(ws->dz, &ws->gb);
+    layers_[l].grads[1] += ws->gb;
     if (l > first_mp || config_.type == GnnType::kMagnn) {
       // Propagation matrices are symmetric: dH_in = P (dZ W^T).
-      const Matrix tmp = MatMulTransB(dz, layers_[l].params[0]);
-      dh = MatMul(g.propagation, tmp);
+      MatMulTransBInto(ws->dz, layers_[l].params[0], &ws->tmp);
+      Propagate(g, ws->tmp, &ws->dh);
     }
   }
 
   if (config_.type == GnnType::kMagnn) {
     // Projection backward (per node space).
-    Matrix dz = ReluBackward(dh, cache.pre[0]);
+    ReluBackwardInto(ws->dh, cache.pre[0], &ws->dz);
+    const Matrix& dz = ws->dz;
     Layer& proj = layers_[0];
     for (size_t i = 0; i < n; ++i) {
       const bool sent = g.node_space[i] == 1;
@@ -252,6 +372,12 @@ void GnnModel::Backward(const ForwardCache& cache,
       }
     }
   }
+}
+
+void GnnModel::Backward(const ForwardCache& cache,
+                        const std::vector<double>& grad_embedding) {
+  GnnWorkspace local;
+  Backward(cache, grad_embedding, &local);
 }
 
 void GnnModel::ZeroGrad() {

@@ -6,6 +6,7 @@
 #include "common/rng.h"
 #include "graph/interaction_graph.h"
 #include "tensor/matrix.h"
+#include "tensor/sparse.h"
 
 namespace fexiot {
 
@@ -18,6 +19,24 @@ enum class GnnType {
 };
 
 const char* GnnTypeName(GnnType type);
+
+/// \brief Storage/kernel choice for the propagation matrix.
+///
+/// Interaction graphs average a handful of edges per node, so the sparse
+/// representation turns each propagation product from O(n^2 d) into
+/// O(nnz d) and drops the O(n^2) dense matrix from every PreparedGraph.
+/// Both paths produce bit-identical results on interaction-graph scales
+/// (docs/KERNELS.md §5); kDense remains as the A/B baseline and fallback.
+enum class PropagationMode {
+  kAuto,    ///< follow FEXIOT_PROPAGATION (=dense|sparse); default sparse
+  kDense,   ///< n x n dense matrix, products via MatMul
+  kSparse,  ///< CSR matrix, products via SpMM
+};
+
+/// \brief Resolves kAuto against the FEXIOT_PROPAGATION environment
+/// variable (parsed once per process; unknown values warn and fall back
+/// to sparse). Non-auto requests pass through untouched.
+PropagationMode ResolvePropagationMode(PropagationMode requested);
 
 /// \brief Model hyperparameters.
 struct GnnConfig {
@@ -32,34 +51,83 @@ struct GnnConfig {
   /// Final graph-embedding dimensionality (readout projection output).
   int embedding_dim = 16;
   uint64_t seed = 47;
+  /// Propagation representation (a runtime knob, not a model parameter:
+  /// excluded from serialization, and results do not depend on it).
+  PropagationMode propagation = PropagationMode::kAuto;
 };
 
 /// \brief A graph pre-processed for GNN consumption: cached propagation
-/// matrix + stacked features. Build once per dataset, reuse every epoch.
+/// representation + stacked features. Build once per dataset, reuse every
+/// epoch.
+///
+/// Feature padding contract: each node's feature vector is copied into
+/// its `features` row in one pass — truncated to input_dim when longer
+/// (sentence-space nodes folded into the word slot for homogeneous
+/// models), zero-padded on the right when shorter. For MAGNN configs only,
+/// sentence-space rows are additionally copied (same pad/truncate rule at
+/// hetero_input_dim) into `features_hetero`; for GCN/GIN that matrix
+/// stays empty — InputProjection is the only consumer.
 struct PreparedGraph {
   Matrix features;    ///< n x input_dim (homogeneous part)
-  Matrix propagation; ///< n x n (normalized adjacency or GIN aggregation)
-  /// Raw (padded) per-node features for MAGNN plus per-node space id
-  /// (0 = word space, 1 = sentence space).
+  /// Resolved propagation representation: exactly one of the two members
+  /// below is populated, per `mode`.
+  PropagationMode mode = PropagationMode::kSparse;
+  Matrix propagation;   ///< n x n, kDense mode only (empty otherwise)
+  CsrMatrix prop_csr;   ///< CSR form, kSparse mode only
+  /// Per-node space id (0 = word space, 1 = sentence space).
   std::vector<int> node_space;
-  Matrix features_hetero;  ///< n x hetero_input_dim (zero rows for space 0)
+  Matrix features_hetero;  ///< n x hetero_input_dim, MAGNN configs only
   int label = 0;
   int num_nodes = 0;
+
+  /// Densified propagation matrix regardless of mode (testing /
+  /// diagnostics; an exact representation change, no rounding).
+  Matrix DensePropagation() const {
+    return mode == PropagationMode::kDense ? propagation : prop_csr.ToDense();
+  }
+  /// Steady-state bytes held by the propagation representation.
+  size_t PropagationBytes() const {
+    return mode == PropagationMode::kDense
+               ? propagation.size() * sizeof(double)
+               : prop_csr.MemoryBytes();
+  }
 };
 
-/// \brief Prepares a graph for \p config (computes the propagation matrix
-/// appropriate to the architecture and splits features by space).
+/// \brief Prepares a graph for \p config (computes the propagation
+/// representation appropriate to the architecture and resolved mode, and
+/// splits features by space).
 PreparedGraph PrepareGraph(const InteractionGraph& g, const GnnConfig& config);
 
 /// \brief Activation/pre-activation caches recorded by a forward pass,
-/// consumed by Backward().
+/// consumed by Backward(). Matrices are resized in place on reuse, so a
+/// cache bound repeatedly (e.g. one per in-flight contrastive pair)
+/// stops allocating once it has seen its peak graph size.
 struct ForwardCache {
   const PreparedGraph* graph = nullptr;
   std::vector<Matrix> pre;    ///< pre-activation per layer
-  std::vector<Matrix> post;   ///< post-activation per layer (input to next)
+  /// post[k] is the input activation of message-passing layer
+  /// first_mp + k; the final entry is the pooled-over activation. For
+  /// GCN/GIN, post[0] is left empty — the layer input is the prepared
+  /// graph's feature matrix, read in place rather than copied per call.
+  std::vector<Matrix> post;
   Matrix pooled;              ///< 1 x 2*hidden [mean | max] readout
   std::vector<size_t> argmax; ///< row index of the max per hidden dim
   std::vector<double> embedding;
+};
+
+/// \brief Reusable scratch for the allocation-free train/infer hot path.
+///
+/// One workspace per concurrently-forwarding worker (they must not be
+/// shared across threads mid-call). Every matrix grows to its peak shape
+/// and is then reused; after this warmup, Forward/Backward perform zero
+/// heap allocations per graph. Includes a scratch ForwardCache for
+/// callers that don't need to keep activations (embedding extraction).
+struct GnnWorkspace {
+  ForwardCache cache;  ///< used when the caller passes no cache of its own
+  Matrix m;            ///< propagation product P * H
+  Matrix emb;          ///< 1 x embedding_dim readout scratch
+  // Backward scratch.
+  Matrix demb, dpooled, dh, dz, tmp, gw, gb;
 };
 
 /// \brief Graph neural network with explicit manual backpropagation, a
@@ -82,13 +150,28 @@ class GnnModel {
   int num_layers() const { return static_cast<int>(layers_.size()); }
 
   /// \brief Forward pass producing the graph embedding; records caches for
-  /// Backward when \p cache is non-null.
+  /// Backward when \p cache is non-null. Allocates its own scratch.
   std::vector<double> Forward(const PreparedGraph& g,
                               ForwardCache* cache) const;
+
+  /// \brief Workspace forward: scratch comes from \p ws (its cache is
+  /// used when \p cache is null), and the returned reference aliases the
+  /// effective cache's embedding — valid until the next forward through
+  /// that cache. Bit-identical to the allocating overload; performs no
+  /// heap allocation once the workspace is warm.
+  const std::vector<double>& Forward(const PreparedGraph& g,
+                                     ForwardCache* cache,
+                                     GnnWorkspace* ws) const;
 
   /// \brief Accumulates parameter gradients given dL/d(embedding).
   void Backward(const ForwardCache& cache,
                 const std::vector<double>& grad_embedding);
+
+  /// \brief Workspace backward (same contract as the workspace forward).
+  /// Only ws's backward scratch is touched, so the ws may be the one whose
+  /// cache recorded the forward.
+  void Backward(const ForwardCache& cache,
+                const std::vector<double>& grad_embedding, GnnWorkspace* ws);
 
   /// Zeroes accumulated gradients.
   void ZeroGrad();
@@ -120,7 +203,13 @@ class GnnModel {
     std::vector<Matrix> grads;
   };
 
-  Matrix InputProjection(const PreparedGraph& g, ForwardCache* cache) const;
+  const std::vector<double>& ForwardImpl(const PreparedGraph& g,
+                                         ForwardCache& cache,
+                                         GnnWorkspace* ws) const;
+  void InputProjectionInto(const PreparedGraph& g, Matrix* pre,
+                           Matrix* post) const;
+  /// Input activation of message-passing layer \p l recorded by \p cache.
+  const Matrix& LayerInput(const ForwardCache& cache, size_t l) const;
 
   GnnConfig config_;
   std::vector<Layer> layers_;

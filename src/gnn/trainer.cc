@@ -1,5 +1,6 @@
 #include "gnn/trainer.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/parallel.h"
@@ -44,16 +45,26 @@ double GnnTrainer::TrainContrastive(const std::vector<PreparedGraph>& graphs,
   };
   struct PairWork {
     ForwardCache ci, cj;
+    GnnWorkspace ws;
     ContrastivePair pair;
   };
   const size_t batch =
       static_cast<size_t>(std::max(1, config_.batch_pairs));
 
+  // Hot-path state persists across batches and epochs: caches, workspaces
+  // and gradient scratch all reach their peak shapes during the first
+  // epoch, after which the loop performs no per-graph heap allocation.
+  std::vector<SampledPair> pairs;
+  pairs.reserve(static_cast<size_t>(pairs_per_epoch));
+  std::vector<PairWork> work(std::min(
+      batch, static_cast<size_t>(pairs_per_epoch)));
+  GnnWorkspace bw;  // serial backward scratch
+  std::vector<double> grad_j;
+
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
     // Phase 1 (serial): sample the epoch's pairs. Keeping all rng draws
     // here preserves the exact stream of the original interleaved loop.
-    std::vector<SampledPair> pairs;
-    pairs.reserve(static_cast<size_t>(pairs_per_epoch));
+    pairs.clear();
     for (int p = 0; p < pairs_per_epoch; ++p) {
       // Half the pairs are same-class, half different-class when possible.
       size_t i, j;
@@ -79,17 +90,20 @@ double GnnTrainer::TrainContrastive(const std::vector<PreparedGraph>& graphs,
     model_->ZeroGrad();
     for (size_t start = 0; start < pairs.size(); start += batch) {
       const size_t count = std::min(batch, pairs.size() - start);
-      std::vector<PairWork> work(count);
+      if (work.size() < count) work.resize(count);
       // Phase 2 (parallel): forward passes and pair losses only read the
-      // model, so the batch fans out over the shared pool.
+      // model; each index owns one PairWork, so its caches and workspace
+      // are touched by exactly one thread per batch.
       parallel::For(count, [&](size_t t) {
         const SampledPair& sp = pairs[start + t];
         PairWork& w = work[t];
-        const std::vector<double> zi = model_->Forward(graphs[sp.i], &w.ci);
-        const std::vector<double> zj = model_->Forward(graphs[sp.j], &w.cj);
+        const std::vector<double>& zi =
+            model_->Forward(graphs[sp.i], &w.ci, &w.ws);
+        const std::vector<double>& zj =
+            model_->Forward(graphs[sp.j], &w.cj, &w.ws);
         const bool different = graphs[sp.i].label != graphs[sp.j].label;
-        w.pair =
-            ContrastiveLoss(zi, zj, different, config_.margin, config_.form);
+        ContrastiveLoss(zi, zj, different, config_.margin, config_.form,
+                        &w.pair);
       });
       // Phase 3 (serial, in pair order): gradient accumulation mutates the
       // shared model, and the fixed order keeps results bit-identical for
@@ -99,12 +113,12 @@ double GnnTrainer::TrainContrastive(const std::vector<PreparedGraph>& graphs,
         total_loss += w.pair.loss;
         ++total_pairs;
         if (w.pair.loss > 0.0) {
-          std::vector<double> grad_j(w.pair.grad_i.size());
+          grad_j.resize(w.pair.grad_i.size());
           for (size_t g = 0; g < grad_j.size(); ++g) {
             grad_j[g] = -w.pair.grad_i[g];
           }
-          model_->Backward(w.ci, w.pair.grad_i);
-          model_->Backward(w.cj, grad_j);
+          model_->Backward(w.ci, w.pair.grad_i, &bw);
+          model_->Backward(w.cj, grad_j, &bw);
         }
       }
       model_->ApplyGrads(config_.learning_rate, 2.0 * count,
@@ -123,15 +137,20 @@ double GnnTrainer::TrainSupervised(const std::vector<PreparedGraph>& graphs,
   double b = 0.0;
   double total_loss = 0.0;
   int count = 0;
+  // Reused across the whole run; the serial loop stops allocating per
+  // graph once the cache and workspace have seen the largest graph.
+  ForwardCache cache;
+  GnnWorkspace ws;
+  std::vector<double> dz(e);
+  std::vector<size_t> order;
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
-    std::vector<size_t> order(graphs.size());
+    order.resize(graphs.size());
     for (size_t i = 0; i < order.size(); ++i) order[i] = i;
     rng->Shuffle(&order);
     int in_batch = 0;
     model_->ZeroGrad();
     for (size_t i : order) {
-      ForwardCache cache;
-      const std::vector<double> z = model_->Forward(graphs[i], &cache);
+      const std::vector<double>& z = model_->Forward(graphs[i], &cache, &ws);
       double logit = b;
       for (size_t k = 0; k < e; ++k) logit += w[k] * z[k];
       const double p = 1.0 / (1.0 + std::exp(-logit));
@@ -140,9 +159,8 @@ double GnnTrainer::TrainSupervised(const std::vector<PreparedGraph>& graphs,
                       (1.0 - y) * std::log(1.0 - p + 1e-12));
       ++count;
       const double err = p - y;
-      std::vector<double> dz(e);
       for (size_t k = 0; k < e; ++k) dz[k] = err * w[k];
-      model_->Backward(cache, dz);
+      model_->Backward(cache, dz, &ws);
       // Head update (plain SGD, same LR).
       for (size_t k = 0; k < e; ++k) {
         w[k] -= config_.learning_rate * err * z[k];
@@ -163,11 +181,19 @@ double GnnTrainer::TrainSupervised(const std::vector<PreparedGraph>& graphs,
 }
 
 Matrix GnnTrainer::Embed(const std::vector<PreparedGraph>& graphs) const {
-  Matrix out(graphs.size(),
-             static_cast<size_t>(model_->config().embedding_dim));
-  // Read-only forwards writing disjoint output rows.
-  parallel::For(graphs.size(), [&](size_t i) {
-    out.SetRow(i, model_->Forward(graphs[i], nullptr));
+  const size_t n = graphs.size();
+  Matrix out(n, static_cast<size_t>(model_->config().embedding_dim));
+  // Read-only forwards writing disjoint output rows; one workspace per
+  // contiguous shard so each forward reuses scratch within its shard.
+  const size_t nshards = std::max<size_t>(
+      1, std::min(n, parallel::NumThreads()));
+  parallel::For(nshards, [&](size_t s) {
+    const size_t lo = n * s / nshards;
+    const size_t hi = n * (s + 1) / nshards;
+    GnnWorkspace ws;
+    for (size_t i = lo; i < hi; ++i) {
+      out.SetRow(i, model_->Forward(graphs[i], nullptr, &ws));
+    }
   });
   return out;
 }
@@ -184,9 +210,10 @@ ClassificationMetrics GnnTrainer::Evaluate(
   const Status st = head.Fit(train_emb, train_y);
   std::vector<int> labels, preds;
   if (st.ok()) {
+    GnnWorkspace ws;
     for (const auto& g : test_graphs) {
       labels.push_back(g.label);
-      preds.push_back(head.Predict(model_->Forward(g, nullptr)));
+      preds.push_back(head.Predict(model_->Forward(g, nullptr, &ws)));
     }
   }
   return ComputeMetrics(labels, preds);

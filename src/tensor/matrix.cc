@@ -55,6 +55,12 @@ void Matrix::Resize(size_t rows, size_t cols, double fill) {
   data_.assign(rows * cols, fill);
 }
 
+void Matrix::ResizeForOverwrite(size_t rows, size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.resize(rows * cols);
+}
+
 Matrix& Matrix::operator+=(const Matrix& other) {
   assert(SameShape(other));
   for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];

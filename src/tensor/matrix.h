@@ -74,6 +74,12 @@ class Matrix {
 
   void Fill(double value);
   void Resize(size_t rows, size_t cols, double fill = 0.0);
+  /// Reshapes without initializing the payload: existing element values
+  /// are unspecified afterwards and every element must be written before
+  /// it is read. Never shrinks capacity, so workspace matrices reused
+  /// across calls stop allocating once they have seen their peak shape
+  /// (the GNN hot path relies on this; see gnn/gnn_model.h).
+  void ResizeForOverwrite(size_t rows, size_t cols);
 
   /// In-place element-wise operations.
   Matrix& operator+=(const Matrix& other);

@@ -8,13 +8,15 @@
 
 namespace fexiot {
 
-Matrix ReferenceMatMul(const Matrix& a, const Matrix& b) {
-  assert(a.cols() == b.rows());
-  Matrix c(a.rows(), b.cols());
+namespace {
+
+// Accumulation cores shared by the allocating Reference* forms and the
+// small-product path of the *Into variants. \p c must arrive zeroed.
+void ReferenceMatMulAccum(const Matrix& a, const Matrix& b, Matrix* c) {
   const size_t n = a.rows(), k = a.cols(), m = b.cols();
   // i-k-j loop order keeps the inner loop contiguous in both B and C.
   for (size_t i = 0; i < n; ++i) {
-    double* crow = c.RowPtr(i);
+    double* crow = c->RowPtr(i);
     const double* arow = a.RowPtr(i);
     for (size_t p = 0; p < k; ++p) {
       const double av = arow[p];
@@ -23,12 +25,9 @@ Matrix ReferenceMatMul(const Matrix& a, const Matrix& b) {
       for (size_t j = 0; j < m; ++j) crow[j] += av * brow[j];
     }
   }
-  return c;
 }
 
-Matrix ReferenceMatMulTransA(const Matrix& a, const Matrix& b) {
-  assert(a.rows() == b.rows());
-  Matrix c(a.cols(), b.cols());
+void ReferenceMatMulTransAAccum(const Matrix& a, const Matrix& b, Matrix* c) {
   const size_t n = a.rows(), k = a.cols(), m = b.cols();
   for (size_t i = 0; i < n; ++i) {
     const double* arow = a.RowPtr(i);
@@ -36,20 +35,17 @@ Matrix ReferenceMatMulTransA(const Matrix& a, const Matrix& b) {
     for (size_t p = 0; p < k; ++p) {
       const double av = arow[p];
       if (av == 0.0) continue;
-      double* crow = c.RowPtr(p);
+      double* crow = c->RowPtr(p);
       for (size_t j = 0; j < m; ++j) crow[j] += av * brow[j];
     }
   }
-  return c;
 }
 
-Matrix ReferenceMatMulTransB(const Matrix& a, const Matrix& b) {
-  assert(a.cols() == b.cols());
-  Matrix c(a.rows(), b.rows());
+void ReferenceMatMulTransBAccum(const Matrix& a, const Matrix& b, Matrix* c) {
   const size_t n = a.rows(), k = a.cols(), m = b.rows();
   for (size_t i = 0; i < n; ++i) {
     const double* arow = a.RowPtr(i);
-    double* crow = c.RowPtr(i);
+    double* crow = c->RowPtr(i);
     for (size_t j = 0; j < m; ++j) {
       const double* brow = b.RowPtr(j);
       double s = 0.0;
@@ -57,6 +53,28 @@ Matrix ReferenceMatMulTransB(const Matrix& a, const Matrix& b) {
       crow[j] = s;
     }
   }
+}
+
+}  // namespace
+
+Matrix ReferenceMatMul(const Matrix& a, const Matrix& b) {
+  assert(a.cols() == b.rows());
+  Matrix c(a.rows(), b.cols());
+  ReferenceMatMulAccum(a, b, &c);
+  return c;
+}
+
+Matrix ReferenceMatMulTransA(const Matrix& a, const Matrix& b) {
+  assert(a.rows() == b.rows());
+  Matrix c(a.cols(), b.cols());
+  ReferenceMatMulTransAAccum(a, b, &c);
+  return c;
+}
+
+Matrix ReferenceMatMulTransB(const Matrix& a, const Matrix& b) {
+  assert(a.cols() == b.cols());
+  Matrix c(a.rows(), b.rows());
+  ReferenceMatMulTransBAccum(a, b, &c);
   return c;
 }
 
@@ -99,6 +117,45 @@ Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
   return c;
 }
 
+void MatMulInto(const Matrix& a, const Matrix& b, Matrix* c) {
+  assert(a.cols() == b.rows());
+  assert(c != &a && c != &b && "MatMulInto output must not alias an input");
+  const size_t n = a.rows(), k = a.cols(), m = b.cols();
+  c->Resize(n, m);  // reuses capacity; zeroed accumulators
+  if (n * k * m < kSmallFlops) {
+    ReferenceMatMulAccum(a, b, c);
+  } else {
+    gemm::GemmBlocked(n, k, m, a.data(), a.cols(), false, b.data(), b.cols(),
+                      false, c->data());
+  }
+}
+
+void MatMulTransAInto(const Matrix& a, const Matrix& b, Matrix* c) {
+  assert(a.rows() == b.rows());
+  assert(c != &a && c != &b && "MatMulTransAInto output must not alias an input");
+  const size_t n = a.cols(), k = a.rows(), m = b.cols();
+  c->Resize(n, m);
+  if (n * k * m < kSmallFlops) {
+    ReferenceMatMulTransAAccum(a, b, c);
+  } else {
+    gemm::GemmBlocked(n, k, m, a.data(), a.cols(), true, b.data(), b.cols(),
+                      false, c->data());
+  }
+}
+
+void MatMulTransBInto(const Matrix& a, const Matrix& b, Matrix* c) {
+  assert(a.cols() == b.cols());
+  assert(c != &a && c != &b && "MatMulTransBInto output must not alias an input");
+  const size_t n = a.rows(), k = a.cols(), m = b.rows();
+  c->Resize(n, m);
+  if (n * k * m < kSmallFlops) {
+    ReferenceMatMulTransBAccum(a, b, c);
+  } else {
+    gemm::GemmBlocked(n, k, m, a.data(), a.cols(), false, b.data(), b.cols(),
+                      true, c->data());
+  }
+}
+
 void AddBiasRow(Matrix* m, const Matrix& bias) {
   assert(bias.rows() == 1 && bias.cols() == m->cols());
   for (size_t r = 0; r < m->rows(); ++r) {
@@ -123,6 +180,33 @@ Matrix ReluBackward(const Matrix& grad, const Matrix& pre_activation) {
     if (pre_activation.data()[i] <= 0.0) out.data()[i] = 0.0;
   }
   return out;
+}
+
+void ReluInto(const Matrix& m, Matrix* out) {
+  assert(out != &m);
+  out->ResizeForOverwrite(m.rows(), m.cols());
+  for (size_t i = 0; i < m.size(); ++i) {
+    out->data()[i] = std::max(0.0, m.data()[i]);
+  }
+}
+
+void ReluBackwardInto(const Matrix& grad, const Matrix& pre_activation,
+                      Matrix* out) {
+  assert(grad.SameShape(pre_activation));
+  assert(out != &grad && out != &pre_activation);
+  out->ResizeForOverwrite(grad.rows(), grad.cols());
+  for (size_t i = 0; i < grad.size(); ++i) {
+    out->data()[i] = pre_activation.data()[i] <= 0.0 ? 0.0 : grad.data()[i];
+  }
+}
+
+void ColumnSumInto(const Matrix& m, Matrix* out) {
+  assert(out != &m);
+  out->Resize(1, m.cols());  // zeroed accumulators
+  for (size_t r = 0; r < m.rows(); ++r) {
+    const double* row = m.RowPtr(r);
+    for (size_t c = 0; c < m.cols(); ++c) out->At(0, c) += row[c];
+  }
 }
 
 Matrix Sigmoid(const Matrix& m) {

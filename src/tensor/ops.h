@@ -53,6 +53,15 @@ Matrix ReferenceMatMul(const Matrix& a, const Matrix& b);
 Matrix ReferenceMatMulTransA(const Matrix& a, const Matrix& b);
 Matrix ReferenceMatMulTransB(const Matrix& a, const Matrix& b);
 
+/// \brief In-place variants of MatMul/MatMulTransA/MatMulTransB writing
+/// into a caller-owned output: \p c is resized (capacity is never shrunk,
+/// so a workspace matrix reused across calls stops allocating once warm)
+/// and fully overwritten. Same dispatch and bit-for-bit the same results
+/// as the allocating forms. \p c must not alias \p a or \p b.
+void MatMulInto(const Matrix& a, const Matrix& b, Matrix* c);
+void MatMulTransAInto(const Matrix& a, const Matrix& b, Matrix* c);
+void MatMulTransBInto(const Matrix& a, const Matrix& b, Matrix* c);
+
 /// \brief Adds a 1 x cols bias row to every row of \p m, in place.
 /// \p bias must not alias \p m (use a copy to broadcast a row of m).
 void AddBiasRow(Matrix* m, const Matrix& bias);
@@ -61,6 +70,16 @@ void AddBiasRow(Matrix* m, const Matrix& bias);
 Matrix Relu(const Matrix& m);
 /// \brief Gradient mask: grad * 1[pre > 0].
 Matrix ReluBackward(const Matrix& grad, const Matrix& pre_activation);
+
+/// \brief In-place counterparts used by the allocation-free GNN hot path
+/// (gnn/gnn_model.h): \p out is resized without shrinking capacity and
+/// fully overwritten; it must not alias the inputs. Values are bit-equal
+/// to the allocating forms.
+void ReluInto(const Matrix& m, Matrix* out);
+void ReluBackwardInto(const Matrix& grad, const Matrix& pre_activation,
+                      Matrix* out);
+/// \brief Column-wise sum into a reusable 1 x cols output (same contract).
+void ColumnSumInto(const Matrix& m, Matrix* out);
 
 /// \brief Element-wise logistic sigmoid.
 Matrix Sigmoid(const Matrix& m);

@@ -285,18 +285,20 @@ TEST(PrepareGraph, GinPropagationHasSelfAndNeighbors) {
   GnnConfig c = SmallConfig(GnnType::kGin);
   const InteractionGraph g = ShrinkFeatures(TinyGraph(3, 1), c);
   const PreparedGraph p = PrepareGraph(g, c);
-  EXPECT_DOUBLE_EQ(p.propagation.At(0, 0), 1.0);
-  EXPECT_DOUBLE_EQ(p.propagation.At(0, 1), 1.0);  // edge 0-1
+  const Matrix prop = p.DensePropagation();
+  EXPECT_DOUBLE_EQ(prop.At(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(prop.At(0, 1), 1.0);  // edge 0-1
 }
 
 TEST(PrepareGraph, GcnPropagationRowsNormalized) {
   GnnConfig c = SmallConfig(GnnType::kGcn);
   const InteractionGraph g = ShrinkFeatures(TinyGraph(4, 2), c);
   const PreparedGraph p = PrepareGraph(g, c);
+  const Matrix prop = p.DensePropagation();
   // Symmetric normalization: eigenvalue bound => entries in [0, 1].
-  for (size_t i = 0; i < p.propagation.size(); ++i) {
-    EXPECT_GE(p.propagation.data()[i], 0.0);
-    EXPECT_LE(p.propagation.data()[i], 1.0);
+  for (size_t i = 0; i < prop.size(); ++i) {
+    EXPECT_GE(prop.data()[i], 0.0);
+    EXPECT_LE(prop.data()[i], 1.0);
   }
 }
 
