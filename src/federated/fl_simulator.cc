@@ -49,6 +49,8 @@ void FederatedSimulator::SetupClients(
   gradient_sequences_.assign(clients_.size(), {});
   unlocked_layers_ = 1;
   fexiot_partition_.clear();
+  agg_scale_.assign(clients_.size(), 1.0);
+  async_global_.clear();
 }
 
 void FederatedSimulator::SetupClients(const GraphDataset& data,
@@ -85,6 +87,8 @@ void FederatedSimulator::SetupClients(const GraphDataset& data,
   gradient_sequences_.assign(clients_.size(), {});
   unlocked_layers_ = 1;
   fexiot_partition_.clear();
+  agg_scale_.assign(clients_.size(), 1.0);
+  async_global_.clear();
 }
 
 Matrix FederatedSimulator::SimilarityMatrix(
@@ -105,17 +109,104 @@ void FederatedSimulator::AverageLayer(int layer,
                                       const std::vector<int>& group) {
   if (group.empty()) return;
   double weight_sum = 0.0;
-  for (int c : group) weight_sum += client_weight_[static_cast<size_t>(c)];
+  for (int c : group) {
+    weight_sum +=
+        client_weight_[static_cast<size_t>(c)] * agg_scale_[static_cast<size_t>(c)];
+  }
+  if (weight_sum <= 0.0) return;
   std::vector<double> avg;
   for (int c : group) {
     const std::vector<double> w =
         clients_[static_cast<size_t>(c)]->LayerWeights(layer);
-    const double wc = client_weight_[static_cast<size_t>(c)] / weight_sum;
+    const double wc = client_weight_[static_cast<size_t>(c)] *
+                      agg_scale_[static_cast<size_t>(c)] / weight_sum;
     if (avg.empty()) avg.assign(w.size(), 0.0);
     for (size_t i = 0; i < w.size(); ++i) avg[i] += wc * w[i];
   }
   for (int c : group) {
     clients_[static_cast<size_t>(c)]->SetLayerWeights(layer, avg);
+  }
+}
+
+void FederatedSimulator::EnsureAsyncGlobal() {
+  if (!async_global_.empty()) return;
+  const int num_layers = clients_.front()->num_layers();
+  async_global_.resize(static_cast<size_t>(num_layers));
+  for (int l = 0; l < num_layers; ++l) {
+    auto& g = async_global_[static_cast<size_t>(l)];
+    for (size_t c = 0; c < clients_.size(); ++c) {
+      const std::vector<double> w = clients_[c]->LayerWeights(l);
+      if (g.empty()) g.assign(w.size(), 0.0);
+      for (size_t i = 0; i < w.size(); ++i) g[i] += client_weight_[c] * w[i];
+    }
+  }
+}
+
+void FederatedSimulator::AsyncFedAvgRound(const RoundOutcome& outcome,
+                                          double* bytes) {
+  const RuntimeConfig& rc = fl_config_.runtime;
+  const int num_layers = clients_.front()->num_layers();
+  if (rc.policy == RoundPolicy::kAsync) {
+    // Immediate per-update mixing in the runtime's application order.
+    for (const UpdateApplication& u : outcome.applied) {
+      const double a = StalenessWeight(rc.async_alpha0,
+                                       rc.async_staleness_exponent,
+                                       u.staleness);
+      for (int l = 0; l < num_layers; ++l) {
+        const std::vector<double> w =
+            clients_[static_cast<size_t>(u.client)]->LayerWeights(l);
+        auto& g = async_global_[static_cast<size_t>(l)];
+        for (size_t i = 0; i < g.size(); ++i) {
+          g[i] = (1.0 - a) * g[i] + a * w[i];
+        }
+      }
+    }
+  } else {
+    // Semi-async: each flushed tier is one client-weighted mini-batch;
+    // the runtime appends whole tiers, so equal (tier, staleness) runs
+    // are consecutive in the application order.
+    size_t i = 0;
+    while (i < outcome.applied.size()) {
+      size_t j = i;
+      while (j < outcome.applied.size() &&
+             outcome.applied[j].tier == outcome.applied[i].tier &&
+             outcome.applied[j].staleness == outcome.applied[i].staleness) {
+        ++j;
+      }
+      double wsum = 0.0;
+      for (size_t k = i; k < j; ++k) {
+        wsum += client_weight_[static_cast<size_t>(outcome.applied[k].client)];
+      }
+      const double a = StalenessWeight(rc.async_alpha0,
+                                       rc.async_staleness_exponent,
+                                       outcome.applied[i].staleness);
+      for (int l = 0; l < num_layers; ++l) {
+        auto& g = async_global_[static_cast<size_t>(l)];
+        std::vector<double> avg(g.size(), 0.0);
+        for (size_t k = i; k < j; ++k) {
+          const size_t c = static_cast<size_t>(outcome.applied[k].client);
+          const std::vector<double> w =
+              clients_[c]->LayerWeights(static_cast<int>(l));
+          const double wc = client_weight_[c] / wsum;
+          for (size_t x = 0; x < w.size(); ++x) avg[x] += wc * w[x];
+        }
+        for (size_t x = 0; x < g.size(); ++x) {
+          g[x] = (1.0 - a) * g[x] + a * avg[x];
+        }
+      }
+      i = j;
+    }
+  }
+  // The delivered clients sync to the new global (the others keep their
+  // local replica until they next deliver, as in FedAsync).
+  for (int c : outcome.delivered) {
+    for (int l = 0; l < num_layers; ++l) {
+      clients_[static_cast<size_t>(c)]->SetLayerWeights(
+          l, async_global_[static_cast<size_t>(l)]);
+    }
+  }
+  for (int l = 0; l < num_layers; ++l) {
+    *bytes += LayerExchangeBytes(l, outcome.delivered.size());
   }
 }
 
@@ -432,6 +523,21 @@ Result<FlResult> FederatedSimulator::Run(FlAlgorithm algorithm) {
   runtime_ = std::make_unique<FederatedRuntime>(
       fl_config_.runtime, static_cast<int>(clients_.size()));
 
+  const RuntimeConfig& rc = fl_config_.runtime;
+  const bool async_policy = rc.policy == RoundPolicy::kAsync ||
+                            rc.policy == RoundPolicy::kSemiAsync;
+  agg_scale_.assign(clients_.size(), 1.0);
+  async_global_.clear();
+  if (async_policy && algorithm == FlAlgorithm::kFedAvg) {
+    // Snapshot the server model before any local training: all clients
+    // still hold the shared initial weights (weighted average == each).
+    EnsureAsyncGlobal();
+  }
+  constexpr size_t kStalenessBuckets = 16;
+  if (async_policy) {
+    result.staleness_hist.assign(kStalenessBuckets, 0);
+  }
+
   // Compute model: nominal local-training seconds per client (scaled by
   // the straggler profile inside the runtime).
   std::vector<double> train_seconds(clients_.size(), 0.0);
@@ -452,6 +558,15 @@ Result<FlResult> FederatedSimulator::Run(FlAlgorithm algorithm) {
     for (int c : outcome.delivered) {
       delivered_mask[static_cast<size_t>(c)] = 1;
     }
+    // Async policies: staleness-decayed per-client aggregation scales for
+    // the group-averaging algorithms (kFedAvg mixes sequentially instead).
+    std::fill(agg_scale_.begin(), agg_scale_.end(), 1.0);
+    if (async_policy) {
+      for (const UpdateApplication& u : outcome.applied) {
+        agg_scale_[static_cast<size_t>(u.client)] = StalenessWeight(
+            rc.async_alpha0, rc.async_staleness_exponent, u.staleness);
+      }
+    }
 
     // 2. Parallel local training of this round's participants.
     std::vector<double> losses(clients_.size(), 0.0);
@@ -466,6 +581,10 @@ Result<FlResult> FederatedSimulator::Run(FlAlgorithm algorithm) {
       case FlAlgorithm::kLocalOnly:
         break;
       case FlAlgorithm::kFedAvg: {
+        if (async_policy) {
+          AsyncFedAvgRound(outcome, &bytes);
+          break;
+        }
         for (int l = 0; l < num_layers; ++l) {
           AverageLayer(l, outcome.delivered);
           bytes += LayerExchangeBytes(l, outcome.delivered.size());
@@ -504,6 +623,26 @@ Result<FlResult> FederatedSimulator::Run(FlAlgorithm algorithm) {
     stats.delivered = static_cast<int>(outcome.delivered.size());
     stats.sim_time_s = outcome.end_time_s;
     stats.retransmit_bytes = retransmit_bytes;
+    if (async_policy && !outcome.applied.empty()) {
+      double staleness_sum = 0.0;
+      for (const UpdateApplication& u : outcome.applied) {
+        staleness_sum += static_cast<double>(u.staleness);
+        const size_t bucket =
+            std::min(static_cast<size_t>(u.staleness), kStalenessBuckets - 1);
+        ++result.staleness_hist[bucket];
+      }
+      stats.mean_staleness =
+          staleness_sum / static_cast<double>(outcome.applied.size());
+    }
+    if (fl_config_.eval_each_round) {
+      std::vector<double> accs(clients_.size(), 0.0);
+      pool_->ParallelFor(clients_.size(), [&](size_t c) {
+        accs[c] = clients_[c]->EvaluateLocal().accuracy;
+      });
+      double acc_sum = 0.0;
+      for (double a : accs) acc_sum += a;
+      stats.mean_accuracy = acc_sum / static_cast<double>(clients_.size());
+    }
     result.rounds.push_back(stats);
   }
 

@@ -63,7 +63,20 @@ class FederatedSimulator {
 
  private:
   /// Weighted FedAvg of one layer over a client group; installs result.
+  /// Under the async runtime policies each client's weight is additionally
+  /// scaled by its staleness decay alpha(s) (agg_scale_, 1.0 otherwise).
   void AverageLayer(int layer, const std::vector<int>& group);
+
+  /// Async FedAvg: sequential server-side mixing in the runtime's
+  /// deterministic application order. kAsync mixes every update
+  /// immediately (global <- (1-alpha(s)) * global + alpha(s) * update);
+  /// kSemiAsync mixes each flushed tier as a client-weighted mini-batch.
+  /// Installs the resulting global to the delivered clients.
+  void AsyncFedAvgRound(const RoundOutcome& outcome, double* bytes);
+
+  /// Lazily initializes the explicit async global model from the clients'
+  /// shared pre-round weights (all clients start from one seed).
+  void EnsureAsyncGlobal();
   /// Bytes for exchanging (up + down) one layer with a client group.
   double LayerExchangeBytes(int layer, size_t group_size) const;
 
@@ -105,6 +118,11 @@ class FederatedSimulator {
   std::unique_ptr<FederatedRuntime> runtime_;
   std::vector<std::unique_ptr<FlClient>> clients_;
   std::vector<double> client_weight_;  // |G_c| / |G|
+  // Per-round staleness decay alpha(s) per client (async policies); all
+  // 1.0 under the round-based policies, so AverageLayer is unchanged.
+  std::vector<double> agg_scale_;
+  // Explicit server model for sequential async mixing (per layer).
+  std::vector<std::vector<double>> async_global_;
 
   // FMTL / GCFL+ persistent cluster state.
   std::vector<std::vector<int>> whole_model_clusters_;

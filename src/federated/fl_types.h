@@ -43,6 +43,11 @@ struct FlConfig {
   double split_quality_margin = 0.05;
   /// Worker threads for parallel client training (0 = hardware).
   int threads = 0;
+  /// Evaluate every client after each round and record the mean accuracy
+  /// in FlRoundStats (time-to-accuracy curves). Off by default: evaluation
+  /// is deterministic and consumes no RNG, but it costs one full local
+  /// eval per client per round.
+  bool eval_each_round = false;
   uint64_t seed = 59;
   /// Discrete-event runtime: network links, faults, round policy. The
   /// default is the passthrough runtime (synchronous, zero latency, no
@@ -71,6 +76,12 @@ struct FlRoundStats {
   double sim_time_s = 0.0;
   /// Cumulative retransmitted bytes (timeout+retry policy) up to here.
   double retransmit_bytes = 0.0;
+  /// Mean client accuracy after this round's aggregation; -1 unless
+  /// FlConfig::eval_each_round is set.
+  double mean_accuracy = -1.0;
+  /// Async policies: mean staleness of the updates applied this round
+  /// (0 under the round-based policies and when nothing was applied).
+  double mean_staleness = 0.0;
 };
 
 /// \brief Outcome of one federated run.
@@ -89,6 +100,10 @@ struct FlResult {
   std::vector<FlRoundStats> rounds;
   /// Final first-layer cluster assignment per client.
   std::vector<int> client_cluster;
+  /// Async policies: histogram of per-update staleness over the whole run.
+  /// Bucket i counts updates applied with staleness i; the last bucket
+  /// absorbs the overflow. Empty under the round-based policies.
+  std::vector<uint64_t> staleness_hist;
 
   std::string Summary() const;
 };

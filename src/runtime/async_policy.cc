@@ -1,0 +1,85 @@
+#include "runtime/async_policy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace fexiot {
+
+double StalenessWeight(double alpha0, double exponent, int staleness) {
+  const double s = static_cast<double>(staleness < 0 ? 0 : staleness);
+  return alpha0 * std::pow(s + 1.0, -exponent);
+}
+
+void EwmaSpeed::Observe(double rtt_s) {
+  if (!initialized_) {
+    estimate_ = rtt_s;
+    initialized_ = true;
+    return;
+  }
+  estimate_ = (1.0 - beta_) * estimate_ + beta_ * rtt_s;
+}
+
+double EwmaSpeed::Predict() const {
+  return initialized_ ? estimate_ : std::numeric_limits<double>::infinity();
+}
+
+std::vector<int> AssignTiers(const std::vector<double>& expected_arrival_s,
+                             int num_tiers) {
+  const size_t n = expected_arrival_s.size();
+  std::vector<int> tier(n, 0);
+  if (n == 0 || num_tiers <= 1) return tier;
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return expected_arrival_s[a] < expected_arrival_s[b];
+  });
+  const size_t tiers = static_cast<size_t>(num_tiers);
+  for (size_t rank = 0; rank < n; ++rank) {
+    // Chunk boundaries at rank * tiers / n: near-equal contiguous groups,
+    // never differing in size by more than one.
+    tier[order[rank]] = static_cast<int>(rank * tiers / n);
+  }
+  return tier;
+}
+
+void RunningQuantile::Add(double v) {
+  sorted_.insert(std::upper_bound(sorted_.begin(), sorted_.end(), v), v);
+}
+
+double RunningQuantile::Value() const {
+  const double n = static_cast<double>(sorted_.size());
+  size_t idx = 0;
+  if (q_ > 0.0) {
+    const double r = std::ceil(q_ * n) - 1.0;
+    idx = r <= 0.0 ? 0 : static_cast<size_t>(r);
+  }
+  if (idx >= sorted_.size()) idx = sorted_.size() - 1;
+  return sorted_[idx];
+}
+
+ArrivalTracker::ArrivalTracker(int num_clients)
+    : arrived_(static_cast<size_t>(num_clients), 0),
+      arrival_time_(static_cast<size_t>(num_clients), 0.0) {}
+
+bool ArrivalTracker::Arrive(int client, double time_s) {
+  const size_t c = static_cast<size_t>(client);
+  if (arrived_[c] != 0) {
+    ++duplicates_;
+    return false;
+  }
+  arrived_[c] = 1;
+  arrival_time_[c] = time_s;
+  ++arrivals_;
+  return true;
+}
+
+void ArrivalTracker::Reset() {
+  std::fill(arrived_.begin(), arrived_.end(), 0);
+  std::fill(arrival_time_.begin(), arrival_time_.end(), 0.0);
+  arrivals_ = 0;
+  duplicates_ = 0;
+}
+
+}  // namespace fexiot

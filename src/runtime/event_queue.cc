@@ -27,6 +27,8 @@ const char* EventKindName(EventKind kind) {
       return "up-lost";
     case EventKind::kRetrySend:
       return "retry-send";
+    case EventKind::kTierFlush:
+      return "tier-flush";
   }
   return "?";
 }

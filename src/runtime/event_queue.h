@@ -21,6 +21,8 @@ enum class EventKind : int32_t {
   kUploadArrive = 1,    ///< client layer-update reaches the server
   kUploadLost = 2,      ///< update lost in transit (loss/drop draw fired)
   kRetrySend = 3,       ///< client retransmits after timeout + backoff
+  kTierFlush = 4,       ///< semi-async tier fully resolved; aggregate it
+                        ///< (the event's client field carries the tier id)
 };
 
 const char* EventKindName(EventKind kind);

@@ -14,6 +14,10 @@ const char* RoundPolicyName(RoundPolicy policy) {
       return "deadline";
     case RoundPolicy::kTimeoutRetry:
       return "timeout-retry";
+    case RoundPolicy::kAsync:
+      return "async";
+    case RoundPolicy::kSemiAsync:
+      return "semi-async";
   }
   return "?";
 }
@@ -64,6 +68,11 @@ Status ValidateRuntimeConfig(const RuntimeConfig& config) {
     return Status::InvalidArgument(
         "runtime: target_fraction must be in (0, 1]");
   }
+  if (config.adaptive_deadline_quantile < 0.0 ||
+      config.adaptive_deadline_quantile >= 1.0) {
+    return Status::InvalidArgument(
+        "runtime: adaptive_deadline_quantile must be in [0, 1)");
+  }
   if (config.over_selection < 1.0) {
     return Status::InvalidArgument("runtime: over_selection must be >= 1");
   }
@@ -77,6 +86,22 @@ Status ValidateRuntimeConfig(const RuntimeConfig& config) {
   }
   if (config.backoff_factor < 1.0) {
     return Status::InvalidArgument("runtime: backoff_factor must be >= 1");
+  }
+  if (config.async_alpha0 <= 0.0 || config.async_alpha0 > 1.0) {
+    return Status::InvalidArgument(
+        "runtime: async_alpha0 must be in (0, 1]");
+  }
+  if (config.async_staleness_exponent < 0.0) {
+    return Status::InvalidArgument(
+        "runtime: async_staleness_exponent must be >= 0");
+  }
+  if (config.semi_async_tiers < 1) {
+    return Status::InvalidArgument(
+        "runtime: semi_async_tiers must be >= 1");
+  }
+  if (config.speed_ewma_beta <= 0.0 || config.speed_ewma_beta > 1.0) {
+    return Status::InvalidArgument(
+        "runtime: speed_ewma_beta must be in (0, 1]");
   }
   if (config.train_seconds_per_graph < 0.0) {
     return Status::InvalidArgument(
@@ -107,8 +132,10 @@ FederatedRuntime::FederatedRuntime(const RuntimeConfig& config,
               MixKey(config.seed, /*fault*/ 13)),
       select_rng_(MixKey(config.seed, /*select*/ 17)),
       send_time_(static_cast<size_t>(num_clients), 0.0),
-      arrival_time_(static_cast<size_t>(num_clients), 0.0),
-      arrived_(static_cast<size_t>(num_clients), 0) {}
+      tracker_(num_clients),
+      speed_(static_cast<size_t>(num_clients),
+             EwmaSpeed(config.speed_ewma_beta)),
+      arrival_quantile_(config.adaptive_deadline_quantile) {}
 
 void FederatedRuntime::TraceLine(const std::string& line) {
   if (config_.record_trace) trace_.push_back(line);
@@ -121,6 +148,13 @@ void FederatedRuntime::Trace(int round, const SimEvent& event) {
                 event.time, EventKindName(event.kind), event.client,
                 event.attempt);
   trace_.push_back(buf);
+}
+
+double FederatedRuntime::EffectiveDeadline() const {
+  if (config_.adaptive_deadline_quantile > 0.0 && !arrival_quantile_.empty()) {
+    return arrival_quantile_.Value();
+  }
+  return config_.deadline_s;
 }
 
 void FederatedRuntime::SendUpload(EventQueue* queue, RoundOutcome* outcome,
@@ -147,7 +181,9 @@ RoundOutcome FederatedRuntime::ExecuteRound(
     const std::vector<double>& train_seconds) {
   RoundOutcome outcome;
   outcome.start_time_s = now_;
-  std::fill(arrived_.begin(), arrived_.end(), 0);
+  tracker_.Reset();
+  const bool is_async = config_.policy == RoundPolicy::kAsync ||
+                        config_.policy == RoundPolicy::kSemiAsync;
 
   // 1. Selection: crash/rejoin filter, then policy-driven (over-)selection.
   std::vector<int> alive;
@@ -171,6 +207,10 @@ RoundOutcome FederatedRuntime::ExecuteRound(
       selected.reserve(want);
       for (size_t i : picks) selected.push_back(alive[i]);
       std::sort(selected.begin(), selected.end());
+      // Over-selection must never invite a client twice (a rejoin landing
+      // mid-selection would train it twice and double-weight its update).
+      selected.erase(std::unique(selected.begin(), selected.end()),
+                     selected.end());
       outcome.participants = std::move(selected);
     }
   }
@@ -183,6 +223,46 @@ RoundOutcome FederatedRuntime::ExecuteRound(
     TraceLine(buf);
   }
 
+  // Async policies: quorum of applied updates that closes the wave.
+  const int quorum =
+      is_async && !outcome.participants.empty()
+          ? std::max(1, static_cast<int>(std::ceil(
+                            config_.target_fraction *
+                                static_cast<double>(
+                                    outcome.participants.size()) -
+                            1e-9)))
+          : 0;
+
+  // Semi-async: tier assignment from the persistent EWMA speed estimates.
+  // Unknown clients predict +inf and sort into the trailing tiers; the
+  // all-unknown first wave falls back to client-index chunking.
+  std::vector<int> tier_of(static_cast<size_t>(num_clients_), -1);
+  std::vector<int> tier_pending;
+  std::vector<std::vector<UpdateApplication>> tier_buffer;
+  if (config_.policy == RoundPolicy::kSemiAsync) {
+    std::vector<double> expected;
+    expected.reserve(outcome.participants.size());
+    for (int c : outcome.participants) {
+      expected.push_back(speed_[static_cast<size_t>(c)].Predict());
+    }
+    const std::vector<int> assign =
+        AssignTiers(expected, config_.semi_async_tiers);
+    tier_pending.assign(static_cast<size_t>(config_.semi_async_tiers), 0);
+    tier_buffer.assign(static_cast<size_t>(config_.semi_async_tiers), {});
+    for (size_t i = 0; i < outcome.participants.size(); ++i) {
+      tier_of[static_cast<size_t>(outcome.participants[i])] = assign[i];
+      ++tier_pending[static_cast<size_t>(assign[i])];
+    }
+    if (config_.record_trace) {
+      for (size_t i = 0; i < outcome.participants.size(); ++i) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "round=%d tier c=%d tier=%d", round,
+                      outcome.participants[i], assign[i]);
+        TraceLine(buf);
+      }
+    }
+  }
+
   // 2. Discrete-event simulation of broadcast -> train -> upload.
   EventQueue queue(MixKey(config_.seed, static_cast<uint64_t>(round) + 1));
   for (int c : outcome.participants) {
@@ -192,6 +272,9 @@ RoundOutcome FederatedRuntime::ExecuteRound(
                    EventKind::kDownlinkArrive, c, 0);
   }
   double last_event_time = now_;
+  int applications = 0;    // kAsync: applied updates; kSemiAsync: tiers
+  int applied_clients = 0; // updates applied (quorum progress)
+  double quorum_time = -1.0;
   while (!queue.empty()) {
     const SimEvent ev = queue.Pop();
     last_event_time = std::max(last_event_time, ev.time);
@@ -206,9 +289,32 @@ RoundOutcome FederatedRuntime::ExecuteRound(
         break;
       }
       case EventKind::kUploadArrive:
-        if (arrived_[c] == 0) {
-          arrived_[c] = 1;
-          arrival_time_[c] = ev.time;
+        if (!tracker_.Arrive(ev.client, ev.time)) {
+          ++outcome.duplicate_deliveries;
+          break;
+        }
+        if (config_.policy == RoundPolicy::kAsync) {
+          // Immediate application: staleness = server updates applied
+          // since this wave's dispatch = prior applications this wave.
+          UpdateApplication u;
+          u.client = ev.client;
+          u.staleness = applications;
+          u.arrival_s = ev.time;
+          outcome.applied.push_back(u);
+          ++applications;
+          if (++applied_clients == quorum && quorum_time < 0.0) {
+            quorum_time = ev.time;
+          }
+        } else if (config_.policy == RoundPolicy::kSemiAsync) {
+          const int tier = tier_of[c];
+          UpdateApplication u;
+          u.client = ev.client;
+          u.tier = tier;
+          u.arrival_s = ev.time;
+          tier_buffer[static_cast<size_t>(tier)].push_back(u);
+          if (--tier_pending[static_cast<size_t>(tier)] == 0) {
+            queue.Schedule(ev.time, EventKind::kTierFlush, tier, 0);
+          }
         }
         break;
       case EventKind::kUploadLost:
@@ -224,38 +330,115 @@ RoundOutcome FederatedRuntime::ExecuteRound(
                          ev.attempt + 1);
         } else {
           ++outcome.lost_updates;
+          if (config_.policy == RoundPolicy::kSemiAsync) {
+            const int tier = tier_of[c];
+            if (--tier_pending[static_cast<size_t>(tier)] == 0) {
+              queue.Schedule(ev.time, EventKind::kTierFlush, tier, 0);
+            }
+          }
         }
         break;
       case EventKind::kRetrySend:
         SendUpload(&queue, &outcome, round, ev.client, ev.attempt, ev.time,
                    upload_bytes);
         break;
+      case EventKind::kTierFlush: {
+        // Aggregate the tier as a mini-batch: every buffered member gets
+        // the same per-tier staleness (= tiers applied before this one).
+        auto& batch = tier_buffer[c];
+        if (batch.empty()) break;  // all members lost: nothing to apply
+        for (UpdateApplication& u : batch) {
+          u.staleness = applications;
+          outcome.applied.push_back(u);
+        }
+        applied_clients += static_cast<int>(batch.size());
+        batch.clear();
+        ++applications;
+        if (applied_clients >= quorum && quorum_time < 0.0) {
+          quorum_time = ev.time;
+        }
+        break;
+      }
     }
   }
 
   // 3. Round-completion policy.
-  const double deadline = outcome.start_time_s + config_.deadline_s;
-  for (int c : outcome.participants) {
-    if (arrived_[static_cast<size_t>(c)] == 0) continue;
-    if (config_.policy == RoundPolicy::kDeadline &&
-        arrival_time_[static_cast<size_t>(c)] > deadline) {
-      ++outcome.late_updates;
-      continue;
+  const double effective_deadline = EffectiveDeadline();
+  outcome.effective_deadline_s =
+      config_.policy == RoundPolicy::kDeadline ? effective_deadline : 0.0;
+  const double deadline = outcome.start_time_s + effective_deadline;
+  if (is_async) {
+    // Every applied update enters aggregation (staleness already priced
+    // the lateness); delivered = applied clients, sorted for the callers.
+    outcome.delivered.reserve(outcome.applied.size());
+    for (const UpdateApplication& u : outcome.applied) {
+      outcome.delivered.push_back(u.client);
     }
-    outcome.delivered.push_back(c);
+    std::sort(outcome.delivered.begin(), outcome.delivered.end());
+    // The server re-broadcasts once the quorum is applied; stragglers'
+    // updates still count above, they just don't hold the wave open.
+    outcome.end_time_s = quorum_time >= 0.0 ? quorum_time : last_event_time;
+  } else {
+    for (int c : outcome.participants) {
+      if (!tracker_.arrived(c)) continue;
+      if (config_.policy == RoundPolicy::kDeadline &&
+          tracker_.arrival_time(c) > deadline) {
+        ++outcome.late_updates;
+        continue;
+      }
+      outcome.delivered.push_back(c);
+    }
+    outcome.end_time_s = config_.policy == RoundPolicy::kDeadline
+                             ? deadline
+                             : last_event_time;
   }
-  outcome.end_time_s = config_.policy == RoundPolicy::kDeadline
-                           ? deadline
-                           : last_event_time;
+  outcome.duplicate_deliveries += tracker_.duplicates();
+
+  // 4. Post-round estimator updates, in client index order (determinism).
+  if (config_.policy == RoundPolicy::kSemiAsync) {
+    for (int c : outcome.participants) {
+      if (tracker_.arrived(c)) {
+        speed_[static_cast<size_t>(c)].Observe(tracker_.arrival_time(c) -
+                                               outcome.start_time_s);
+      }
+    }
+  }
+  if (config_.policy == RoundPolicy::kDeadline &&
+      config_.adaptive_deadline_quantile > 0.0) {
+    for (int c : outcome.participants) {
+      if (tracker_.arrived(c)) {
+        arrival_quantile_.Add(tracker_.arrival_time(c) -
+                              outcome.start_time_s);
+      }
+    }
+  }
+
   now_ = outcome.end_time_s;
   {
-    char buf[112];
-    std::snprintf(buf, sizeof(buf),
-                  "round=%d end=%.6f delivered=%zu late=%d lost=%d retx=%d",
-                  round, outcome.end_time_s, outcome.delivered.size(),
-                  outcome.late_updates, outcome.lost_updates,
-                  outcome.retransmissions);
-    TraceLine(buf);
+    char buf[144];
+    if (is_async) {
+      std::snprintf(buf, sizeof(buf),
+                    "round=%d end=%.6f delivered=%zu applied=%zu lost=%d "
+                    "dup=%d quorum=%d",
+                    round, outcome.end_time_s, outcome.delivered.size(),
+                    outcome.applied.size(), outcome.lost_updates,
+                    outcome.duplicate_deliveries, quorum);
+      TraceLine(buf);
+      for (const UpdateApplication& u : outcome.applied) {
+        char abuf[96];
+        std::snprintf(abuf, sizeof(abuf),
+                      "round=%d apply c=%d s=%d tier=%d t=%.6f", round,
+                      u.client, u.staleness, u.tier, u.arrival_s);
+        TraceLine(abuf);
+      }
+    } else {
+      std::snprintf(buf, sizeof(buf),
+                    "round=%d end=%.6f delivered=%zu late=%d lost=%d retx=%d",
+                    round, outcome.end_time_s, outcome.delivered.size(),
+                    outcome.late_updates, outcome.lost_updates,
+                    outcome.retransmissions);
+      TraceLine(buf);
+    }
   }
   return outcome;
 }

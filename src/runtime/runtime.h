@@ -6,6 +6,7 @@
 
 #include "common/rng.h"
 #include "common/status.h"
+#include "runtime/async_policy.h"
 #include "runtime/event_queue.h"
 #include "runtime/fault_model.h"
 #include "runtime/network_model.h"
@@ -23,6 +24,17 @@ enum class RoundPolicy : int {
   /// Wait for every upload, but lost updates are retransmitted after a
   /// timeout with exponential backoff (up to max_retries attempts).
   kTimeoutRetry = 2,
+  /// Fully asynchronous (FedAsync-style): the server applies each arriving
+  /// update immediately with a staleness-decayed mixing weight
+  /// alpha(s) = async_alpha0 * (s+1)^-async_staleness_exponent and moves on
+  /// once a target_fraction quorum of updates has been applied. Lost
+  /// updates are never retried (fire-and-forget uplinks).
+  kAsync = 3,
+  /// Semi-asynchronous (FedCompass-style): per-client EWMA speed estimates
+  /// group expected arrivals into semi_async_tiers tiers; each tier is
+  /// aggregated as a mini-batch with per-tier staleness weighting, and the
+  /// wave closes once the applied tiers cover a target_fraction quorum.
+  kSemiAsync = 4,
 };
 
 const char* RoundPolicyName(RoundPolicy policy);
@@ -38,8 +50,16 @@ struct RuntimeConfig {
 
   /// Deadline policy: simulated seconds the server waits per round.
   double deadline_s = 0.0;
-  /// Deadline policy: fraction of clients the server wants per round.
+  /// Deadline / async / semi-async: fraction of clients the server wants
+  /// per round. The deadline policy sizes its over-selection from it; the
+  /// async policies close their dispatch wave once this fraction of
+  /// participants' updates has been applied (quorum).
   double target_fraction = 1.0;
+  /// Deadline policy: when > 0, the deadline adapts per round to this
+  /// running quantile of all observed arrival offsets (seconds after round
+  /// start) across previous rounds; deadline_s only seeds round 0. 0
+  /// keeps the fixed deadline.
+  double adaptive_deadline_quantile = 0.0;
   /// Deadline policy: over-selection factor — ceil(target_fraction *
   /// over_selection * n) clients are invited to absorb stragglers.
   double over_selection = 1.0;
@@ -49,6 +69,18 @@ struct RuntimeConfig {
   double retry_timeout_s = 1.0;
   int max_retries = 2;
   double backoff_factor = 2.0;
+
+  /// Async policy: base mixing weight alpha(0) of a perfectly fresh
+  /// update, in (0, 1].
+  double async_alpha0 = 0.6;
+  /// Async policy: polynomial staleness decay exponent a in
+  /// alpha(s) = alpha0 * (s+1)^-a; 0 disables the decay.
+  double async_staleness_exponent = 0.5;
+  /// Semi-async policy: number of co-scheduled arrival tiers (>= 1).
+  int semi_async_tiers = 3;
+  /// Semi-async policy: EWMA weight on the newest observed round-trip
+  /// time, in (0, 1].
+  double speed_ewma_beta = 0.5;
 
   /// Compute model: simulated seconds of local training per prepared
   /// graph per epoch (scaled by the client's straggler slowdown).
@@ -72,6 +104,17 @@ struct RuntimeConfig {
 /// \brief Rejects out-of-range runtime knobs with a descriptive Status.
 Status ValidateRuntimeConfig(const RuntimeConfig& config);
 
+/// \brief One server-side model application under the async policies.
+struct UpdateApplication {
+  int client = -1;
+  /// Server model updates applied between this client's dispatch and the
+  /// application of its update (kAsync: per-update; kSemiAsync: per-tier).
+  int staleness = 0;
+  /// Semi-async tier the update was batched into; -1 under kAsync.
+  int tier = -1;
+  double arrival_s = 0.0;
+};
+
 /// \brief Outcome of one simulated federated round.
 struct RoundOutcome {
   /// Clients selected and alive this round (sorted ascending). These are
@@ -89,6 +132,16 @@ struct RoundOutcome {
   int lost_updates = 0;
   /// Updates that arrived after the deadline and were discarded.
   int late_updates = 0;
+  /// Async policies: every applied update in deterministic server
+  /// application order — the event scheduler's (time, tie_key, seq) pop
+  /// order — with its staleness and (semi-async) tier. Empty for the
+  /// round-based policies.
+  std::vector<UpdateApplication> applied;
+  /// Redundant deliveries ignored by first-arrival-wins bookkeeping.
+  int duplicate_deliveries = 0;
+  /// Deadline policy: the deadline actually used this round (equals
+  /// config.deadline_s unless adaptive tuning is on).
+  double effective_deadline_s = 0.0;
 };
 
 /// \brief Deterministic discrete-event federated round executor.
@@ -130,6 +183,8 @@ class FederatedRuntime {
                   const std::vector<double>& upload_bytes);
   void Trace(int round, const SimEvent& event);
   void TraceLine(const std::string& line);
+  /// Deadline the deadline policy uses for \p round (adaptive or fixed).
+  double EffectiveDeadline() const;
 
   RuntimeConfig config_;
   int num_clients_;
@@ -140,8 +195,11 @@ class FederatedRuntime {
   std::vector<std::string> trace_;
   // Per-round scratch (indexed by client).
   std::vector<double> send_time_;
-  std::vector<double> arrival_time_;
-  std::vector<char> arrived_;
+  ArrivalTracker tracker_;
+  // Semi-async persistent per-client round-trip-time estimates.
+  std::vector<EwmaSpeed> speed_;
+  // Deadline policy: running quantile of arrival offsets (adaptive tuning).
+  RunningQuantile arrival_quantile_;
 };
 
 }  // namespace fexiot

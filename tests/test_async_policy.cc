@@ -1,0 +1,254 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/rng.h"
+#include "runtime/async_policy.h"
+
+namespace fexiot {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Staleness decay alpha(s) = alpha0 * (s+1)^-a
+// ---------------------------------------------------------------------------
+
+TEST(StalenessWeight, FreshUpdateGetsAlpha0) {
+  EXPECT_DOUBLE_EQ(StalenessWeight(0.6, 0.5, 0), 0.6);
+  EXPECT_DOUBLE_EQ(StalenessWeight(1.0, 2.0, 0), 1.0);
+}
+
+TEST(StalenessWeight, StrictlyMonotoneDecreasingWhenExponentPositive) {
+  for (double alpha0 : {0.2, 0.6, 1.0}) {
+    for (double a : {0.25, 0.5, 1.0, 2.0}) {
+      double prev = std::numeric_limits<double>::infinity();
+      for (int s = 0; s <= 50; ++s) {
+        const double w = StalenessWeight(alpha0, a, s);
+        EXPECT_LT(w, prev) << "alpha0=" << alpha0 << " a=" << a << " s=" << s;
+        EXPECT_GT(w, 0.0);
+        EXPECT_LE(w, alpha0);
+        prev = w;
+      }
+    }
+  }
+}
+
+TEST(StalenessWeight, ZeroExponentDisablesDecay) {
+  for (int s = 0; s <= 20; ++s) {
+    EXPECT_DOUBLE_EQ(StalenessWeight(0.4, 0.0, s), 0.4);
+  }
+}
+
+TEST(StalenessWeight, MatchesClosedForm) {
+  EXPECT_DOUBLE_EQ(StalenessWeight(0.8, 1.0, 3), 0.8 / 4.0);
+  EXPECT_DOUBLE_EQ(StalenessWeight(0.5, 2.0, 1), 0.5 / 4.0);
+  EXPECT_DOUBLE_EQ(StalenessWeight(0.9, 0.5, 8), 0.9 / 3.0);
+}
+
+TEST(StalenessWeight, NegativeStalenessClampsToFresh) {
+  EXPECT_DOUBLE_EQ(StalenessWeight(0.6, 0.5, -3), 0.6);
+}
+
+// ---------------------------------------------------------------------------
+// EWMA speed estimates
+// ---------------------------------------------------------------------------
+
+TEST(EwmaSpeed, PredictsInfinityBeforeFirstObservation) {
+  EwmaSpeed s(0.5);
+  EXPECT_FALSE(s.initialized());
+  EXPECT_TRUE(std::isinf(s.Predict()));
+}
+
+TEST(EwmaSpeed, FirstObservationInstalledVerbatim) {
+  EwmaSpeed s(0.25);
+  s.Observe(3.5);
+  EXPECT_TRUE(s.initialized());
+  EXPECT_DOUBLE_EQ(s.Predict(), 3.5);
+}
+
+TEST(EwmaSpeed, ConvergesGeometricallyToConstantInput) {
+  // After the first sample the error to a constant signal shrinks by
+  // exactly (1 - beta) per observation.
+  const double beta = 0.3, target = 2.0;
+  EwmaSpeed s(beta);
+  s.Observe(10.0);
+  double prev_err = std::abs(s.Predict() - target);
+  for (int i = 0; i < 40; ++i) {
+    s.Observe(target);
+    const double err = std::abs(s.Predict() - target);
+    EXPECT_NEAR(err, prev_err * (1.0 - beta), 1e-12);
+    prev_err = err;
+  }
+  EXPECT_LT(prev_err, 1e-4);
+}
+
+TEST(EwmaSpeed, BetaOneTracksLatestObservation) {
+  EwmaSpeed s(1.0);
+  s.Observe(5.0);
+  s.Observe(1.0);
+  EXPECT_DOUBLE_EQ(s.Predict(), 1.0);
+  s.Observe(9.0);
+  EXPECT_DOUBLE_EQ(s.Predict(), 9.0);
+}
+
+TEST(EwmaSpeed, SeparatesFastAndSlowClientsUnderNoise) {
+  // Property: two clients with well-separated mean RTTs stay ordered by
+  // their EWMA estimates under bounded deterministic jitter.
+  Rng rng(7);
+  EwmaSpeed fast(0.5), slow(0.5);
+  for (int i = 0; i < 64; ++i) {
+    fast.Observe(1.0 + rng.Uniform(-0.2, 0.2));
+    slow.Observe(4.0 + rng.Uniform(-0.2, 0.2));
+    EXPECT_LT(fast.Predict(), slow.Predict());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Tier assignment
+// ---------------------------------------------------------------------------
+
+TEST(AssignTiers, EmptyAndSingleTierEdgeCases) {
+  EXPECT_TRUE(AssignTiers({}, 3).empty());
+  EXPECT_EQ(AssignTiers({1.0, 2.0, 3.0}, 1), (std::vector<int>{0, 0, 0}));
+}
+
+TEST(AssignTiers, RespectsExpectedArrivalOrdering) {
+  // A client expected earlier must never land in a later tier than a
+  // client expected strictly later.
+  const std::vector<double> expected = {5.0, 1.0, 3.0, 2.0, 4.0, 0.5};
+  const std::vector<int> tier = AssignTiers(expected, 3);
+  for (size_t i = 0; i < expected.size(); ++i) {
+    for (size_t j = 0; j < expected.size(); ++j) {
+      if (expected[i] < expected[j]) {
+        EXPECT_LE(tier[i], tier[j]) << "i=" << i << " j=" << j;
+      }
+    }
+  }
+}
+
+TEST(AssignTiers, TierSizesAreBalanced) {
+  for (size_t n : {size_t{1}, size_t{5}, size_t{8}, size_t{13}}) {
+    for (int t : {2, 3, 4}) {
+      std::vector<double> expected;
+      for (size_t i = 0; i < n; ++i) {
+        expected.push_back(static_cast<double>((i * 7) % n));
+      }
+      const std::vector<int> tier = AssignTiers(expected, t);
+      std::vector<int> count(static_cast<size_t>(t), 0);
+      for (int x : tier) {
+        ASSERT_GE(x, 0);
+        ASSERT_LT(x, t);
+        ++count[static_cast<size_t>(x)];
+      }
+      const auto mm = std::minmax_element(count.begin(), count.end());
+      // Non-empty tiers differ in size by at most one; trailing tiers may
+      // be empty when n < t.
+      if (n >= static_cast<size_t>(t)) {
+        EXPECT_LE(*mm.second - *mm.first, 1) << "n=" << n << " t=" << t;
+      }
+    }
+  }
+}
+
+TEST(AssignTiers, StableAcrossRerunsAndTieBreaksByPosition) {
+  const std::vector<double> expected = {2.0, 2.0, 1.0, 2.0, 1.0, 1.0};
+  const std::vector<int> a = AssignTiers(expected, 2);
+  const std::vector<int> b = AssignTiers(expected, 2);
+  EXPECT_EQ(a, b);
+  // Ties break by position: the three 1.0s (positions 2, 4, 5) fill the
+  // early tier before any 2.0.
+  EXPECT_EQ(a, (std::vector<int>{1, 1, 0, 1, 0, 0}));
+}
+
+TEST(AssignTiers, AllUnknownPredictionsChunkByPosition) {
+  // First semi-async wave: every prediction is +inf; clients chunk into
+  // contiguous index ranges.
+  const double inf = std::numeric_limits<double>::infinity();
+  const std::vector<int> tier = AssignTiers(std::vector<double>(6, inf), 3);
+  EXPECT_EQ(tier, (std::vector<int>{0, 0, 1, 1, 2, 2}));
+}
+
+TEST(AssignTiers, UnknownClientsSortAfterKnownOnes) {
+  const double inf = std::numeric_limits<double>::infinity();
+  const std::vector<double> expected = {inf, 1.0, inf, 2.0};
+  const std::vector<int> tier = AssignTiers(expected, 2);
+  EXPECT_EQ(tier[1], 0);
+  EXPECT_EQ(tier[3], 0);
+  EXPECT_EQ(tier[0], 1);
+  EXPECT_EQ(tier[2], 1);
+}
+
+// ---------------------------------------------------------------------------
+// Running quantile (adaptive deadlines)
+// ---------------------------------------------------------------------------
+
+TEST(RunningQuantile, MatchesSortedReference) {
+  Rng rng(11);
+  std::vector<double> samples;
+  for (double q : {0.1, 0.5, 0.9, 1.0 - 1e-9}) {
+    RunningQuantile rq(q);
+    samples.clear();
+    for (int i = 0; i < 200; ++i) {
+      const double v = rng.Uniform(0.0, 100.0);
+      rq.Add(v);
+      samples.push_back(v);
+      std::vector<double> sorted = samples;
+      std::sort(sorted.begin(), sorted.end());
+      const double r = std::ceil(q * static_cast<double>(sorted.size())) - 1.0;
+      const size_t idx = r <= 0.0 ? 0 : static_cast<size_t>(r);
+      EXPECT_DOUBLE_EQ(rq.Value(), sorted[std::min(idx, sorted.size() - 1)]);
+    }
+  }
+}
+
+TEST(RunningQuantile, SingleSampleIsEveryQuantile) {
+  for (double q : {0.05, 0.5, 0.95}) {
+    RunningQuantile rq(q);
+    EXPECT_TRUE(rq.empty());
+    rq.Add(7.25);
+    EXPECT_DOUBLE_EQ(rq.Value(), 7.25);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Arrival tracker: duplicate-delivery / out-of-order negative paths
+// ---------------------------------------------------------------------------
+
+TEST(ArrivalTracker, FirstArrivalWinsAndDuplicatesAreCounted) {
+  ArrivalTracker t(4);
+  EXPECT_TRUE(t.Arrive(2, 1.5));
+  EXPECT_FALSE(t.Arrive(2, 2.5));  // duplicate delivery (e.g. replay)
+  EXPECT_FALSE(t.Arrive(2, 0.5));  // even an "earlier" duplicate loses
+  EXPECT_TRUE(t.arrived(2));
+  EXPECT_DOUBLE_EQ(t.arrival_time(2), 1.5);
+  EXPECT_EQ(t.arrivals(), 1);
+  EXPECT_EQ(t.duplicates(), 2);
+}
+
+TEST(ArrivalTracker, OutOfOrderArrivalsKeepPerClientTimes) {
+  // Arrival order need not follow client order; bookkeeping is per client.
+  ArrivalTracker t(3);
+  EXPECT_TRUE(t.Arrive(2, 0.25));
+  EXPECT_TRUE(t.Arrive(0, 0.75));
+  EXPECT_FALSE(t.arrived(1));
+  EXPECT_EQ(t.arrivals(), 2);
+  EXPECT_DOUBLE_EQ(t.arrival_time(2), 0.25);
+  EXPECT_DOUBLE_EQ(t.arrival_time(0), 0.75);
+}
+
+TEST(ArrivalTracker, ResetClearsTheWave) {
+  ArrivalTracker t(2);
+  EXPECT_TRUE(t.Arrive(0, 1.0));
+  EXPECT_FALSE(t.Arrive(0, 2.0));
+  t.Reset();
+  EXPECT_FALSE(t.arrived(0));
+  EXPECT_EQ(t.arrivals(), 0);
+  EXPECT_EQ(t.duplicates(), 0);
+  EXPECT_TRUE(t.Arrive(0, 3.0));
+  EXPECT_DOUBLE_EQ(t.arrival_time(0), 3.0);
+}
+
+}  // namespace
+}  // namespace fexiot

@@ -443,9 +443,15 @@ std::string ResultDigest(const FlResult& res) {
     out += buf;
   }
   for (const FlRoundStats& r : res.rounds) {
-    std::snprintf(buf, sizeof(buf), "round%d p=%d d=%d t=%a rt=%a b=%a\n",
+    std::snprintf(buf, sizeof(buf), "round%d p=%d d=%d t=%a rt=%a b=%a s=%a\n",
                   r.round, r.participants, r.delivered, r.sim_time_s,
-                  r.retransmit_bytes, r.cumulative_comm_bytes);
+                  r.retransmit_bytes, r.cumulative_comm_bytes,
+                  r.mean_staleness);
+    out += buf;
+  }
+  for (size_t i = 0; i < res.staleness_hist.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "hist%zu=%llu\n", i,
+                  static_cast<unsigned long long>(res.staleness_hist[i]));
     out += buf;
   }
   return out;
@@ -496,6 +502,333 @@ TEST(RuntimeParity, WritesTraceArtifact) {
     std::fputc('\n', f);
   }
   std::fputs(run.digest.c_str(), f);
+  std::fclose(f);
+}
+
+// ---------------------------------------------------------------------------
+// Async / semi-async server policies
+// ---------------------------------------------------------------------------
+
+TEST(RuntimeConfig, RejectsOutOfRangeAsyncKnobs) {
+  auto bad = [](auto mutate) {
+    RuntimeConfig c;
+    mutate(&c);
+    return !ValidateRuntimeConfig(c).ok();
+  };
+  EXPECT_TRUE(bad([](RuntimeConfig* c) { c->async_alpha0 = 0.0; }));
+  EXPECT_TRUE(bad([](RuntimeConfig* c) { c->async_alpha0 = 1.5; }));
+  EXPECT_TRUE(bad([](RuntimeConfig* c) { c->async_staleness_exponent = -0.1; }));
+  EXPECT_TRUE(bad([](RuntimeConfig* c) { c->semi_async_tiers = 0; }));
+  EXPECT_TRUE(bad([](RuntimeConfig* c) { c->speed_ewma_beta = 0.0; }));
+  EXPECT_TRUE(bad([](RuntimeConfig* c) { c->speed_ewma_beta = 1.5; }));
+  EXPECT_TRUE(bad([](RuntimeConfig* c) { c->adaptive_deadline_quantile = -0.1; }));
+  EXPECT_TRUE(bad([](RuntimeConfig* c) { c->adaptive_deadline_quantile = 1.0; }));
+  // The async policies validate with their defaults.
+  for (RoundPolicy p : {RoundPolicy::kAsync, RoundPolicy::kSemiAsync}) {
+    RuntimeConfig c;
+    c.policy = p;
+    EXPECT_TRUE(ValidateRuntimeConfig(c).ok());
+  }
+}
+
+TEST(FederatedRuntime, AsyncQuorumClosesWaveBeforeStraggler) {
+  // Four clients with uplink latencies 1/2/3/50 s and a 0.5 quorum: the
+  // wave must close at the second arrival (t=2) while the straggler's
+  // update is still applied — with the highest staleness.
+  const int n = 4;
+  RuntimeConfig c;
+  c.policy = RoundPolicy::kAsync;
+  c.target_fraction = 0.5;
+  c.up_links.resize(n);
+  for (int i = 0; i < n; ++i) c.up_links[i].latency_s = 1.0 + i;
+  c.up_links[3].latency_s = 50.0;
+  FederatedRuntime rt(c, n);
+  const std::vector<double> up(n, 256.0), train(n, 0.0);
+  const RoundOutcome out = rt.ExecuteRound(0, 256.0, up, train);
+  EXPECT_DOUBLE_EQ(out.end_time_s, 2.0);
+  EXPECT_EQ(out.delivered, (std::vector<int>{0, 1, 2, 3}));
+  ASSERT_EQ(out.applied.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(out.applied[static_cast<size_t>(i)].client, i);
+    EXPECT_EQ(out.applied[static_cast<size_t>(i)].staleness, i);
+    EXPECT_EQ(out.applied[static_cast<size_t>(i)].tier, -1);
+  }
+  // Application order follows arrival times.
+  for (size_t i = 1; i < out.applied.size(); ++i) {
+    EXPECT_LE(out.applied[i - 1].arrival_s, out.applied[i].arrival_s);
+  }
+  EXPECT_EQ(out.late_updates, 0);
+  EXPECT_EQ(out.duplicate_deliveries, 0);
+}
+
+TEST(FederatedRuntime, AsyncLossesAreNeverRetried) {
+  // Fire-and-forget uplinks: losses stay lost even with retry knobs set.
+  const int n = 8;
+  RuntimeConfig c;
+  c.policy = RoundPolicy::kAsync;
+  c.target_fraction = 0.5;
+  c.max_retries = 5;
+  c.retry_timeout_s = 1.0;
+  c.default_up.loss_prob = 0.5;
+  c.default_up.latency_s = 0.1;
+  FederatedRuntime rt(c, n);
+  const std::vector<double> up(n, 256.0), train(n, 0.0);
+  const RoundOutcome out = rt.ExecuteRound(0, 256.0, up, train);
+  EXPECT_GT(out.lost_updates, 0);
+  EXPECT_EQ(out.retransmissions, 0);
+  EXPECT_EQ(out.retransmit_bytes, 0.0);
+  EXPECT_EQ(out.applied.size(), out.delivered.size());
+  EXPECT_EQ(out.applied.size() + static_cast<size_t>(out.lost_updates),
+            static_cast<size_t>(n));
+}
+
+TEST(FederatedRuntime, SemiAsyncFlushesTiersAsMiniBatches) {
+  // First wave: no speed estimates, so the 6 clients chunk by index into
+  // 3 tiers. Latencies 1..6 s make each tier complete in order; every
+  // member of a tier shares the tier's staleness (= tiers applied before).
+  const int n = 6;
+  RuntimeConfig c;
+  c.policy = RoundPolicy::kSemiAsync;
+  c.semi_async_tiers = 3;
+  c.up_links.resize(n);
+  for (int i = 0; i < n; ++i) c.up_links[i].latency_s = 1.0 + i;
+  FederatedRuntime rt(c, n);
+  const std::vector<double> up(n, 256.0), train(n, 0.0);
+  const RoundOutcome out = rt.ExecuteRound(0, 256.0, up, train);
+  ASSERT_EQ(out.applied.size(), 6u);
+  for (size_t i = 0; i < 6; ++i) {
+    const UpdateApplication& u = out.applied[i];
+    EXPECT_EQ(u.client, static_cast<int>(i));       // arrival order
+    EXPECT_EQ(u.tier, static_cast<int>(i / 2));     // index chunking
+    EXPECT_EQ(u.staleness, static_cast<int>(i / 2));  // shared per tier
+  }
+  // Full quorum: the wave closes when the last tier flushes (t=6).
+  EXPECT_DOUBLE_EQ(out.end_time_s, 6.0);
+}
+
+TEST(FederatedRuntime, SemiAsyncLearnsToDemoteStragglers) {
+  // Client 0 is the slowest (10 s RTT) but lands in the first tier of the
+  // blind first wave, stalling it. After one round of EWMA observations
+  // the scheduler must move client 0 into the last tier.
+  const int n = 6;
+  RuntimeConfig c;
+  c.policy = RoundPolicy::kSemiAsync;
+  c.semi_async_tiers = 3;
+  c.up_links.resize(n);
+  c.up_links[0].latency_s = 10.0;
+  for (int i = 1; i < n; ++i) c.up_links[i].latency_s = static_cast<double>(i);
+  FederatedRuntime rt(c, n);
+  const std::vector<double> up(n, 256.0), train(n, 0.0);
+  auto tier_of_client0 = [](const RoundOutcome& out) {
+    for (const UpdateApplication& u : out.applied) {
+      if (u.client == 0) return u.tier;
+    }
+    return -2;
+  };
+  const RoundOutcome r0 = rt.ExecuteRound(0, 256.0, up, train);
+  EXPECT_EQ(tier_of_client0(r0), 0);  // blind wave: tiered by index
+  const RoundOutcome r1 = rt.ExecuteRound(1, 256.0, up, train);
+  EXPECT_EQ(tier_of_client0(r1), 2);  // informed wave: demoted to last
+  // Demotion unblocks the fast tiers: the first application of wave 1
+  // happens much earlier after the wave starts than in wave 0.
+  ASSERT_FALSE(r0.applied.empty());
+  ASSERT_FALSE(r1.applied.empty());
+  EXPECT_LT(r1.applied.front().arrival_s - r1.start_time_s,
+            r0.applied.front().arrival_s - r0.start_time_s);
+}
+
+TEST(FederatedRuntime, AsyncBeatsTimeoutRetryOnSimTimeUnderFaults) {
+  // At 35% uplink loss with a 4x straggler, the quorum-based async
+  // policies should finish their waves well before timeout+retry finishes
+  // chasing every update with backed-off retransmissions.
+  auto total_time = [](RoundPolicy policy) {
+    const int n = 8;
+    RuntimeConfig c;
+    c.policy = policy;
+    c.target_fraction = policy == RoundPolicy::kTimeoutRetry ? 1.0 : 0.8;
+    c.retry_timeout_s = 2.0;
+    c.max_retries = 6;
+    c.default_up.loss_prob = 0.35;
+    c.default_up.latency_s = 0.1;
+    c.faults.resize(n);
+    c.faults[2].slowdown = 4.0;
+    c.train_seconds_per_graph = 0.01;
+    FederatedRuntime rt(c, n);
+    const std::vector<double> up(n, 2048.0), train(n, 1.0);
+    for (int r = 0; r < 5; ++r) rt.ExecuteRound(r, 2048.0, up, train);
+    return rt.now();
+  };
+  const double t_retry = total_time(RoundPolicy::kTimeoutRetry);
+  const double t_async = total_time(RoundPolicy::kAsync);
+  const double t_semi = total_time(RoundPolicy::kSemiAsync);
+  EXPECT_LT(t_async, t_retry);
+  EXPECT_LT(t_semi, t_retry);
+}
+
+TEST(FederatedRuntime, AdaptiveDeadlineTightensAfterWarmup) {
+  // Round 0 runs on the generous seed deadline; once arrival offsets are
+  // observed the 0.9-quantile deadline collapses to the true ~1 s RTT.
+  const int n = 4;
+  RuntimeConfig c;
+  c.policy = RoundPolicy::kDeadline;
+  c.deadline_s = 50.0;
+  c.adaptive_deadline_quantile = 0.9;
+  c.default_up.latency_s = 1.0;
+  FederatedRuntime rt(c, n);
+  const std::vector<double> up(n, 256.0), train(n, 0.0);
+  const RoundOutcome r0 = rt.ExecuteRound(0, 256.0, up, train);
+  EXPECT_DOUBLE_EQ(r0.effective_deadline_s, 50.0);
+  EXPECT_DOUBLE_EQ(r0.end_time_s - r0.start_time_s, 50.0);
+  EXPECT_EQ(r0.delivered.size(), static_cast<size_t>(n));
+  const RoundOutcome r1 = rt.ExecuteRound(1, 256.0, up, train);
+  EXPECT_DOUBLE_EQ(r1.effective_deadline_s, 1.0);
+  EXPECT_DOUBLE_EQ(r1.end_time_s - r1.start_time_s, 1.0);
+  // Arrivals land exactly on the tightened deadline, not beyond it.
+  EXPECT_EQ(r1.delivered.size(), static_cast<size_t>(n));
+  EXPECT_EQ(r1.late_updates, 0);
+}
+
+TEST(FederatedRuntime, DeadlineSelectionNeverInvitesTwice) {
+  // Regression: over-selection under heavy crash/rejoin churn must yield
+  // a strictly increasing (hence duplicate-free) participant list every
+  // round — a client rejoining mid-selection must not be drawn twice.
+  const int n = 10;
+  RuntimeConfig c;
+  c.policy = RoundPolicy::kDeadline;
+  c.deadline_s = 10.0;
+  c.target_fraction = 0.5;
+  c.over_selection = 1.6;
+  c.default_fault.crash_prob = 0.5;
+  c.default_fault.rejoin_rounds = 1;
+  FederatedRuntime rt(c, n);
+  const std::vector<double> up(n, 64.0), train(n, 0.0);
+  for (int r = 0; r < 12; ++r) {
+    const RoundOutcome out = rt.ExecuteRound(r, 64.0, up, train);
+    for (size_t i = 1; i < out.participants.size(); ++i) {
+      EXPECT_LT(out.participants[i - 1], out.participants[i])
+          << "round " << r << " selected a client twice";
+    }
+  }
+}
+
+TEST(FederatedRuntime, AsyncTraceIsStableAcrossReruns) {
+  for (RoundPolicy policy : {RoundPolicy::kAsync, RoundPolicy::kSemiAsync}) {
+    RuntimeConfig c;
+    c.policy = policy;
+    c.target_fraction = 0.8;
+    c.record_trace = true;
+    c.default_up.latency_s = 0.5;
+    c.default_up.jitter_s = 0.2;
+    c.default_up.loss_prob = 0.2;
+    auto run = [&] {
+      FederatedRuntime rt(c, 5);
+      const std::vector<double> up(5, 256.0), train(5, 1.0);
+      rt.ExecuteRound(0, 256.0, up, train);
+      rt.ExecuteRound(1, 256.0, up, train);
+      return rt.trace();
+    };
+    const std::vector<std::string> t1 = run();
+    const std::vector<std::string> t2 = run();
+    ASSERT_FALSE(t1.empty());
+    EXPECT_EQ(t1, t2);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Async policies end-to-end: simulator integration + thread-count parity
+// ---------------------------------------------------------------------------
+
+// The faulty runtime configuration under an async server policy: priced
+// lossy links, one straggler, one crash-prone client, no retries (async
+// uplinks are fire-and-forget).
+RuntimeConfig AsyncFaultyConfig(RoundPolicy policy, uint64_t seed) {
+  RuntimeConfig rc = FaultyRuntimeConfig();
+  rc.policy = policy;
+  rc.target_fraction = 0.8;
+  rc.seed = seed;
+  return rc;
+}
+
+ParityRun RunAsyncWithThreads(RoundPolicy policy, int threads, uint64_t seed) {
+  const Fixture& f = Fixture::Get();
+  parallel::SetThreads(static_cast<size_t>(threads));
+  FlConfig fc = f.fc;
+  fc.threads = threads;
+  fc.seed = 59 + seed;
+  fc.runtime = AsyncFaultyConfig(policy, 0x7E57AB1EULL + seed);
+  FederatedSimulator sim(f.gc, fc);
+  sim.SetupClients(f.corpus.data, f.corpus.partition, f.corpus.cluster_tests);
+  ParityRun run;
+  run.digest = ResultDigest(sim.Run(FlAlgorithm::kFedAvg).value());
+  run.trace = sim.runtime_trace();
+  parallel::SetThreads(0);
+  return run;
+}
+
+TEST(FederatedSimulatorRuntime, AsyncRunRecordsStalenessTelemetry) {
+  const Fixture& f = Fixture::Get();
+  FlConfig fc = f.fc;
+  fc.runtime = AsyncFaultyConfig(RoundPolicy::kAsync, 0x7E57AB1EULL);
+  FederatedSimulator sim(f.gc, fc);
+  sim.SetupClients(f.corpus.data, f.corpus.partition, f.corpus.cluster_tests);
+  const FlResult res = sim.Run(FlAlgorithm::kFedAvg).value();
+  EXPECT_GT(res.total_sim_time_s, 0.0);
+  EXPECT_EQ(res.total_retransmit_bytes, 0.0);
+  ASSERT_FALSE(res.staleness_hist.empty());
+  uint64_t applied = 0;
+  for (uint64_t b : res.staleness_hist) applied += b;
+  EXPECT_GT(applied, 0u);
+  for (const FlRoundStats& r : res.rounds) {
+    EXPECT_GE(r.mean_staleness, 0.0);
+  }
+}
+
+TEST(FederatedSimulatorRuntime, AsyncRunIsBitIdenticalAcrossThreadCounts) {
+  for (RoundPolicy policy : {RoundPolicy::kAsync, RoundPolicy::kSemiAsync}) {
+    const ParityRun r1 = RunAsyncWithThreads(policy, 1, 0);
+    const ParityRun r4 = RunAsyncWithThreads(policy, 4, 0);
+    ASSERT_FALSE(r1.trace.empty());
+    EXPECT_EQ(r1.trace, r4.trace) << RoundPolicyName(policy);
+    EXPECT_EQ(r1.digest, r4.digest) << RoundPolicyName(policy);
+  }
+}
+
+TEST(FederatedSimulatorRuntime, AsyncSeedSweepStaysDeterministic) {
+  // Distinct seeds reshuffle losses, stragglers, and crashes; each seed
+  // must still be bit-identical across thread counts, and different seeds
+  // must actually produce different executions.
+  std::vector<std::string> digests;
+  for (uint64_t seed : {1ull, 2ull}) {
+    const ParityRun r1 = RunAsyncWithThreads(RoundPolicy::kSemiAsync, 1, seed);
+    const ParityRun r4 = RunAsyncWithThreads(RoundPolicy::kSemiAsync, 4, seed);
+    EXPECT_EQ(r1.trace, r4.trace) << "seed " << seed;
+    EXPECT_EQ(r1.digest, r4.digest) << "seed " << seed;
+    digests.push_back(r1.digest);
+  }
+  EXPECT_NE(digests[0], digests[1]);
+}
+
+// CI hook (ci/run_tests.sh stage "async-policy thread-count parity"): when
+// FEXIOT_ASYNC_TRACE_OUT is set, dump the event traces + result digests of
+// both async policies under the ambient FEXIOT_THREADS so two processes
+// with different thread counts can be diffed byte-for-byte.
+TEST(AsyncRuntimeParity, WritesTraceArtifact) {
+  const char* out = std::getenv("FEXIOT_ASYNC_TRACE_OUT");
+  if (!out) GTEST_SKIP() << "FEXIOT_ASYNC_TRACE_OUT not set";
+  int threads = 0;
+  if (const char* env = std::getenv("FEXIOT_THREADS")) threads = std::atoi(env);
+  std::FILE* f = std::fopen(out, "wb");
+  ASSERT_NE(f, nullptr) << "cannot open " << out;
+  for (RoundPolicy policy : {RoundPolicy::kAsync, RoundPolicy::kSemiAsync}) {
+    const ParityRun run =
+        RunAsyncWithThreads(policy, threads > 0 ? threads : 1, 0);
+    std::fprintf(f, "== policy %s ==\n", RoundPolicyName(policy));
+    for (const std::string& line : run.trace) {
+      std::fputs(line.c_str(), f);
+      std::fputc('\n', f);
+    }
+    std::fputs(run.digest.c_str(), f);
+  }
   std::fclose(f);
 }
 
