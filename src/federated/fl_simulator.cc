@@ -49,7 +49,7 @@ void FederatedSimulator::SetupClients(
   gradient_sequences_.assign(clients_.size(), {});
   unlocked_layers_ = 1;
   fexiot_partition_.clear();
-  agg_scale_.assign(clients_.size(), 1.0);
+  agg_scale_.clear();
   async_global_.clear();
 }
 
@@ -87,7 +87,7 @@ void FederatedSimulator::SetupClients(const GraphDataset& data,
   gradient_sequences_.assign(clients_.size(), {});
   unlocked_layers_ = 1;
   fexiot_partition_.clear();
-  agg_scale_.assign(clients_.size(), 1.0);
+  agg_scale_.clear();
   async_global_.clear();
 }
 
@@ -105,21 +105,25 @@ Matrix FederatedSimulator::SimilarityMatrix(
   return m;
 }
 
+double FederatedSimulator::AggScale(int c) const {
+  const auto it = agg_scale_.find(c);
+  return it == agg_scale_.end() ? 1.0 : it->second;
+}
+
 void FederatedSimulator::AverageLayer(int layer,
                                       const std::vector<int>& group) {
   if (group.empty()) return;
   double weight_sum = 0.0;
   for (int c : group) {
-    weight_sum +=
-        client_weight_[static_cast<size_t>(c)] * agg_scale_[static_cast<size_t>(c)];
+    weight_sum += client_weight_[static_cast<size_t>(c)] * AggScale(c);
   }
   if (weight_sum <= 0.0) return;
   std::vector<double> avg;
   for (int c : group) {
     const std::vector<double> w =
         clients_[static_cast<size_t>(c)]->LayerWeights(layer);
-    const double wc = client_weight_[static_cast<size_t>(c)] *
-                      agg_scale_[static_cast<size_t>(c)] / weight_sum;
+    const double wc =
+        client_weight_[static_cast<size_t>(c)] * AggScale(c) / weight_sum;
     if (avg.empty()) avg.assign(w.size(), 0.0);
     for (size_t i = 0; i < w.size(); ++i) avg[i] += wc * w[i];
   }
@@ -218,11 +222,13 @@ double FederatedSimulator::LayerExchangeBytes(int layer,
 }
 
 std::vector<int> FederatedSimulator::FilterDelivered(
-    const std::vector<int>& group, const std::vector<char>& delivered) const {
+    const std::vector<int>& group, const std::vector<int>& delivered) const {
   std::vector<int> active;
   active.reserve(group.size());
   for (int c : group) {
-    if (delivered[static_cast<size_t>(c)] != 0) active.push_back(c);
+    if (std::binary_search(delivered.begin(), delivered.end(), c)) {
+      active.push_back(c);
+    }
   }
   return active;
 }
@@ -288,7 +294,7 @@ std::vector<double> FederatedSimulator::ConcatAllDeltas(int client) const {
 }
 
 bool FederatedSimulator::FexiotRound(double* bytes,
-                                     const std::vector<char>& delivered) {
+                                     const std::vector<int>& delivered) {
   const int num_layers = clients_.front()->num_layers();
   if (fexiot_partition_.empty()) {
     std::vector<int> all(clients_.size());
@@ -432,7 +438,7 @@ bool FederatedSimulator::FexiotRound(double* bytes,
 
 void FederatedSimulator::ClusteredWholeModelRound(
     FlAlgorithm algorithm, double* bytes,
-    const std::vector<char>& delivered) {
+    const std::vector<int>& delivered) {
   if (whole_model_clusters_.empty()) {
     std::vector<int> all(clients_.size());
     std::iota(all.begin(), all.end(), 0);
@@ -526,7 +532,7 @@ Result<FlResult> FederatedSimulator::Run(FlAlgorithm algorithm) {
   const RuntimeConfig& rc = fl_config_.runtime;
   const bool async_policy = rc.policy == RoundPolicy::kAsync ||
                             rc.policy == RoundPolicy::kSemiAsync;
-  agg_scale_.assign(clients_.size(), 1.0);
+  agg_scale_.clear();
   async_global_.clear();
   if (async_policy && algorithm == FlAlgorithm::kFedAvg) {
     // Snapshot the server model before any local training: all clients
@@ -554,26 +560,24 @@ Result<FlResult> FederatedSimulator::Run(FlAlgorithm algorithm) {
     const std::vector<double> upload_bytes(clients_.size(), wire_bytes);
     const RoundOutcome outcome =
         runtime_->ExecuteRound(round, wire_bytes, upload_bytes, train_seconds);
-    std::vector<char> delivered_mask(clients_.size(), 0);
-    for (int c : outcome.delivered) {
-      delivered_mask[static_cast<size_t>(c)] = 1;
-    }
     // Async policies: staleness-decayed per-client aggregation scales for
     // the group-averaging algorithms (kFedAvg mixes sequentially instead).
-    std::fill(agg_scale_.begin(), agg_scale_.end(), 1.0);
+    // Sparse on the applied updates: absent clients read as 1.0.
+    agg_scale_.clear();
     if (async_policy) {
       for (const UpdateApplication& u : outcome.applied) {
-        agg_scale_[static_cast<size_t>(u.client)] = StalenessWeight(
+        agg_scale_[u.client] = StalenessWeight(
             rc.async_alpha0, rc.async_staleness_exponent, u.staleness);
       }
     }
 
-    // 2. Parallel local training of this round's participants.
-    std::vector<double> losses(clients_.size(), 0.0);
+    // 2. Parallel local training of this round's participants. Losses are
+    // indexed by participant slot, not client id: the scratch is sized by
+    // who trains this round, never by the federation.
     const std::vector<int>& participants = outcome.participants;
+    std::vector<double> losses(participants.size(), 0.0);
     pool_->ParallelFor(participants.size(), [&](size_t i) {
-      const size_t c = static_cast<size_t>(participants[i]);
-      losses[c] = clients_[c]->LocalTrain();
+      losses[i] = clients_[static_cast<size_t>(participants[i])]->LocalTrain();
     });
 
     // 3. Aggregation over the updates the runtime delivered.
@@ -593,10 +597,10 @@ Result<FlResult> FederatedSimulator::Run(FlAlgorithm algorithm) {
       }
       case FlAlgorithm::kFmtl:
       case FlAlgorithm::kGcfl:
-        ClusteredWholeModelRound(algorithm, &bytes, delivered_mask);
+        ClusteredWholeModelRound(algorithm, &bytes, outcome.delivered);
         break;
       case FlAlgorithm::kFexiot: {
-        const bool split = FexiotRound(&bytes, delivered_mask);
+        const bool split = FexiotRound(&bytes, outcome.delivered);
         // Progressive unlock: once the current layers' clustering is
         // stable (no split this round), start exchanging the next layer.
         if (!split && unlocked_layers_ < num_layers) ++unlocked_layers_;
@@ -608,7 +612,7 @@ Result<FlResult> FederatedSimulator::Run(FlAlgorithm algorithm) {
     FlRoundStats stats;
     stats.round = round;
     double loss_sum = 0.0;
-    for (int c : participants) loss_sum += losses[static_cast<size_t>(c)];
+    for (double loss : losses) loss_sum += loss;
     stats.mean_local_loss =
         participants.empty()
             ? 0.0
@@ -623,6 +627,9 @@ Result<FlResult> FederatedSimulator::Run(FlAlgorithm algorithm) {
     stats.delivered = static_cast<int>(outcome.delivered.size());
     stats.sim_time_s = outcome.end_time_s;
     stats.retransmit_bytes = retransmit_bytes;
+    stats.hop_comm_bytes = outcome.hop_bytes;
+    stats.aggregator_crashes = outcome.aggregator_crashes;
+    stats.subtree_lost_updates = outcome.subtree_lost_updates;
     if (async_policy && !outcome.applied.empty()) {
       double staleness_sum = 0.0;
       for (const UpdateApplication& u : outcome.applied) {

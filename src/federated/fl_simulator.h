@@ -2,6 +2,7 @@
 
 #include <deque>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
@@ -81,8 +82,14 @@ class FederatedSimulator {
   double LayerExchangeBytes(int layer, size_t group_size) const;
 
   /// Members of \p group whose updates the runtime delivered this round.
+  /// \p delivered is RoundOutcome::delivered (sorted ascending) — looked
+  /// up by binary search, so no O(total-clients) mask is materialized.
   std::vector<int> FilterDelivered(const std::vector<int>& group,
-                                   const std::vector<char>& delivered) const;
+                                   const std::vector<int>& delivered) const;
+
+  /// Staleness decay alpha(s) of client \p c this round (async policies);
+  /// 1.0 for every client the runtime applied no update for.
+  double AggScale(int c) const;
 
   /// Parameter layers FexIoT exchanges in the upcoming round (progressive
   /// unlock minus the lazy stable-layer skip), without mutating state.
@@ -99,11 +106,11 @@ class FederatedSimulator {
   /// the split refines the partition of that layer and all deeper layers.
   /// Splits are deferred while any group member's update is missing.
   /// Returns true if any split happened this round.
-  bool FexiotRound(double* bytes, const std::vector<char>& delivered);
+  bool FexiotRound(double* bytes, const std::vector<int>& delivered);
 
   /// Whole-model clustered aggregation step used by FMTL / GCFL+.
   void ClusteredWholeModelRound(FlAlgorithm algorithm, double* bytes,
-                                const std::vector<char>& delivered);
+                                const std::vector<int>& delivered);
 
   /// Cosine-similarity matrix over per-client vectors.
   static Matrix SimilarityMatrix(const std::vector<std::vector<double>>& v);
@@ -118,9 +125,11 @@ class FederatedSimulator {
   std::unique_ptr<FederatedRuntime> runtime_;
   std::vector<std::unique_ptr<FlClient>> clients_;
   std::vector<double> client_weight_;  // |G_c| / |G|
-  // Per-round staleness decay alpha(s) per client (async policies); all
-  // 1.0 under the round-based policies, so AverageLayer is unchanged.
-  std::vector<double> agg_scale_;
+  // Per-round staleness decay alpha(s), keyed by client id and sparse on
+  // the clients an update was applied for (async policies); every absent
+  // client scales by 1.0 via AggScale, so AverageLayer is unchanged and
+  // the map stays O(applied updates), not O(total clients).
+  std::unordered_map<int, double> agg_scale_;
   // Explicit server model for sequential async mixing (per layer).
   std::vector<std::vector<double>> async_global_;
 

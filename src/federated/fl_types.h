@@ -82,6 +82,14 @@ struct FlRoundStats {
   /// Async policies: mean staleness of the updates applied this round
   /// (0 under the round-based policies and when nothing was applied).
   double mean_staleness = 0.0;
+  /// Hierarchical topology: bytes crossing each uplink tier this round
+  /// (0: clients->edge, 1: edge->parent, 2: regional->root). Empty under
+  /// the flat topology.
+  std::vector<double> hop_comm_bytes;
+  /// Aggregators down this round (tree topology only).
+  int aggregator_crashes = 0;
+  /// Arrived updates dropped because an aggregator on their path crashed.
+  int subtree_lost_updates = 0;
 };
 
 /// \brief Outcome of one federated run.

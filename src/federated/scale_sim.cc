@@ -1,0 +1,395 @@
+#include "federated/scale_sim.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <unordered_set>
+
+#include "common/parallel.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "gnn/trainer.h"
+#include "runtime/event_queue.h"
+#include "runtime/message.h"
+
+namespace fexiot {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 14695981039346656037ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+void FnvBytes(uint64_t* h, const void* data, size_t size) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < size; ++i) {
+    *h ^= p[i];
+    *h *= kFnvPrime;
+  }
+}
+
+uint64_t GlobalLayersFingerprint(
+    const std::vector<std::vector<double>>& layers) {
+  uint64_t h = kFnvOffset;
+  const uint64_t n = layers.size();
+  FnvBytes(&h, &n, sizeof(n));
+  for (const auto& layer : layers) {
+    const uint64_t count = layer.size();
+    FnvBytes(&h, &count, sizeof(count));
+    FnvBytes(&h, layer.data(), layer.size() * sizeof(double));
+  }
+  return h;
+}
+
+/// Floyd's algorithm: k distinct draws from [0, n) in O(k) time and
+/// memory — the O(n) scratch of Rng::SampleWithoutReplacement would
+/// reintroduce a per-total-clients allocation on the million-client path.
+std::vector<uint64_t> SampleClients(Rng rng, uint64_t n, uint64_t k) {
+  std::vector<uint64_t> out;
+  if (k >= n) {
+    out.resize(n);
+    for (uint64_t i = 0; i < n; ++i) out[i] = i;
+    return out;
+  }
+  std::unordered_set<uint64_t> chosen;
+  chosen.reserve(static_cast<size_t>(k) * 2);
+  for (uint64_t j = n - k; j < n; ++j) {
+    const uint64_t t = rng.UniformInt(j + 1);
+    if (!chosen.insert(t).second) chosen.insert(j);
+  }
+  out.assign(chosen.begin(), chosen.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Status ValidateLink(const LinkModel& link, const char* name) {
+  if (link.latency_s < 0.0 || link.bandwidth_bps < 0.0 || link.jitter_s < 0.0)
+    return Status::InvalidArgument(std::string(name) +
+                                   ": negative latency/bandwidth/jitter");
+  if (link.loss_prob < 0.0 || link.loss_prob >= 1.0)
+    return Status::InvalidArgument(std::string(name) +
+                                   ": loss_prob must be in [0, 1)");
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ValidateScaleConfig(const ScaleFlConfig& config) {
+  if (config.num_clients < 1)
+    return Status::InvalidArgument("num_clients must be >= 1");
+  if (config.sample_per_round < 1)
+    return Status::InvalidArgument("sample_per_round must be >= 1");
+  if (config.num_rounds < 1)
+    return Status::InvalidArgument("num_rounds must be >= 1");
+  if (config.client.graphs_per_client < 2)
+    return Status::InvalidArgument(
+        "graphs_per_client must be >= 2 (local test split)");
+  if (config.client.local_train_fraction <= 0.0 ||
+      config.client.local_train_fraction >= 1.0)
+    return Status::InvalidArgument(
+        "local_train_fraction must be in (0, 1)");
+  if (config.client.num_clusters < 0)
+    return Status::InvalidArgument("num_clusters must be >= 0");
+  if (config.train_seconds_per_graph < 0.0)
+    return Status::InvalidArgument("train_seconds_per_graph must be >= 0");
+  if (config.deadline_s < 0.0)
+    return Status::InvalidArgument("deadline_s must be >= 0");
+  if (config.eval_clients < 0)
+    return Status::InvalidArgument("eval_clients must be >= 0");
+  if (config.threads < 0)
+    return Status::InvalidArgument("threads must be >= 0");
+  FEXIOT_RETURN_NOT_OK(ValidateLink(config.down_link, "down_link"));
+  FEXIOT_RETURN_NOT_OK(ValidateLink(config.up_link, "up_link"));
+  FEXIOT_RETURN_NOT_OK(ValidateTreeTopology(config.topology));
+  return Status::OK();
+}
+
+#ifdef __linux__
+namespace {
+double ReadProcStatusKb(const char* key) {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0.0;
+  const size_t key_len = std::strlen(key);
+  char line[256];
+  double kb = 0.0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, key, key_len) == 0) {
+      kb = std::atof(line + key_len);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
+}
+}  // namespace
+
+double ReadVmHwmMb() { return ReadProcStatusKb("VmHWM:") / 1024.0; }
+double ReadVmRssMb() { return ReadProcStatusKb("VmRSS:") / 1024.0; }
+#else
+double ReadVmHwmMb() { return 0.0; }
+double ReadVmRssMb() { return 0.0; }
+#endif
+
+ScaleSimulator::ScaleSimulator(const ScaleFlConfig& config)
+    : config_(config) {}
+
+Result<ScaleFlResult> ScaleSimulator::Run() {
+  FEXIOT_RETURN_NOT_OK(ValidateScaleConfig(config_));
+  Stopwatch wall;
+  const ScaleFlConfig& cfg = config_;
+  const uint64_t n = cfg.num_clients;
+
+  ClientStateStore store(cfg.client, n, cfg.eager_state);
+  AggregationTree tree(cfg.topology, MixKey(cfg.seed, /*tree*/ 19));
+  NetworkModel network(cfg.down_link, cfg.up_link, {}, {},
+                       MixKey(cfg.seed, /*network*/ 7));
+  Rng select_rng(MixKey(cfg.seed, /*select*/ 11));
+  Rng train_base(MixKey(cfg.seed, /*train*/ 23));
+  const size_t pool_threads =
+      cfg.threads > 0 ? static_cast<size_t>(cfg.threads)
+                      : parallel::NumThreads();
+  ThreadPool pool(pool_threads);
+
+  // Probe replica: layer shapes and the initial global (every client
+  // replica starts from the same seeded initialization).
+  GnnModel probe(cfg.client.model);
+  const int num_layers = probe.num_layers();
+  std::vector<std::vector<double>> global(static_cast<size_t>(num_layers));
+  double upload_bytes = 0.0;
+  double broadcast_bytes = 0.0;
+  for (int l = 0; l < num_layers; ++l) {
+    global[static_cast<size_t>(l)] = probe.GetLayerFlat(l);
+    const double wire =
+        static_cast<double>(MessageWireBytes(probe.LayerSize(l)));
+    upload_bytes += wire;
+    broadcast_bytes += wire;
+  }
+
+  ScaleFlResult result;
+  double sim_time = 0.0;
+
+  for (int round = 0; round < cfg.num_rounds; ++round) {
+    const uint64_t k64 = std::min<uint64_t>(
+        n, static_cast<uint64_t>(cfg.sample_per_round));
+    const std::vector<uint64_t> participants =
+        SampleClients(select_rng.ForkAt(static_cast<uint64_t>(round) + 1), n,
+                      k64);
+    const size_t k = participants.size();
+
+    // Per-participant round scratch — sized by the sample, never by the
+    // federation.
+    std::vector<double> losses(k, 0.0);
+    std::vector<char> lost(k, 0);
+    std::vector<double> edge_arrival(k, 0.0);
+    std::vector<std::vector<std::vector<double>>> updates(k);
+
+    pool.ParallelFor(k, [&](size_t i) {
+      const uint64_t client = participants[i];
+      const int cid = static_cast<int>(client);
+      std::unique_ptr<MaterializedClient> mc = store.Acquire(client, &global);
+      Rng train_rng = train_base.ForkAt(
+          MixKey(client, static_cast<uint64_t>(round) + 1));
+      GnnTrainer trainer(&mc->model, cfg.train);
+      losses[i] = trainer.Train(mc->train_graphs, &train_rng);
+      auto& up = updates[i];
+      up.resize(static_cast<size_t>(num_layers));
+      for (int l = 0; l < num_layers; ++l)
+        up[static_cast<size_t>(l)] = mc->model.GetLayerFlat(l);
+      const double train_s = cfg.train_seconds_per_graph *
+                             static_cast<double>(mc->train_graphs.size()) *
+                             cfg.train.epochs;
+      edge_arrival[i] =
+          network.TransferSeconds(round, cid, LinkDirection::kDown, 0,
+                                  broadcast_bytes) +
+          train_s +
+          network.TransferSeconds(round, cid, LinkDirection::kUp, 0,
+                                  upload_bytes);
+      lost[i] = network.LostInTransit(round, cid, 0) ? 1 : 0;
+      // Release inside the worker: peak live state <= pool width.
+      store.Release(std::move(mc));
+    });
+
+    ScaleRoundStats stats;
+    stats.round = round;
+    stats.participants = static_cast<int>(k);
+    double loss_sum = 0.0;
+    for (size_t i = 0; i < k; ++i) loss_sum += losses[i];
+    stats.mean_local_loss = k > 0 ? loss_sum / static_cast<double>(k) : 0.0;
+
+    // Arrived uploads in ascending client order (participants are sorted).
+    std::vector<size_t> arrived_idx;
+    arrived_idx.reserve(k);
+    for (size_t i = 0; i < k; ++i) {
+      if (lost[i]) {
+        ++stats.lost_updates;
+      } else {
+        arrived_idx.push_back(i);
+      }
+    }
+
+    // Route root-ward: delivered indices + root arrival times.
+    std::vector<size_t> delivered_idx;
+    std::vector<double> root_arrival;
+    double last_arrival = 0.0;
+    if (tree.enabled()) {
+      std::vector<TreeArrival> arrivals;
+      arrivals.reserve(arrived_idx.size());
+      for (size_t i : arrived_idx)
+        arrivals.push_back(TreeArrival{static_cast<int>(participants[i]),
+                                       edge_arrival[i]});
+      const TreeDelivery td =
+          tree.Route(round, arrivals, upload_bytes, nullptr);
+      stats.aggregator_crashes = td.aggregator_crashes;
+      stats.subtree_lost_updates = td.subtree_lost;
+      stats.hop_bytes = td.hop_bytes;
+      stats.events += static_cast<uint64_t>(td.edge_forwards) +
+                      static_cast<uint64_t>(td.regional_forwards);
+      last_arrival = td.last_arrival_s;
+      // Map delivered clients (ascending) back to participant indices.
+      size_t cursor = 0;
+      for (size_t d = 0; d < td.delivered.size(); ++d) {
+        const auto client = static_cast<uint64_t>(td.delivered[d]);
+        while (participants[arrived_idx[cursor]] != client) ++cursor;
+        delivered_idx.push_back(arrived_idx[cursor]);
+        root_arrival.push_back(td.root_arrival_s[d]);
+      }
+    } else {
+      stats.hop_bytes.assign(1, 0.0);
+      delivered_idx = arrived_idx;
+      for (size_t i : arrived_idx) {
+        root_arrival.push_back(edge_arrival[i]);
+        last_arrival = std::max(last_arrival, edge_arrival[i]);
+      }
+    }
+    // Hop 0 counts every transmission attempt, including lost ones.
+    stats.hop_bytes[0] += static_cast<double>(k) * upload_bytes;
+
+    // Deadline policy: updates reaching the root late are discarded.
+    if (cfg.deadline_s > 0.0) {
+      std::vector<size_t> in_time;
+      in_time.reserve(delivered_idx.size());
+      for (size_t d = 0; d < delivered_idx.size(); ++d) {
+        if (root_arrival[d] <= cfg.deadline_s) {
+          in_time.push_back(delivered_idx[d]);
+        } else {
+          ++stats.late_updates;
+        }
+      }
+      delivered_idx = std::move(in_time);
+    }
+    stats.delivered = static_cast<int>(delivered_idx.size());
+
+    // Streaming FedAvg: replay AverageLayer's exact per-element
+    // multiply-adds — weight_sum accumulated ascending first, then one
+    // Add(w_c / weight_sum, x_c) per delivered client in ascending order.
+    // Under the flat topology this is bit-identical to the eager
+    // aggregation; tree merges reassociate (DESIGN.md 5.10).
+    if (!delivered_idx.empty()) {
+      double weight_sum = 0.0;
+      for (size_t d = 0; d < delivered_idx.size(); ++d) weight_sum += 1.0;
+      if (weight_sum > 0.0) {
+        const int depth = tree.depth();
+        for (int l = 0; l < num_layers; ++l) {
+          StreamingAccumulator root_acc, regional_acc, edge_acc;
+          int cur_edge = -1;
+          int cur_regional = -1;
+          for (size_t d : delivered_idx) {
+            const int client = static_cast<int>(participants[d]);
+            const double wc = 1.0 * 1.0 / weight_sum;
+            if (depth == 1) {
+              root_acc.Add(wc, updates[d][static_cast<size_t>(l)]);
+              continue;
+            }
+            const int edge = tree.EdgeOf(client);
+            if (edge != cur_edge) {
+              // New edge group: fold the finished edge into its parent
+              // tier before (depth 3) checking for a regional boundary.
+              if (cur_edge >= 0) {
+                (depth == 3 ? regional_acc : root_acc).Merge(edge_acc);
+                edge_acc = StreamingAccumulator();
+              }
+              if (depth == 3) {
+                const int regional = tree.RegionalOf(edge);
+                if (regional != cur_regional) {
+                  if (cur_regional >= 0) {
+                    root_acc.Merge(regional_acc);
+                    regional_acc = StreamingAccumulator();
+                  }
+                  cur_regional = regional;
+                }
+              }
+              cur_edge = edge;
+            }
+            edge_acc.Add(wc, updates[d][static_cast<size_t>(l)]);
+          }
+          if (depth >= 2 && cur_edge >= 0)
+            (depth == 3 ? regional_acc : root_acc).Merge(edge_acc);
+          if (depth == 3 && cur_regional >= 0) root_acc.Merge(regional_acc);
+          // Pre-normalized weights sum to 1, so the weighted sum is the
+          // weighted mean — same math AverageLayer installs.
+          global[static_cast<size_t>(l)] = root_acc.weighted_sum();
+        }
+      }
+    }
+
+    stats.events += 3 * static_cast<uint64_t>(k);  // broadcast, train, upload
+    double round_comm = static_cast<double>(k) * broadcast_bytes;
+    for (double b : stats.hop_bytes) round_comm += b;
+    result.total_comm_bytes += round_comm;
+    const double round_end =
+        cfg.deadline_s > 0.0 ? cfg.deadline_s : last_arrival;
+    sim_time += round_end;
+    stats.sim_time_s = sim_time;
+    result.total_events += stats.events;
+    result.rounds.push_back(std::move(stats));
+  }
+
+  // Final-round evaluation on a sampled client set.
+  if (cfg.eval_clients > 0) {
+    const std::vector<uint64_t> eval_clients = SampleClients(
+        select_rng.ForkAt(0xEEEEULL), n,
+        std::min<uint64_t>(n, static_cast<uint64_t>(cfg.eval_clients)));
+    std::vector<ClassificationMetrics> metrics(eval_clients.size());
+    pool.ParallelFor(eval_clients.size(), [&](size_t i) {
+      std::unique_ptr<MaterializedClient> mc =
+          store.Acquire(eval_clients[i], &global);
+      GnnTrainer trainer(&mc->model, cfg.train);
+      metrics[i] = trainer.Evaluate(mc->train_graphs, mc->test_graphs);
+      store.Release(std::move(mc));
+    });
+    for (size_t i = 0; i < eval_clients.size(); ++i) {
+      result.sampled_metrics.emplace_back(eval_clients[i], metrics[i]);
+      result.mean.accuracy += metrics[i].accuracy;
+      result.mean.precision += metrics[i].precision;
+      result.mean.recall += metrics[i].recall;
+      result.mean.f1 += metrics[i].f1;
+      result.mean.true_positive += metrics[i].true_positive;
+      result.mean.true_negative += metrics[i].true_negative;
+      result.mean.false_positive += metrics[i].false_positive;
+      result.mean.false_negative += metrics[i].false_negative;
+    }
+    if (!eval_clients.empty()) {
+      const auto m = static_cast<double>(eval_clients.size());
+      result.mean.accuracy /= m;
+      result.mean.precision /= m;
+      result.mean.recall /= m;
+      result.mean.f1 /= m;
+    }
+  }
+
+  result.global_layers = std::move(global);
+  result.global_fingerprint = GlobalLayersFingerprint(result.global_layers);
+  result.total_sim_time_s = sim_time;
+  result.materializations = store.materializations();
+  result.peak_live_clients = store.peak_live();
+  result.peak_rss_mb = ReadVmHwmMb();
+  result.current_rss_mb = ReadVmRssMb();
+  result.wall_seconds = wall.ElapsedSeconds();
+  result.events_per_sec =
+      result.wall_seconds > 0.0
+          ? static_cast<double>(result.total_events) / result.wall_seconds
+          : 0.0;
+  return result;
+}
+
+}  // namespace fexiot

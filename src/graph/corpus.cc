@@ -721,4 +721,51 @@ FederatedCorpus BuildClusteredFederatedCorpus(
   return out;
 }
 
+std::vector<InteractionGraph> MaterializeClientShard(
+    const CorpusOptions& base, uint64_t corpus_seed, uint64_t client_id,
+    int graphs_per_client, int num_clusters, double profile_strength) {
+  if (graphs_per_client <= 0) return {};
+  // Every draw below comes from the ForkAt(client_id) child stream, so
+  // the shard depends only on (options, corpus_seed, client_id) — never
+  // on which other clients were materialized, in what order, or on how
+  // many threads are running.
+  Rng root(corpus_seed);
+  Rng child = root.ForkAt(client_id);
+  GraphCorpusGenerator worker(base, &child);
+  if (num_clusters > 0 && profile_strength > 0.0) {
+    worker.ApplyDeviceProfile(
+        0xfeed0000ULL + client_id % static_cast<uint64_t>(num_clusters),
+        profile_strength);
+  }
+  const int num_vulnerable = static_cast<int>(
+      graphs_per_client * base.vulnerable_fraction + 0.5);
+  std::vector<InteractionGraph> shard;
+  shard.reserve(static_cast<size_t>(graphs_per_client));
+  for (int i = 0; i < graphs_per_client; ++i) {
+    if (i < num_vulnerable) {
+      // Vulnerability types cycle with a per-client phase so neighboring
+      // clients do not all open with the same witness class.
+      const auto type = static_cast<VulnerabilityType>(
+          1 + static_cast<int>((client_id + static_cast<uint64_t>(i)) %
+                               kNumInternalVulnerabilities));
+      shard.push_back(worker.GenerateVulnerable(type));
+    } else {
+      shard.push_back(worker.GenerateBenign());
+    }
+  }
+  // Mix the label blocks so a suffix train/test split sees both classes
+  // with high probability; the shuffle consumes the same child stream.
+  child.Shuffle(&shard);
+  return shard;
+}
+
+uint64_t ClientShardFingerprint(const CorpusOptions& base,
+                                uint64_t corpus_seed, uint64_t client_id,
+                                int graphs_per_client, int num_clusters,
+                                double profile_strength) {
+  return CorpusContentFingerprint(
+      MaterializeClientShard(base, corpus_seed, client_id, graphs_per_client,
+                             num_clusters, profile_strength));
+}
+
 }  // namespace fexiot

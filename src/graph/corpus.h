@@ -145,4 +145,26 @@ FederatedCorpus BuildClusteredFederatedCorpus(
 /// per-cluster test pool.
 uint64_t FederatedCorpusContentFingerprint(const FederatedCorpus& corpus);
 
+/// \brief Shard-on-demand corpus API: materializes one client's corpus
+/// shard without constructing anything for any other client.
+///
+/// The shard is generated from the ForkAt(client_id) child of a root
+/// stream seeded with \p corpus_seed, with the client's latent-cluster
+/// device profile (cluster = client_id % num_clusters, covariate shift of
+/// \p profile_strength) applied — a pure function of (options, seed,
+/// client_id). Materialize -> release -> rematerialize therefore yields
+/// bit-identical content for any participation schedule and thread count
+/// (pinned by test_scale), which is what lets the million-client scale
+/// simulator hold only in-flight clients in memory.
+std::vector<InteractionGraph> MaterializeClientShard(
+    const CorpusOptions& base, uint64_t corpus_seed, uint64_t client_id,
+    int graphs_per_client, int num_clusters, double profile_strength);
+
+/// \brief CorpusContentFingerprint of MaterializeClientShard's output —
+/// the rematerialization-identity probe used by the lazy-state tests.
+uint64_t ClientShardFingerprint(const CorpusOptions& base,
+                                uint64_t corpus_seed, uint64_t client_id,
+                                int graphs_per_client, int num_clusters,
+                                double profile_strength);
+
 }  // namespace fexiot

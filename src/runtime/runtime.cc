@@ -107,6 +107,25 @@ Status ValidateRuntimeConfig(const RuntimeConfig& config) {
     return Status::InvalidArgument(
         "runtime: train_seconds_per_graph must be >= 0");
   }
+  if (config.participation_fraction <= 0.0 ||
+      config.participation_fraction > 1.0) {
+    return Status::InvalidArgument(
+        "runtime: participation_fraction must be in (0, 1]");
+  }
+  FEXIOT_RETURN_NOT_OK(ValidateTreeTopology(config.topology));
+  if (config.topology.edge_fanout > 0) {
+    if (config.policy != RoundPolicy::kSynchronous &&
+        config.policy != RoundPolicy::kDeadline) {
+      return Status::InvalidArgument(
+          "runtime: the aggregation tree supports only the synchronous "
+          "and deadline policies");
+    }
+    if (config.adaptive_deadline_quantile > 0.0) {
+      return Status::InvalidArgument(
+          "runtime: adaptive deadlines observe edge arrivals and cannot "
+          "bound root arrivals under a tree; use a fixed deadline_s");
+    }
+  }
   FEXIOT_RETURN_NOT_OK(ValidateLink(config.default_down, "runtime downlink"));
   FEXIOT_RETURN_NOT_OK(ValidateLink(config.default_up, "runtime uplink"));
   for (const LinkModel& l : config.down_links) {
@@ -130,6 +149,7 @@ FederatedRuntime::FederatedRuntime(const RuntimeConfig& config,
                config.up_links, MixKey(config.seed, /*net*/ 11)),
       faults_(config.default_fault, config.faults, num_clients,
               MixKey(config.seed, /*fault*/ 13)),
+      tree_(config.topology, MixKey(config.seed, /*tree*/ 19)),
       select_rng_(MixKey(config.seed, /*select*/ 17)),
       send_time_(static_cast<size_t>(num_clients), 0.0),
       tracker_(num_clients),
@@ -190,12 +210,38 @@ RoundOutcome FederatedRuntime::ExecuteRound(
   for (int c = 0; c < num_clients_; ++c) {
     if (faults_.Alive(round, c)) alive.push_back(c);
   }
+  if (config_.participation_fraction < 1.0 && !alive.empty()) {
+    // Sampled participation: a seeded per-round draw invites only a
+    // fraction of the alive fleet (the scale-out regime where the fleet
+    // is much larger than any round's cohort).
+    const size_t want = std::min(
+        alive.size(),
+        static_cast<size_t>(std::max(
+            1.0, std::ceil(config_.participation_fraction *
+                               static_cast<double>(alive.size()) -
+                           1e-9))));
+    if (want < alive.size()) {
+      Rng r = select_rng_.ForkAt(
+          MixKey(static_cast<uint64_t>(round) + 1, /*sample*/ 0x5A17));
+      const std::vector<size_t> picks =
+          r.SampleWithoutReplacement(alive.size(), want);
+      std::vector<int> sampled;
+      sampled.reserve(want);
+      for (size_t i : picks) sampled.push_back(alive[i]);
+      std::sort(sampled.begin(), sampled.end());
+      alive = std::move(sampled);
+    }
+  }
   outcome.participants = alive;
   if (config_.policy == RoundPolicy::kDeadline && !alive.empty()) {
     // Absorb fp dust before the ceil so e.g. 0.4 * 1.5 * 10 invites
-    // exactly 6 clients, not 7.
-    const double invited = config_.target_fraction * config_.over_selection *
-                           static_cast<double>(num_clients_);
+    // exactly 6 clients, not 7. Under sampled participation the
+    // over-selection budget is relative to the sampled pool.
+    const double base = config_.participation_fraction < 1.0
+                            ? static_cast<double>(alive.size())
+                            : static_cast<double>(num_clients_);
+    const double invited =
+        config_.target_fraction * config_.over_selection * base;
     const size_t want = std::min(
         alive.size(),
         static_cast<size_t>(std::max(1.0, std::ceil(invited - 1e-9))));
@@ -378,6 +424,41 @@ RoundOutcome FederatedRuntime::ExecuteRound(
     // The server re-broadcasts once the quorum is applied; stragglers'
     // updates still count above, they just don't hold the wave open.
     outcome.end_time_s = quorum_time >= 0.0 ? quorum_time : last_event_time;
+  } else if (tree_.enabled()) {
+    // Hierarchical topology: the event loop priced the client->edge hop;
+    // route the arrived uploads through the aggregation tree and apply
+    // the deadline at the *root* arrival.
+    std::vector<TreeArrival> arrivals;
+    double agg_msg_bytes = 0.0;
+    for (int c : outcome.participants) {
+      agg_msg_bytes =
+          std::max(agg_msg_bytes, upload_bytes[static_cast<size_t>(c)]);
+      if (tracker_.arrived(c)) {
+        arrivals.push_back({c, tracker_.arrival_time(c)});
+      }
+    }
+    const TreeDelivery td =
+        tree_.Route(round, arrivals, agg_msg_bytes,
+                    config_.record_trace ? &trace_ : nullptr);
+    outcome.hop_bytes = td.hop_bytes;
+    for (int c : outcome.participants) {
+      outcome.hop_bytes[0] += upload_bytes[static_cast<size_t>(c)];
+    }
+    outcome.aggregator_crashes = td.aggregator_crashes;
+    outcome.subtree_lost_updates = td.subtree_lost;
+    double last_root_arrival = last_event_time;
+    for (size_t i = 0; i < td.delivered.size(); ++i) {
+      if (config_.policy == RoundPolicy::kDeadline &&
+          td.root_arrival_s[i] > deadline) {
+        ++outcome.late_updates;
+        continue;
+      }
+      outcome.delivered.push_back(td.delivered[i]);
+      last_root_arrival = std::max(last_root_arrival, td.root_arrival_s[i]);
+    }
+    outcome.end_time_s = config_.policy == RoundPolicy::kDeadline
+                             ? deadline
+                             : last_root_arrival;
   } else {
     for (int c : outcome.participants) {
       if (!tracker_.arrived(c)) continue;

@@ -10,6 +10,7 @@
 #include "runtime/event_queue.h"
 #include "runtime/fault_model.h"
 #include "runtime/network_model.h"
+#include "runtime/topology.h"
 
 namespace fexiot {
 
@@ -86,6 +87,18 @@ struct RuntimeConfig {
   /// graph per epoch (scaled by the client's straggler slowdown).
   double train_seconds_per_graph = 0.0;
 
+  /// Sampled participation: fraction of alive clients invited per round
+  /// (seeded per-round sampling). 1.0 invites everyone — the passthrough
+  /// default, bit-identical to the pre-sampling runtime.
+  double participation_fraction = 1.0;
+
+  /// Hierarchical aggregation topology (edge -> regional -> root). The
+  /// default flat topology (edge_fanout == 0) leaves the round untouched.
+  /// Only the synchronous and fixed-deadline policies support the tree:
+  /// retry/async semantics interleave with interior forwarding in ways the
+  /// post-pass router does not model (rejected by ValidateRuntimeConfig).
+  TreeTopologyConfig topology;
+
   LinkModel default_down;
   LinkModel default_up;
   /// Per-client link overrides; clients beyond the vector use the default.
@@ -142,6 +155,14 @@ struct RoundOutcome {
   /// Deadline policy: the deadline actually used this round (equals
   /// config.deadline_s unless adaptive tuning is on).
   double effective_deadline_s = 0.0;
+  /// Hierarchical topology: bytes crossing each uplink tier this round
+  /// (0: clients->edge incl. lost transmissions, 1: edge->parent,
+  /// 2: regional->root). Empty under the flat topology.
+  std::vector<double> hop_bytes;
+  /// Aggregators down this round (tree topology only).
+  int aggregator_crashes = 0;
+  /// Arrived updates dropped because an aggregator on their path crashed.
+  int subtree_lost_updates = 0;
 };
 
 /// \brief Deterministic discrete-event federated round executor.
@@ -190,6 +211,7 @@ class FederatedRuntime {
   int num_clients_;
   NetworkModel network_;
   FaultModel faults_;
+  AggregationTree tree_;
   Rng select_rng_;
   double now_ = 0.0;
   std::vector<std::string> trace_;

@@ -448,6 +448,18 @@ std::string ResultDigest(const FlResult& res) {
                   r.retransmit_bytes, r.cumulative_comm_bytes,
                   r.mean_staleness);
     out += buf;
+    // Tree-topology rounds also pin the per-hop bytes and crash counters
+    // (flat rounds carry no hop vector, keeping their digests unchanged).
+    if (!r.hop_comm_bytes.empty()) {
+      out += "hops";
+      for (double hb : r.hop_comm_bytes) {
+        std::snprintf(buf, sizeof(buf), " %a", hb);
+        out += buf;
+      }
+      std::snprintf(buf, sizeof(buf), " crash=%d lost=%d\n",
+                    r.aggregator_crashes, r.subtree_lost_updates);
+      out += buf;
+    }
   }
   for (size_t i = 0; i < res.staleness_hist.size(); ++i) {
     std::snprintf(buf, sizeof(buf), "hist%zu=%llu\n", i,
@@ -829,6 +841,236 @@ TEST(AsyncRuntimeParity, WritesTraceArtifact) {
     }
     std::fputs(run.digest.c_str(), f);
   }
+  std::fclose(f);
+}
+
+// ---------------------------------------------------------------------------
+// Hierarchical aggregation topology
+// ---------------------------------------------------------------------------
+
+TEST(RuntimeConfig, RejectsOutOfRangeTopologyKnobs) {
+  auto bad = [](auto mutate) {
+    RuntimeConfig c;
+    mutate(&c);
+    return !ValidateRuntimeConfig(c).ok();
+  };
+  EXPECT_TRUE(bad([](RuntimeConfig* c) { c->topology.edge_fanout = -1; }));
+  EXPECT_TRUE(bad([](RuntimeConfig* c) { c->topology.regional_fanout = -2; }));
+  // A regional tier without an edge tier is meaningless.
+  EXPECT_TRUE(bad([](RuntimeConfig* c) { c->topology.regional_fanout = 4; }));
+  EXPECT_TRUE(bad([](RuntimeConfig* c) {
+    c->topology.edge_fanout = 4;
+    c->topology.aggregator_crash_prob = 1.0;
+  }));
+  EXPECT_TRUE(bad([](RuntimeConfig* c) {
+    c->topology.edge_fanout = 4;
+    c->topology.aggregator_rejoin_rounds = 0;
+  }));
+  // Interior links are a reliable backbone: per-transfer loss is rejected.
+  EXPECT_TRUE(bad([](RuntimeConfig* c) {
+    c->topology.edge_fanout = 4;
+    c->topology.edge_up.loss_prob = 0.1;
+  }));
+  // The tree composes only with the round-based sync/deadline policies.
+  for (RoundPolicy p : {RoundPolicy::kTimeoutRetry, RoundPolicy::kAsync,
+                        RoundPolicy::kSemiAsync}) {
+    EXPECT_TRUE(bad([p](RuntimeConfig* c) {
+      c->policy = p;
+      c->topology.edge_fanout = 4;
+    }));
+  }
+  EXPECT_TRUE(bad([](RuntimeConfig* c) {
+    c->policy = RoundPolicy::kDeadline;
+    c->deadline_s = 2.0;
+    c->adaptive_deadline_quantile = 0.9;
+    c->topology.edge_fanout = 4;
+  }));
+  // The sync + deadline policies validate with a two-tier tree.
+  for (RoundPolicy p : {RoundPolicy::kSynchronous, RoundPolicy::kDeadline}) {
+    RuntimeConfig c;
+    c.policy = p;
+    c.deadline_s = p == RoundPolicy::kDeadline ? 2.0 : 0.0;
+    c.topology.edge_fanout = 4;
+    c.topology.regional_fanout = 2;
+    EXPECT_TRUE(ValidateRuntimeConfig(c).ok()) << RoundPolicyName(p);
+  }
+}
+
+// Per-hop byte oracle against hand-computed message sizes: 6 clients at
+// 100 B each, edge fan-out 2 (3 edges), regional fan-out 2 (2 regionals).
+// hop0 = 6 * 100, hop1 = 3 forwards * 100, hop2 = 2 forwards * 100; with
+// uplink latency 1 s and interior latencies 0.5 / 0.25 s the last root
+// arrival lands at exactly 1.75 s.
+TEST(FederatedRuntime, TreePerHopBytesMatchHandComputedSizes) {
+  const int n = 6;
+  RuntimeConfig c;
+  c.default_up.latency_s = 1.0;
+  c.topology.edge_fanout = 2;
+  c.topology.regional_fanout = 2;
+  c.topology.edge_up.latency_s = 0.5;
+  c.topology.regional_up.latency_s = 0.25;
+  FederatedRuntime rt(c, n);
+  const std::vector<double> up(n, 100.0), train(n, 0.0);
+  const RoundOutcome out = rt.ExecuteRound(0, 100.0, up, train);
+  EXPECT_EQ(out.participants, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+  EXPECT_EQ(out.delivered, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+  ASSERT_EQ(out.hop_bytes.size(), 3u);
+  EXPECT_DOUBLE_EQ(out.hop_bytes[0], 600.0);
+  EXPECT_DOUBLE_EQ(out.hop_bytes[1], 300.0);
+  EXPECT_DOUBLE_EQ(out.hop_bytes[2], 200.0);
+  EXPECT_EQ(out.aggregator_crashes, 0);
+  EXPECT_EQ(out.subtree_lost_updates, 0);
+  EXPECT_DOUBLE_EQ(out.end_time_s, 1.75);
+}
+
+// Tree vs flat result parity on the seed corpus: with a reliable tree the
+// delivered sets match the flat topology, so aggregation — and therefore
+// every client metric — is bit-identical; only the timing and the per-hop
+// communication accounting differ.
+TEST(FederatedSimulatorRuntime, TreeMatchesFlatResultsOnSeedCorpus) {
+  const Fixture& f = Fixture::Get();
+  auto run = [&](bool tree) {
+    FlConfig fc = f.fc;
+    fc.runtime.default_up.latency_s = 0.1;
+    if (tree) {
+      fc.runtime.topology.edge_fanout = 2;
+      fc.runtime.topology.edge_up.latency_s = 0.5;
+    }
+    FederatedSimulator sim(f.gc, fc);
+    sim.SetupClients(f.corpus.data, f.corpus.partition,
+                     f.corpus.cluster_tests);
+    return sim.Run(FlAlgorithm::kFedAvg).value();
+  };
+  const FlResult flat = run(false);
+  const FlResult tree = run(true);
+  ASSERT_EQ(flat.client_metrics.size(), tree.client_metrics.size());
+  for (size_t c = 0; c < flat.client_metrics.size(); ++c) {
+    EXPECT_EQ(flat.client_metrics[c].accuracy, tree.client_metrics[c].accuracy);
+    EXPECT_EQ(flat.client_metrics[c].f1, tree.client_metrics[c].f1);
+  }
+  EXPECT_EQ(flat.total_comm_bytes, tree.total_comm_bytes);
+  ASSERT_EQ(flat.rounds.size(), tree.rounds.size());
+  for (size_t r = 0; r < flat.rounds.size(); ++r) {
+    EXPECT_EQ(flat.rounds[r].delivered, tree.rounds[r].delivered);
+    EXPECT_TRUE(flat.rounds[r].hop_comm_bytes.empty());
+    // 4 clients, edge fan-out 2, no regional tier -> 2-tier hop vector.
+    ASSERT_EQ(tree.rounds[r].hop_comm_bytes.size(), 2u);
+    EXPECT_GT(tree.rounds[r].hop_comm_bytes[0], 0.0);
+    EXPECT_GT(tree.rounds[r].hop_comm_bytes[1], 0.0);
+  }
+  // Interior forwarding costs simulated time on top of the flat path.
+  EXPECT_GT(tree.total_sim_time_s, flat.total_sim_time_s);
+}
+
+// Aggregator crash mid-round: the crashed edge's whole subtree is lost
+// for the round, yet the round still closes at the fixed deadline.
+TEST(FederatedSimulatorRuntime, AggregatorCrashDropsSubtreeButRoundCloses) {
+  const Fixture& f = Fixture::Get();
+  FlConfig fc = f.fc;
+  fc.num_rounds = 6;
+  fc.runtime.policy = RoundPolicy::kDeadline;
+  fc.runtime.deadline_s = 4.0;
+  fc.runtime.default_up.latency_s = 0.1;
+  fc.runtime.topology.edge_fanout = 2;
+  fc.runtime.topology.aggregator_crash_prob = 0.6;
+  fc.runtime.topology.aggregator_rejoin_rounds = 1;
+  FederatedSimulator sim(f.gc, fc);
+  sim.SetupClients(f.corpus.data, f.corpus.partition, f.corpus.cluster_tests);
+  const FlResult res = sim.Run(FlAlgorithm::kFedAvg).value();
+  int crashes = 0, subtree_lost = 0, partial_rounds = 0;
+  for (const FlRoundStats& r : res.rounds) {
+    crashes += r.aggregator_crashes;
+    subtree_lost += r.subtree_lost_updates;
+    if (r.delivered < r.participants) ++partial_rounds;
+    EXPECT_GE(r.delivered, 0);
+  }
+  // p=0.6 over 2 edges x 6 rounds: some crash is (overwhelmingly) drawn.
+  EXPECT_GT(crashes, 0);
+  EXPECT_GT(subtree_lost, 0);
+  EXPECT_GT(partial_rounds, 0);
+  // Crashes never wedge the round: every round closes at the deadline.
+  EXPECT_DOUBLE_EQ(res.total_sim_time_s, 6 * 4.0);
+  // Crash/rejoin draws are counter-based: a rerun reproduces them exactly.
+  FederatedSimulator sim2(f.gc, fc);
+  sim2.SetupClients(f.corpus.data, f.corpus.partition, f.corpus.cluster_tests);
+  const FlResult res2 = sim2.Run(FlAlgorithm::kFedAvg).value();
+  for (size_t r = 0; r < res.rounds.size(); ++r) {
+    EXPECT_EQ(res.rounds[r].aggregator_crashes,
+              res2.rounds[r].aggregator_crashes);
+    EXPECT_EQ(res.rounds[r].subtree_lost_updates,
+              res2.rounds[r].subtree_lost_updates);
+    EXPECT_EQ(res.rounds[r].delivered, res2.rounds[r].delivered);
+  }
+}
+
+// A faulty + tree runtime configuration for the thread-parity stage:
+// deadline rounds over a crash-prone three-tier tree with priced, jittery
+// interior links on top of the lossy client links.
+RuntimeConfig TreeRuntimeConfig() {
+  RuntimeConfig rc;
+  rc.policy = RoundPolicy::kDeadline;
+  rc.deadline_s = 6.0;
+  rc.train_seconds_per_graph = 0.01;
+  rc.default_down.latency_s = 0.05;
+  rc.default_down.bandwidth_bps = 1e6;
+  rc.default_up.latency_s = 0.1;
+  rc.default_up.bandwidth_bps = 5e5;
+  rc.default_up.jitter_s = 0.02;
+  rc.default_up.loss_prob = 0.2;
+  rc.topology.edge_fanout = 2;
+  rc.topology.regional_fanout = 2;
+  rc.topology.edge_up.latency_s = 0.2;
+  rc.topology.edge_up.bandwidth_bps = 1e6;
+  rc.topology.edge_up.jitter_s = 0.05;
+  rc.topology.regional_up.latency_s = 0.1;
+  rc.topology.aggregator_crash_prob = 0.25;
+  rc.topology.aggregator_rejoin_rounds = 2;
+  rc.faults.resize(4);
+  rc.faults[2].slowdown = 4.0;
+  rc.record_trace = true;
+  return rc;
+}
+
+ParityRun RunTreeWithThreads(int threads) {
+  const Fixture& f = Fixture::Get();
+  parallel::SetThreads(static_cast<size_t>(threads));
+  FlConfig fc = f.fc;
+  fc.threads = threads;
+  fc.runtime = TreeRuntimeConfig();
+  FederatedSimulator sim(f.gc, fc);
+  sim.SetupClients(f.corpus.data, f.corpus.partition, f.corpus.cluster_tests);
+  ParityRun run;
+  run.digest = ResultDigest(sim.Run(FlAlgorithm::kFedAvg).value());
+  run.trace = sim.runtime_trace();
+  parallel::SetThreads(0);
+  return run;
+}
+
+TEST(FederatedSimulatorRuntime, TreeRunIsBitIdenticalAcrossThreadCounts) {
+  const ParityRun r1 = RunTreeWithThreads(1);
+  const ParityRun r4 = RunTreeWithThreads(4);
+  ASSERT_FALSE(r1.trace.empty());
+  EXPECT_EQ(r1.trace, r4.trace);
+  EXPECT_EQ(r1.digest, r4.digest);
+}
+
+// CI hook (ci/run_tests.sh stage "runtime thread-count parity"): when
+// FEXIOT_TREE_TRACE_OUT is set, dump the event trace + result digest of
+// the tree-topology run under the ambient FEXIOT_THREADS so two processes
+// with different thread counts can be diffed byte-for-byte.
+TEST(TreeRuntimeParity, WritesTraceArtifact) {
+  const char* out = std::getenv("FEXIOT_TREE_TRACE_OUT");
+  if (!out) GTEST_SKIP() << "FEXIOT_TREE_TRACE_OUT not set";
+  int threads = 0;
+  if (const char* env = std::getenv("FEXIOT_THREADS")) threads = std::atoi(env);
+  const ParityRun run = RunTreeWithThreads(threads > 0 ? threads : 1);
+  std::FILE* f = std::fopen(out, "wb");
+  ASSERT_NE(f, nullptr) << "cannot open " << out;
+  for (const std::string& line : run.trace) {
+    std::fputs(line.c_str(), f);
+    std::fputc('\n', f);
+  }
+  std::fputs(run.digest.c_str(), f);
   std::fclose(f);
 }
 

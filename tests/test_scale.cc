@@ -1,0 +1,388 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "federated/client_state.h"
+#include "federated/scale_sim.h"
+#include "graph/corpus.h"
+#include "runtime/topology.h"
+
+namespace fexiot {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Streaming accumulator vs the eager AverageLayer reduction
+// ---------------------------------------------------------------------------
+
+// Inline replica of FederatedSimulator::AverageLayer's arithmetic:
+// weight_sum accumulated over clients in ascending order, then one
+// avg[i] += (w_c / weight_sum) * x_c[i] multiply-add per client in the
+// same order. The streaming accumulator must replay these exact
+// operations, so the comparison below is for bit equality, not tolerance.
+std::vector<double> ReferenceAverage(
+    const std::vector<std::vector<double>>& updates,
+    const std::vector<double>& weights) {
+  double weight_sum = 0.0;
+  for (double w : weights) weight_sum += w;
+  if (updates.empty() || weight_sum <= 0.0) return {};
+  std::vector<double> avg(updates.front().size(), 0.0);
+  for (size_t c = 0; c < updates.size(); ++c) {
+    const double wc = weights[c] / weight_sum;
+    for (size_t i = 0; i < avg.size(); ++i) avg[i] += wc * updates[c][i];
+  }
+  return avg;
+}
+
+bool BitEqual(const std::vector<double>& a, const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+TEST(StreamingAccumulator, OrderFixedReductionMatchesEagerBitExactly) {
+  for (uint64_t seed : {7ull, 1234ull, 0xFEED5EEDull}) {
+    Rng rng(seed);
+    const size_t n = 17, dim = 33;
+    std::vector<std::vector<double>> updates(n);
+    std::vector<double> weights(n);
+    for (size_t c = 0; c < n; ++c) {
+      weights[c] = rng.Uniform(0.1, 3.0);
+      updates[c].resize(dim);
+      for (double& v : updates[c]) v = rng.Normal(0.0, 2.0);
+    }
+    const std::vector<double> eager = ReferenceAverage(updates, weights);
+
+    double weight_sum = 0.0;
+    for (double w : weights) weight_sum += w;
+    StreamingAccumulator acc;
+    for (size_t c = 0; c < n; ++c) {
+      acc.Add(weights[c] / weight_sum, updates[c]);
+    }
+    EXPECT_EQ(acc.count(), n);
+    // Pre-normalized weights: the weighted sum IS the weighted mean.
+    EXPECT_TRUE(BitEqual(acc.weighted_sum(), eager)) << "seed " << seed;
+  }
+}
+
+TEST(StreamingAccumulator, EmptySingleClientAndZeroWeightEdgeCases) {
+  // Empty: nothing accumulated, Mean is empty (AverageLayer's early
+  // return on an empty group).
+  StreamingAccumulator empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_TRUE(empty.Mean().empty());
+
+  // Single client: the mean is the AverageLayer replay of that one
+  // client, i.e. (w/w) * x computed in floating point — compare against
+  // the reference replica, not the raw input (x * 1.0 is exact, but the
+  // replica form keeps the contract honest for -0.0 inputs).
+  const std::vector<double> x = {1.5, -2.25, 0.0, -0.0, 1e-300};
+  StreamingAccumulator single;
+  single.Add(2.0 / 2.0, x);
+  EXPECT_TRUE(BitEqual(single.weighted_sum(), ReferenceAverage({x}, {2.0})));
+  EXPECT_TRUE(BitEqual(single.Mean(), single.weighted_sum()));
+
+  // All-zero weights: weight_sum <= 0 means no finalizable mean
+  // (AverageLayer's weight_sum guard).
+  StreamingAccumulator zero;
+  zero.Add(0.0, x);
+  zero.Add(0.0, x);
+  EXPECT_EQ(zero.count(), 2u);
+  EXPECT_DOUBLE_EQ(zero.weight_sum(), 0.0);
+  EXPECT_TRUE(zero.Mean().empty());
+
+  // Merging an empty accumulator is a no-op; merging into an empty one
+  // adopts the other side verbatim.
+  StreamingAccumulator a, b;
+  a.Add(0.5, x);
+  const std::vector<double> before = a.weighted_sum();
+  a.Merge(b);
+  EXPECT_TRUE(BitEqual(a.weighted_sum(), before));
+  b.Merge(a);
+  EXPECT_TRUE(BitEqual(b.weighted_sum(), before));
+  EXPECT_EQ(b.count(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Lazy shard materialization
+// ---------------------------------------------------------------------------
+
+CorpusOptions ShardOptions() {
+  CorpusOptions opt;
+  opt.platforms = {Platform::kIfttt};
+  opt.min_nodes = 3;
+  opt.max_nodes = 7;
+  opt.vulnerable_fraction = 0.4;
+  return opt;
+}
+
+TEST(LazyShards, RematerializationIsBitIdenticalAcrossSeedsAndSchedules) {
+  const CorpusOptions opt = ShardOptions();
+  for (uint64_t seed : {0xC0FFEEull, 42ull, 7777ull}) {
+    // Serial baseline: fingerprint of every client's shard.
+    std::vector<uint64_t> serial(24);
+    for (uint64_t c = 0; c < serial.size(); ++c) {
+      serial[c] = ClientShardFingerprint(opt, seed, c, 5, 3, 0.5);
+    }
+    // Materialize -> release -> rematerialize (reverse order) is
+    // identical: the shard is a pure function of (options, seed, client).
+    for (uint64_t c = serial.size(); c-- > 0;) {
+      EXPECT_EQ(ClientShardFingerprint(opt, seed, c, 5, 3, 0.5), serial[c])
+          << "seed " << seed << " client " << c;
+    }
+    // Concurrent materialization on 4 workers matches the serial pass.
+    std::vector<uint64_t> parallel_fp(serial.size());
+    ThreadPool pool(4);
+    pool.ParallelFor(serial.size(), [&](size_t c) {
+      parallel_fp[c] = ClientShardFingerprint(opt, seed, c, 5, 3, 0.5);
+    });
+    EXPECT_EQ(parallel_fp, serial) << "seed " << seed;
+    // Distinct clients own distinct streams.
+    EXPECT_NE(serial[0], serial[1]);
+  }
+  // The seed matters.
+  EXPECT_NE(ClientShardFingerprint(opt, 1, 0, 5, 3, 0.5),
+            ClientShardFingerprint(opt, 2, 0, 5, 3, 0.5));
+}
+
+TEST(LazyShards, ShardShapeFollowsTheSpec) {
+  const CorpusOptions opt = ShardOptions();
+  const std::vector<InteractionGraph> shard =
+      MaterializeClientShard(opt, 99, 3, 10, 2, 0.5);
+  ASSERT_EQ(shard.size(), 10u);
+  int vulnerable = 0;
+  for (const InteractionGraph& g : shard) vulnerable += g.label();
+  // round(10 * 0.4) vulnerable graphs, shuffled through the shard.
+  EXPECT_EQ(vulnerable, 4);
+}
+
+TEST(ClientStateStore, LazyAndEagerReturnIdenticalStateAndTrackLiveness) {
+  LazyClientSpec spec;
+  spec.corpus = ShardOptions();
+  spec.graphs_per_client = 5;
+  spec.num_clusters = 2;
+  spec.profile_strength = 0.5;
+  spec.model.hidden_dim = 8;
+  spec.model.embedding_dim = 8;
+
+  ClientStateStore lazy(spec, 12, /*eager=*/false);
+  ClientStateStore eager(spec, 12, /*eager=*/true);
+  for (uint64_t c : {0ull, 5ull, 11ull}) {
+    EXPECT_EQ(lazy.ShardFingerprint(c), eager.ShardFingerprint(c));
+    auto from_lazy = lazy.Acquire(c, nullptr);
+    auto from_eager = eager.Acquire(c, nullptr);
+    EXPECT_EQ(from_lazy->shard_fingerprint, from_eager->shard_fingerprint);
+    EXPECT_EQ(from_lazy->train_graphs.size(), from_eager->train_graphs.size());
+    EXPECT_EQ(from_lazy->test_graphs.size(), from_eager->test_graphs.size());
+    EXPECT_FALSE(from_lazy->test_graphs.empty());
+    // Both replicas start from the shared seeded initialization.
+    EXPECT_TRUE(BitEqual(from_lazy->model.GetLayerFlat(0),
+                         from_eager->model.GetLayerFlat(0)));
+    lazy.Release(std::move(from_lazy));
+    eager.Release(std::move(from_eager));
+  }
+  EXPECT_EQ(lazy.materializations(), 3u);
+  EXPECT_EQ(lazy.live(), 0u);
+  EXPECT_EQ(lazy.peak_live(), 1u);
+
+  // Installing a global re-seeds the replica deterministically.
+  GnnModel probe(spec.model);
+  std::vector<std::vector<double>> global;
+  for (int l = 0; l < probe.num_layers(); ++l) {
+    global.push_back(std::vector<double>(probe.LayerSize(l), 0.25));
+  }
+  auto mc = lazy.Acquire(7, &global);
+  EXPECT_TRUE(BitEqual(mc->model.GetLayerFlat(1), global[1]));
+  lazy.Release(std::move(mc));
+}
+
+// ---------------------------------------------------------------------------
+// Scale simulator
+// ---------------------------------------------------------------------------
+
+ScaleFlConfig SmallScaleConfig() {
+  ScaleFlConfig cfg;
+  cfg.num_clients = 40;
+  cfg.sample_per_round = 12;
+  cfg.num_rounds = 3;
+  cfg.client.corpus = ShardOptions();
+  cfg.client.graphs_per_client = 4;
+  cfg.client.num_clusters = 2;
+  cfg.client.profile_strength = 0.5;
+  cfg.client.model.hidden_dim = 8;
+  cfg.client.model.embedding_dim = 8;
+  cfg.train.epochs = 1;
+  cfg.train.learning_rate = 0.02;
+  cfg.eval_clients = 5;
+  cfg.threads = 2;
+  return cfg;
+}
+
+std::string RoundsDigest(const ScaleFlResult& res) {
+  std::string out;
+  char buf[128];
+  for (const ScaleRoundStats& r : res.rounds) {
+    std::snprintf(buf, sizeof(buf),
+                  "r%d p=%d d=%d lost=%d late=%d crash=%d sub=%d loss=%a "
+                  "t=%a e=%llu\n",
+                  r.round, r.participants, r.delivered, r.lost_updates,
+                  r.late_updates, r.aggregator_crashes,
+                  r.subtree_lost_updates, r.mean_local_loss, r.sim_time_s,
+                  static_cast<unsigned long long>(r.events));
+    out += buf;
+    for (double hb : r.hop_bytes) {
+      std::snprintf(buf, sizeof(buf), " hop=%a", hb);
+      out += buf;
+    }
+    out += '\n';
+  }
+  for (const auto& [client, m] : res.sampled_metrics) {
+    std::snprintf(buf, sizeof(buf), "c%llu acc=%a f1=%a\n",
+                  static_cast<unsigned long long>(client), m.accuracy, m.f1);
+    out += buf;
+  }
+  return out;
+}
+
+TEST(ScaleSimulator, RejectsOutOfRangeConfig) {
+  auto bad = [](auto mutate) {
+    ScaleFlConfig c = SmallScaleConfig();
+    mutate(&c);
+    return !ScaleSimulator(c).Run().ok();
+  };
+  EXPECT_TRUE(bad([](ScaleFlConfig* c) { c->num_clients = 0; }));
+  EXPECT_TRUE(bad([](ScaleFlConfig* c) { c->sample_per_round = 0; }));
+  EXPECT_TRUE(bad([](ScaleFlConfig* c) { c->num_rounds = 0; }));
+  EXPECT_TRUE(bad([](ScaleFlConfig* c) { c->client.graphs_per_client = 1; }));
+  EXPECT_TRUE(bad([](ScaleFlConfig* c) { c->client.local_train_fraction = 1.0; }));
+  EXPECT_TRUE(bad([](ScaleFlConfig* c) { c->deadline_s = -1.0; }));
+  EXPECT_TRUE(bad([](ScaleFlConfig* c) { c->up_link.loss_prob = 1.0; }));
+  EXPECT_TRUE(bad([](ScaleFlConfig* c) { c->topology.edge_fanout = -1; }));
+  EXPECT_TRUE(bad([](ScaleFlConfig* c) { c->topology.regional_fanout = 3; }));
+}
+
+TEST(ScaleSimulator, LazyMatchesEagerBitExactly) {
+  ScaleFlConfig lazy_cfg = SmallScaleConfig();
+  ScaleFlConfig eager_cfg = lazy_cfg;
+  eager_cfg.eager_state = true;
+  const ScaleFlResult lazy = ScaleSimulator(lazy_cfg).Run().value();
+  const ScaleFlResult eager = ScaleSimulator(eager_cfg).Run().value();
+  EXPECT_EQ(lazy.global_fingerprint, eager.global_fingerprint);
+  EXPECT_EQ(RoundsDigest(lazy), RoundsDigest(eager));
+  EXPECT_EQ(lazy.total_events, eager.total_events);
+  EXPECT_EQ(lazy.total_comm_bytes, eager.total_comm_bytes);
+}
+
+TEST(ScaleSimulator, ThreadCountAndRerunKeepResultsBitIdentical) {
+  ScaleFlConfig c1 = SmallScaleConfig();
+  c1.threads = 1;
+  ScaleFlConfig c4 = SmallScaleConfig();
+  c4.threads = 4;
+  const ScaleFlResult r1 = ScaleSimulator(c1).Run().value();
+  const ScaleFlResult r4 = ScaleSimulator(c4).Run().value();
+  const ScaleFlResult again = ScaleSimulator(c4).Run().value();
+  EXPECT_EQ(r1.global_fingerprint, r4.global_fingerprint);
+  EXPECT_EQ(RoundsDigest(r1), RoundsDigest(r4));
+  EXPECT_EQ(r4.global_fingerprint, again.global_fingerprint);
+  EXPECT_EQ(RoundsDigest(r4), RoundsDigest(again));
+  // A different seed moves the result.
+  ScaleFlConfig other = SmallScaleConfig();
+  other.seed = 1234;
+  EXPECT_NE(ScaleSimulator(other).Run().value().global_fingerprint,
+            r1.global_fingerprint);
+}
+
+TEST(ScaleSimulator, SampledParticipationAndLazyAccountingHold) {
+  ScaleFlConfig cfg = SmallScaleConfig();
+  const ScaleFlResult res = ScaleSimulator(cfg).Run().value();
+  ASSERT_EQ(res.rounds.size(), 3u);
+  for (const ScaleRoundStats& r : res.rounds) {
+    EXPECT_EQ(r.participants, 12);
+    EXPECT_EQ(r.delivered, 12);  // reliable links, no tree
+    ASSERT_EQ(r.hop_bytes.size(), 1u);
+    EXPECT_GT(r.hop_bytes[0], 0.0);
+    EXPECT_EQ(r.events, 36u);  // 3 events per participant, flat topology
+  }
+  // 3 rounds x 12 participants + 5 eval acquisitions; never more live
+  // state than worker threads.
+  EXPECT_EQ(res.materializations, 3u * 12u + 5u);
+  EXPECT_LE(res.peak_live_clients, 2u);
+  EXPECT_EQ(res.sampled_metrics.size(), 5u);
+  for (size_t i = 1; i < res.sampled_metrics.size(); ++i) {
+    EXPECT_LT(res.sampled_metrics[i - 1].first, res.sampled_metrics[i].first);
+  }
+  // Each eval client scores exactly its local test split (1 graph with a
+  // 4-graph shard), so the confusion counts sum to the evaluated graphs.
+  EXPECT_EQ(res.mean.true_positive + res.mean.true_negative +
+                res.mean.false_positive + res.mean.false_negative,
+            5);
+  EXPECT_GE(res.mean.accuracy, 0.0);
+  EXPECT_LE(res.mean.accuracy, 1.0);
+  EXPECT_GT(res.total_comm_bytes, 0.0);
+}
+
+TEST(ScaleSimulator, TreeMatchesFlatWithinMergeTolerance) {
+  ScaleFlConfig flat_cfg = SmallScaleConfig();
+  ScaleFlConfig tree_cfg = flat_cfg;
+  tree_cfg.topology.edge_fanout = 4;
+  tree_cfg.topology.regional_fanout = 3;
+  tree_cfg.topology.edge_up.latency_s = 0.5;
+  const ScaleFlResult flat = ScaleSimulator(flat_cfg).Run().value();
+  const ScaleFlResult tree = ScaleSimulator(tree_cfg).Run().value();
+  // Same participants and deliveries; the tree only reassociates the
+  // floating-point reduction, so the global matches to tight tolerance.
+  ASSERT_EQ(flat.rounds.size(), tree.rounds.size());
+  for (size_t r = 0; r < flat.rounds.size(); ++r) {
+    EXPECT_EQ(flat.rounds[r].participants, tree.rounds[r].participants);
+    EXPECT_EQ(flat.rounds[r].delivered, tree.rounds[r].delivered);
+    ASSERT_EQ(tree.rounds[r].hop_bytes.size(), 3u);
+    EXPECT_GT(tree.rounds[r].hop_bytes[1], 0.0);
+    EXPECT_GT(tree.rounds[r].hop_bytes[2], 0.0);
+    // Interior forwards add events on top of the flat 3-per-participant.
+    EXPECT_GT(tree.rounds[r].events, flat.rounds[r].events);
+  }
+  ASSERT_EQ(flat.global_layers.size(), tree.global_layers.size());
+  for (size_t l = 0; l < flat.global_layers.size(); ++l) {
+    ASSERT_EQ(flat.global_layers[l].size(), tree.global_layers[l].size());
+    for (size_t i = 0; i < flat.global_layers[l].size(); ++i) {
+      EXPECT_NEAR(flat.global_layers[l][i], tree.global_layers[l][i], 1e-9);
+    }
+  }
+  // Interior hops cost simulated time.
+  EXPECT_GT(tree.total_sim_time_s, flat.total_sim_time_s);
+}
+
+// ---------------------------------------------------------------------------
+// Slow scale smoke (CI stage, FEXIOT_SLOW_TESTS=1)
+// ---------------------------------------------------------------------------
+
+// 100k clients with sampled participation: completes in CI and stays
+// within an RSS ceiling that eager per-client state could never meet
+// (100k shards + replicas would need gigabytes).
+TEST(ScaleSmoke, HundredThousandClientsSampledParticipation) {
+  if (std::getenv("FEXIOT_SLOW_TESTS") == nullptr) {
+    GTEST_SKIP() << "FEXIOT_SLOW_TESTS not set";
+  }
+  ScaleFlConfig cfg = SmallScaleConfig();
+  cfg.num_clients = 100000;
+  cfg.sample_per_round = 48;
+  cfg.num_rounds = 2;
+  cfg.eval_clients = 4;
+  cfg.threads = 0;  // all cores
+  cfg.topology.edge_fanout = 8;
+  cfg.topology.regional_fanout = 4;
+  const ScaleFlResult res = ScaleSimulator(cfg).Run().value();
+  ASSERT_EQ(res.rounds.size(), 2u);
+  for (const ScaleRoundStats& r : res.rounds) {
+    EXPECT_EQ(r.participants, 48);
+    EXPECT_GT(r.delivered, 0);
+  }
+  EXPECT_EQ(res.materializations, 2u * 48u + 4u);
+  EXPECT_LT(res.peak_rss_mb, 1500.0) << "peak RSS must stay O(active "
+                                        "clients), not O(total clients)";
+}
+
+}  // namespace
+}  // namespace fexiot
