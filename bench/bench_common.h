@@ -9,9 +9,12 @@
 // Scale: benches default to a laptop-minute budget. Set FEXIOT_SCALE=<k>
 // (e.g. 4) to multiply dataset sizes / rounds toward paper scale.
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "common/rng.h"
 #include "common/stopwatch.h"
@@ -45,6 +48,63 @@ inline void PrintHeader(const std::string& id, const std::string& title) {
 
 inline std::string Fmt(double v, int precision = 3) {
   return FormatDouble(v, precision);
+}
+
+/// \brief Upper median of timing samples: sorted[n/2]. This is the exact
+/// historical semantics of the per-bench helpers it replaces, so existing
+/// JSON trajectories stay comparable. Requires a non-empty vector.
+inline double MedianSeconds(std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+/// \brief The \p p-th percentile (p in [0, 100]) of \p samples with
+/// linear interpolation between closest ranks; 0.0 when empty.
+inline double Percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  if (p <= 0.0) return samples.front();
+  if (p >= 100.0) return samples.back();
+  const double rank =
+      p / 100.0 * static_cast<double>(samples.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= samples.size()) return samples.back();
+  return samples[lo] + frac * (samples[lo + 1] - samples[lo]);
+}
+
+/// \brief Wall-clock latency summary of one bench configuration.
+struct LatencySummary {
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double mean = 0.0;
+  double max = 0.0;
+  size_t count = 0;
+};
+
+inline LatencySummary Summarize(const std::vector<double>& samples) {
+  LatencySummary s;
+  s.count = samples.size();
+  if (samples.empty()) return s;
+  std::vector<double> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  auto at = [&](double p) {
+    const double rank =
+        p / 100.0 * static_cast<double>(sorted.size() - 1);
+    const size_t lo = static_cast<size_t>(rank);
+    const double frac = rank - static_cast<double>(lo);
+    if (lo + 1 >= sorted.size()) return sorted.back();
+    return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
+  };
+  s.p50 = at(50.0);
+  s.p95 = at(95.0);
+  s.p99 = at(99.0);
+  s.max = sorted.back();
+  double sum = 0.0;
+  for (double v : sorted) sum += v;
+  s.mean = sum / static_cast<double>(sorted.size());
+  return s;
 }
 
 }  // namespace bench

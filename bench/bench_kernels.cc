@@ -35,11 +35,6 @@ struct KernelRecord {
   bool pack_reuse = false;
 };
 
-double MedianSeconds(std::vector<double> samples) {
-  std::sort(samples.begin(), samples.end());
-  return samples[samples.size() / 2];
-}
-
 template <typename Fn>
 double TimeKernel(const Fn& fn, int reps) {
   fn();  // warm-up (page faults, pool spin-up)

@@ -40,11 +40,6 @@ struct SpmmRecord {
   double max_abs_diff = 0.0;
 };
 
-double MedianSeconds(std::vector<double> samples) {
-  std::sort(samples.begin(), samples.end());
-  return samples[samples.size() / 2];
-}
-
 template <typename Fn>
 double TimeKernel(const Fn& fn, int reps) {
   fn();  // warm-up (page faults, pool spin-up, workspace growth)

@@ -90,6 +90,38 @@ void Propagate(const PreparedGraph& g, const Matrix& h, Matrix* out) {
   }
 }
 
+/// [mean | max] pooling over rows [r0, r1) of \p hf into \p pooled
+/// (2 * hf.cols() doubles). \p argmax, when non-null, records the
+/// absolute row index of each column max. Shared by the per-graph
+/// forward (full row range) and the batched block-diagonal forward (one
+/// call per block), which keeps the two readouts bit-identical by
+/// construction.
+void PoolMeanMaxRows(const Matrix& hf, size_t r0, size_t r1, double* pooled,
+                     std::vector<size_t>* argmax) {
+  assert(r1 > r0);
+  const size_t hd = hf.cols();
+  // Column means, matching ColumnMean's sum-then-scale arithmetic.
+  std::fill(pooled, pooled + hd, 0.0);
+  for (size_t r = r0; r < r1; ++r) {
+    const double* row = hf.RowPtr(r);
+    for (size_t c = 0; c < hd; ++c) pooled[c] += row[c];
+  }
+  const double scale = 1.0 / static_cast<double>(r1 - r0);
+  for (size_t c = 0; c < hd; ++c) pooled[c] *= scale;
+  for (size_t c = 0; c < hd; ++c) {
+    double best = hf.At(r0, c);
+    size_t best_row = r0;
+    for (size_t r = r0 + 1; r < r1; ++r) {
+      if (hf.At(r, c) > best) {
+        best = hf.At(r, c);
+        best_row = r;
+      }
+    }
+    pooled[hd + c] = best;
+    if (argmax != nullptr) (*argmax)[c] = best_row;
+  }
+}
+
 }  // namespace
 
 PreparedGraph PrepareGraph(const InteractionGraph& g,
@@ -258,29 +290,7 @@ const std::vector<double>& GnnModel::ForwardImpl(const PreparedGraph& g,
   const size_t hd = hf.cols();
   cache.pooled.ResizeForOverwrite(1, 2 * hd);
   cache.argmax.assign(hd, 0);
-  {
-    // Column means, matching ColumnMean's sum-then-scale arithmetic.
-    double* pooled = cache.pooled.RowPtr(0);
-    std::fill(pooled, pooled + hd, 0.0);
-    for (size_t r = 0; r < hf.rows(); ++r) {
-      const double* row = hf.RowPtr(r);
-      for (size_t c = 0; c < hd; ++c) pooled[c] += row[c];
-    }
-    const double scale = 1.0 / static_cast<double>(hf.rows());
-    for (size_t c = 0; c < hd; ++c) pooled[c] *= scale;
-    for (size_t c = 0; c < hd; ++c) {
-      double best = hf.At(0, c);
-      size_t best_row = 0;
-      for (size_t r = 1; r < hf.rows(); ++r) {
-        if (hf.At(r, c) > best) {
-          best = hf.At(r, c);
-          best_row = r;
-        }
-      }
-      pooled[hd + c] = best;
-      cache.argmax[c] = best_row;
-    }
-  }
+  PoolMeanMaxRows(hf, 0, hf.rows(), cache.pooled.RowPtr(0), &cache.argmax);
   MatMulInto(cache.pooled, layers_[readout_index].params[0], &ws->emb);
   AddBiasRow(&ws->emb, layers_[readout_index].params[1]);
 
@@ -301,6 +311,101 @@ const std::vector<double>& GnnModel::Forward(const PreparedGraph& g,
   assert(ws != nullptr);
   ForwardCache* effective = cache != nullptr ? cache : &ws->cache;
   return ForwardImpl(g, *effective, ws);
+}
+
+void AssembleGraphBatch(const std::vector<const PreparedGraph*>& graphs,
+                        const GnnConfig& config, GraphBatch* out) {
+  assert(out != nullptr);
+  const bool magnn = config.type == GnnType::kMagnn;
+  size_t total = 0;
+  std::vector<const CsrMatrix*> blocks;
+  blocks.reserve(graphs.size());
+  for (const PreparedGraph* g : graphs) {
+    assert(g != nullptr && g->num_nodes > 0);
+    assert(g->mode == PropagationMode::kSparse &&
+           "batched inference requires sparse-mode prepared graphs");
+    assert(g->features.cols() == static_cast<size_t>(config.input_dim));
+    total += static_cast<size_t>(g->num_nodes);
+    blocks.push_back(&g->prop_csr);
+  }
+  PreparedGraph& s = out->stacked;
+  s.mode = PropagationMode::kSparse;
+  s.prop_csr = CsrMatrix::BlockDiagonal(blocks);
+  s.num_nodes = static_cast<int>(total);
+  s.label = 0;
+  s.features.ResizeForOverwrite(total,
+                                static_cast<size_t>(config.input_dim));
+  if (magnn) {
+    s.features_hetero.ResizeForOverwrite(
+        total, static_cast<size_t>(config.hetero_input_dim));
+  }
+  s.node_space.resize(total);
+  out->row_offsets.resize(graphs.size() + 1);
+  out->row_offsets[0] = 0;
+  size_t row = 0;
+  for (size_t b = 0; b < graphs.size(); ++b) {
+    const PreparedGraph& g = *graphs[b];
+    const size_t n = static_cast<size_t>(g.num_nodes);
+    std::copy(g.features.data(), g.features.data() + g.features.size(),
+              s.features.RowPtr(row));
+    if (magnn) {
+      // MAGNN prepared graphs always carry the hetero matrix (possibly
+      // all-zero rows for word-space nodes); the stacked copy mirrors it.
+      assert(g.features_hetero.rows() == n);
+      std::copy(g.features_hetero.data(),
+                g.features_hetero.data() + g.features_hetero.size(),
+                s.features_hetero.RowPtr(row));
+    }
+    std::copy(g.node_space.begin(), g.node_space.end(),
+              s.node_space.begin() + static_cast<ptrdiff_t>(row));
+    row += n;
+    out->row_offsets[b + 1] = row;
+  }
+}
+
+void GnnModel::ForwardBatch(const GraphBatch& batch, BatchForwardWorkspace* ws,
+                            std::vector<std::vector<double>>* embeddings) const {
+  assert(ws != nullptr && embeddings != nullptr);
+  embeddings->resize(batch.size());
+  if (batch.size() == 0) return;
+  const PreparedGraph& g = batch.stacked;
+  assert(g.num_nodes > 0);
+
+  const size_t readout_index = layers_.size() - 1;
+  const size_t first_mp = config_.type == GnnType::kMagnn ? 1 : 0;
+
+  const Matrix* h;
+  if (config_.type == GnnType::kMagnn) {
+    InputProjectionInto(g, &ws->pre, &ws->h);
+    h = &ws->h;
+  } else {
+    h = &g.features;
+  }
+
+  for (size_t l = first_mp; l < readout_index; ++l) {
+    // One SpMM over the block-diagonal CSR propagates every graph in the
+    // batch: each stacked row accumulates exactly its block's ascending-
+    // column entries, so per-row bits match the per-graph SpMM. The dense
+    // transform dispatches per block on the block's own shape so no graph
+    // changes kernels by being batched.
+    Propagate(g, *h, &ws->m);
+    MatMulBlocksInto(ws->m, layers_[l].params[0], batch.row_offsets, &ws->z);
+    AddBiasRow(&ws->z, layers_[l].params[1]);
+    ReluInto(ws->z, &ws->h);
+    h = &ws->h;
+  }
+
+  // Per-graph [mean | max] readout over the graph's stacked row range.
+  const size_t hd = h->cols();
+  ws->pooled.ResizeForOverwrite(1, 2 * hd);
+  for (size_t b = 0; b < batch.size(); ++b) {
+    PoolMeanMaxRows(*h, batch.row_offsets[b], batch.row_offsets[b + 1],
+                    ws->pooled.RowPtr(0), nullptr);
+    MatMulInto(ws->pooled, layers_[readout_index].params[0], &ws->emb);
+    AddBiasRow(&ws->emb, layers_[readout_index].params[1]);
+    (*embeddings)[b].assign(ws->emb.RowPtr(0),
+                            ws->emb.RowPtr(0) + ws->emb.cols());
+  }
 }
 
 void GnnModel::Backward(const ForwardCache& cache,

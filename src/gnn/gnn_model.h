@@ -130,6 +130,41 @@ struct GnnWorkspace {
   Matrix demb, dpooled, dh, dz, tmp, gw, gb;
 };
 
+/// \brief A batch of prepared graphs stacked for one block-diagonal
+/// forward pass: `stacked` is itself a valid PreparedGraph whose
+/// propagation CSR is the block-diagonal of the member graphs and whose
+/// feature matrices are their row-wise concatenation, so the existing
+/// per-node input projection and SpMM propagation run on it unchanged.
+/// `row_offsets` (B+1 entries) maps graph b to stacked rows
+/// [row_offsets[b], row_offsets[b+1]).
+struct GraphBatch {
+  PreparedGraph stacked;
+  std::vector<size_t> row_offsets;
+  size_t size() const {
+    return row_offsets.empty() ? 0 : row_offsets.size() - 1;
+  }
+};
+
+/// \brief Assembles \p graphs into \p out for ForwardBatch. All graphs
+/// must be sparse-mode (the serving engine's mode), non-empty, and
+/// prepared under the same \p config. \p out's buffers are reused across
+/// calls — after warmup, assembly performs no heap allocation beyond the
+/// CSR concatenation.
+void AssembleGraphBatch(const std::vector<const PreparedGraph*>& graphs,
+                        const GnnConfig& config, GraphBatch* out);
+
+/// \brief Reusable scratch for ForwardBatch (one per concurrently
+/// forwarding worker; matrices grow to peak batch shape, then stop
+/// allocating).
+struct BatchForwardWorkspace {
+  Matrix h;       ///< activation (total_nodes x hidden)
+  Matrix m;       ///< propagation product P * H
+  Matrix z;       ///< pre-activation
+  Matrix pre;     ///< MAGNN input-projection pre-activation
+  Matrix pooled;  ///< 1 x 2*hidden per-graph readout scratch
+  Matrix emb;     ///< 1 x embedding_dim readout scratch
+};
+
 /// \brief Graph neural network with explicit manual backpropagation, a
 /// [mean | max] pooling readout (max pooling preserves the few-node
 /// vulnerability witnesses that mean pooling dilutes in large graphs) and
@@ -162,6 +197,17 @@ class GnnModel {
   const std::vector<double>& Forward(const PreparedGraph& g,
                                      ForwardCache* cache,
                                      GnnWorkspace* ws) const;
+
+  /// \brief Batched block-diagonal inference: one propagation SpMM and
+  /// one row-blocked dense transform per layer for the whole batch, then
+  /// a per-graph [mean | max] readout. Embedding b is bit-identical to
+  /// Forward(*graphs[b], ...) — the stacked CSR preserves each output
+  /// row's accumulation order, the dense transform dispatches per block
+  /// on the block's own shape, and pooling/readout share the per-graph
+  /// code paths. Inference only (no caches recorded); \p embeddings is
+  /// resized to the batch size.
+  void ForwardBatch(const GraphBatch& batch, BatchForwardWorkspace* ws,
+                    std::vector<std::vector<double>>* embeddings) const;
 
   /// \brief Accumulates parameter gradients given dL/d(embedding).
   void Backward(const ForwardCache& cache,

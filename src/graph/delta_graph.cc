@@ -1,0 +1,67 @@
+#include "graph/delta_graph.h"
+
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace fexiot {
+
+CsrMatrix DeltaPropagation::MakeIsolated(size_t num_nodes) const {
+  std::vector<std::vector<std::pair<int, double>>> rows(num_nodes);
+  for (size_t i = 0; i < num_nodes; ++i) {
+    rows[i].emplace_back(static_cast<int>(i), 1.0);
+  }
+  return CsrMatrix::FromRowLists(num_nodes, num_nodes, rows);
+}
+
+void DeltaPropagation::InsertEdge(CsrMatrix* p, int u, int v) {
+  assert(u != v && "propagation self-loops are permanent, not inserted");
+  if (HasEdge(*p, u, v)) return;
+  ++structural_updates_;
+  // Structural insert first (placeholder weight), so GCN renormalization
+  // below sees the post-insert degrees via RowNnz.
+  p->InsertEntry(static_cast<size_t>(u), v, 1.0);
+  p->InsertEntry(static_cast<size_t>(v), u, 1.0);
+  if (!gin_) {
+    ReweightNode(p, u);
+    ReweightNode(p, v);
+  }
+}
+
+void DeltaPropagation::RemoveEdge(CsrMatrix* p, int u, int v) {
+  assert(u != v && "propagation self-loops are permanent, not removed");
+  if (!HasEdge(*p, u, v)) return;
+  ++structural_updates_;
+  p->RemoveEntry(static_cast<size_t>(u), v);
+  p->RemoveEntry(static_cast<size_t>(v), u);
+  if (!gin_) {
+    ReweightNode(p, u);
+    ReweightNode(p, v);
+  }
+}
+
+void DeltaPropagation::ReweightNode(CsrMatrix* p, int x) {
+  // Same expression as the batch builder: deg is the undirected adjacency
+  // size including the self-loop == the row's stored-entry count, and the
+  // entry is dinv[x] * dinv[j]. Commutativity makes the (j, x) mirror
+  // store the bit-identical product.
+  const size_t xr = static_cast<size_t>(x);
+  const double dinv_x =
+      1.0 / std::sqrt(static_cast<double>(p->RowNnz(xr)));
+  const size_t begin = p->row_ptr()[xr], end = p->row_ptr()[xr + 1];
+  // Snapshot the row's columns: SetEntry never changes this row's
+  // structure (every touched entry exists), but iterating a container
+  // while writing through it invites stale pointers.
+  std::vector<int> cols(p->col_idx().begin() + static_cast<ptrdiff_t>(begin),
+                        p->col_idx().begin() + static_cast<ptrdiff_t>(end));
+  for (int j : cols) {
+    const double dinv_j =
+        1.0 / std::sqrt(static_cast<double>(p->RowNnz(static_cast<size_t>(j))));
+    const double w = dinv_x * dinv_j;
+    p->SetEntry(xr, j, w);
+    if (j != x) p->SetEntry(static_cast<size_t>(j), x, w);
+    reweighted_entries_ += (j != x) ? 2 : 1;
+  }
+}
+
+}  // namespace fexiot

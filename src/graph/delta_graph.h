@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "tensor/sparse.h"
+
+namespace fexiot {
+
+/// \brief In-place maintenance of a GNN propagation CSR under edge churn.
+///
+/// PrepareGraph builds the normalized-adjacency propagation matrix from
+/// scratch in O(n + e log e); a streaming engine that sees one edge
+/// appear or age out per event cannot afford that per event. This helper
+/// applies the same construction incrementally:
+///
+///  - GIN mode: the propagation matrix is the raw symmetrized adjacency
+///    plus self-loops with every stored value exactly 1.0 — inserts and
+///    removals are purely structural.
+///  - GCN mode: entry (i, j) is dinv[i] * dinv[j] with
+///    dinv[x] = 1 / sqrt(deg(x)) and deg(x) = |undirected neighbors of x
+///    incl. the self-loop| — which is exactly the CSR row's stored-entry
+///    count. Toggling edge (u, v) changes deg(u) and deg(v), so every
+///    entry in rows/columns u and v is recomputed from the same
+///    expression the batch builder uses. Multiplication commutes, so the
+///    mirror entry (j, i) stores the bit-identical product.
+///
+/// Under this discipline an incrementally maintained matrix is
+/// bit-identical to a fresh PrepareGraph build of the same edge set
+/// (pinned by tests/test_serving.cc). The matrix is passed per call
+/// rather than captured, so holders of DeltaPropagation can move freely
+/// inside containers without dangling.
+///
+/// Callers must keep self-loops permanent: every node always has its
+/// (i, i) entry (isolated nodes store exactly 1.0 in both modes), and
+/// InsertEdge/RemoveEdge only ever toggle off-diagonal pairs.
+class DeltaPropagation {
+ public:
+  explicit DeltaPropagation(bool gin) : gin_(gin) {}
+
+  /// \brief Returns a fresh propagation matrix for \p num_nodes isolated
+  /// nodes (self-loops only, all values exactly 1.0 in both modes — for
+  /// GCN, deg == 1 so dinv^2 == 1.0).
+  CsrMatrix MakeIsolated(size_t num_nodes) const;
+
+  /// \brief Inserts undirected edge (u, v) into \p p, then (GCN) renormalizes
+  /// rows/columns u and v. No-op if the pair is already present (the
+  /// directed graph may carry both u->v and v->u; the propagation matrix
+  /// stores one undirected pair). Requires u != v.
+  void InsertEdge(CsrMatrix* p, int u, int v);
+
+  /// \brief Removes undirected edge (u, v) from \p p, then (GCN)
+  /// renormalizes rows/columns u and v. No-op if absent. Requires u != v.
+  void RemoveEdge(CsrMatrix* p, int u, int v);
+
+  /// \brief True iff the undirected pair (u, v) is present in \p p.
+  static bool HasEdge(const CsrMatrix& p, int u, int v) {
+    return p.HasEntry(static_cast<size_t>(u), v);
+  }
+
+  bool gin() const { return gin_; }
+
+  /// Telemetry: undirected pairs actually toggled (no-ops excluded).
+  uint64_t structural_updates() const { return structural_updates_; }
+  /// Telemetry: CSR entries rewritten by GCN renormalization.
+  uint64_t reweighted_entries() const { return reweighted_entries_; }
+
+ private:
+  /// Recomputes every stored entry in row \p x (and its column mirrors)
+  /// from the current degrees.
+  void ReweightNode(CsrMatrix* p, int x);
+
+  bool gin_;
+  uint64_t structural_updates_ = 0;
+  uint64_t reweighted_entries_ = 0;
+};
+
+}  // namespace fexiot

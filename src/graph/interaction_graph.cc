@@ -25,6 +25,17 @@ void InteractionGraph::AddEdge(int u, int v) {
   in_adj_[static_cast<size_t>(v)].push_back(u);
 }
 
+void InteractionGraph::RemoveEdge(int u, int v) {
+  assert(u >= 0 && u < num_nodes() && v >= 0 && v < num_nodes());
+  const auto it = std::find(edges_.begin(), edges_.end(), std::make_pair(u, v));
+  if (it == edges_.end()) return;
+  edges_.erase(it);
+  auto& out = out_adj_[static_cast<size_t>(u)];
+  out.erase(std::find(out.begin(), out.end(), v));
+  auto& in = in_adj_[static_cast<size_t>(v)];
+  in.erase(std::find(in.begin(), in.end(), u));
+}
+
 const std::vector<int>& InteractionGraph::OutNeighbors(int u) const {
   return out_adj_[static_cast<size_t>(u)];
 }

@@ -47,6 +47,9 @@ class InteractionGraph {
   int AddNode(GraphNode node);
   /// Adds edge u -> v (no-op if it already exists or u == v).
   void AddEdge(int u, int v);
+  /// Removes edge u -> v (no-op if absent). Used by the streaming serving
+  /// layer when an interaction correlation ages out of its active window.
+  void RemoveEdge(int u, int v);
 
   int num_nodes() const { return static_cast<int>(nodes_.size()); }
   int num_edges() const { return static_cast<int>(edges_.size()); }

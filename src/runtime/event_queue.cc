@@ -29,6 +29,10 @@ const char* EventKindName(EventKind kind) {
       return "retry-send";
     case EventKind::kTierFlush:
       return "tier-flush";
+    case EventKind::kDownlinkLost:
+      return "down-lost";
+    case EventKind::kRefetch:
+      return "refetch-send";
   }
   return "?";
 }

@@ -23,6 +23,8 @@ enum class EventKind : int32_t {
   kRetrySend = 3,       ///< client retransmits after timeout + backoff
   kTierFlush = 4,       ///< semi-async tier fully resolved; aggregate it
                         ///< (the event's client field carries the tier id)
+  kDownlinkLost = 5,    ///< broadcast copy lost in transit (downlink draw)
+  kRefetch = 6,         ///< client re-requests the broadcast after timeout
 };
 
 const char* EventKindName(EventKind kind);

@@ -41,10 +41,11 @@ double NetworkModel::TransferSeconds(int round, int client, LinkDirection dir,
   return t;
 }
 
-bool NetworkModel::LostInTransit(int round, int client, int attempt) const {
-  const LinkModel& l = link(client, LinkDirection::kUp);
+bool NetworkModel::LostInTransit(int round, int client, LinkDirection dir,
+                                 int attempt) const {
+  const LinkModel& l = link(client, dir);
   if (l.loss_prob <= 0.0) return false;
-  Rng r = DrawStream(round, client, LinkDirection::kUp, attempt, /*salt=*/2);
+  Rng r = DrawStream(round, client, dir, attempt, /*salt=*/2);
   return r.Bernoulli(l.loss_prob);
 }
 

@@ -17,7 +17,7 @@ struct LinkModel {
   double latency_s = 0.0;
   double bandwidth_bps = 0.0;  ///< 0 = infinite
   double jitter_s = 0.0;       ///< uniform extra delay in [0, jitter_s)
-  double loss_prob = 0.0;      ///< per-transfer loss probability (uplink)
+  double loss_prob = 0.0;      ///< per-transfer loss probability
 };
 
 enum class LinkDirection : int { kDown = 0, kUp = 1 };
@@ -30,9 +30,11 @@ enum class LinkDirection : int { kDown = 0, kUp = 1 };
 /// so a draw is a pure function of the seed and the transfer's identity —
 /// never of event processing order or thread count.
 ///
-/// Downlink broadcasts are modeled reliable-but-priced (a real server
-/// re-streams until delivery; the cost shows up as latency), so loss_prob
-/// is only consulted for uplink transfers.
+/// Both directions can be lossy: uplink losses feed the retry policies,
+/// downlink losses feed the broadcast re-fetch protocol in the runtime.
+/// A direction with loss_prob == 0 never consumes a loss draw, so
+/// enabling loss on one direction leaves the other direction's streams —
+/// and therefore existing traces — bit-identical.
 class NetworkModel {
  public:
   NetworkModel(LinkModel default_down, LinkModel default_up,
@@ -45,8 +47,14 @@ class NetworkModel {
   double TransferSeconds(int round, int client, LinkDirection dir,
                          int attempt, double bytes) const;
 
-  /// Whether this uplink transfer attempt is lost in transit.
-  bool LostInTransit(int round, int client, int attempt) const;
+  /// Whether this transfer attempt over \p dir is lost in transit.
+  bool LostInTransit(int round, int client, LinkDirection dir,
+                     int attempt) const;
+
+  /// Uplink shorthand (the historical call sites).
+  bool LostInTransit(int round, int client, int attempt) const {
+    return LostInTransit(round, client, LinkDirection::kUp, attempt);
+  }
 
  private:
   Rng DrawStream(int round, int client, LinkDirection dir, int attempt,

@@ -87,6 +87,17 @@ Status ValidateRuntimeConfig(const RuntimeConfig& config) {
   if (config.backoff_factor < 1.0) {
     return Status::InvalidArgument("runtime: backoff_factor must be >= 1");
   }
+  if (config.max_refetches < 0) {
+    return Status::InvalidArgument("runtime: max_refetches must be >= 0");
+  }
+  bool lossy_down = config.default_down.loss_prob > 0.0;
+  for (const LinkModel& l : config.down_links) {
+    lossy_down = lossy_down || l.loss_prob > 0.0;
+  }
+  if (lossy_down && config.refetch_timeout_s <= 0.0) {
+    return Status::InvalidArgument(
+        "runtime: lossy downlinks require refetch_timeout_s > 0");
+  }
   if (config.async_alpha0 <= 0.0 || config.async_alpha0 > 1.0) {
     return Status::InvalidArgument(
         "runtime: async_alpha0 must be in (0, 1]");
@@ -194,6 +205,21 @@ void FederatedRuntime::SendUpload(EventQueue* queue, RoundOutcome* outcome,
   queue->Schedule(send_time + duration,
                   lost ? EventKind::kUploadLost : EventKind::kUploadArrive,
                   client, attempt);
+}
+
+void FederatedRuntime::SendBroadcast(EventQueue* queue, int round, int client,
+                                     int attempt, double send_time,
+                                     double broadcast_bytes) {
+  const double duration = network_.TransferSeconds(
+      round, client, LinkDirection::kDown, attempt, broadcast_bytes);
+  // Lossless downlinks (the historical default) never consume a loss
+  // draw, so enabling the re-fetch path leaves their traces bit-identical.
+  const bool lost =
+      network_.LostInTransit(round, client, LinkDirection::kDown, attempt);
+  queue->Schedule(
+      send_time + duration,
+      lost ? EventKind::kDownlinkLost : EventKind::kDownlinkArrive, client,
+      attempt);
 }
 
 RoundOutcome FederatedRuntime::ExecuteRound(
@@ -312,10 +338,7 @@ RoundOutcome FederatedRuntime::ExecuteRound(
   // 2. Discrete-event simulation of broadcast -> train -> upload.
   EventQueue queue(MixKey(config_.seed, static_cast<uint64_t>(round) + 1));
   for (int c : outcome.participants) {
-    queue.Schedule(now_ + network_.TransferSeconds(round, c,
-                                                   LinkDirection::kDown, 0,
-                                                   broadcast_bytes),
-                   EventKind::kDownlinkArrive, c, 0);
+    SendBroadcast(&queue, round, c, 0, now_, broadcast_bytes);
   }
   double last_event_time = now_;
   int applications = 0;    // kAsync: applied updates; kSemiAsync: tiers
@@ -387,6 +410,37 @@ RoundOutcome FederatedRuntime::ExecuteRound(
       case EventKind::kRetrySend:
         SendUpload(&queue, &outcome, round, ev.client, ev.attempt, ev.time,
                    upload_bytes);
+        break;
+      case EventKind::kDownlinkLost:
+        if (ev.attempt < config_.max_refetches) {
+          // The client times out waiting for the broadcast and requests a
+          // re-send, backed off from the round start (all broadcast copies
+          // leave the server at round start, so the client's timeout
+          // anchors there rather than at the lost copy's send time).
+          ++outcome.broadcast_refetches;
+          const double resend = std::max(
+              ev.time,
+              outcome.start_time_s +
+                  config_.refetch_timeout_s *
+                      std::pow(config_.backoff_factor, ev.attempt));
+          queue.Schedule(resend, EventKind::kRefetch, ev.client,
+                         ev.attempt + 1);
+        } else {
+          // Re-fetch budget exhausted: the client never gets the model
+          // this round, so it never trains or uploads. Semi-async tiers
+          // must not wait for an upload that can never happen.
+          ++outcome.lost_broadcasts;
+          if (config_.policy == RoundPolicy::kSemiAsync) {
+            const int tier = tier_of[c];
+            if (--tier_pending[static_cast<size_t>(tier)] == 0) {
+              queue.Schedule(ev.time, EventKind::kTierFlush, tier, 0);
+            }
+          }
+        }
+        break;
+      case EventKind::kRefetch:
+        SendBroadcast(&queue, round, ev.client, ev.attempt, ev.time,
+                      broadcast_bytes);
         break;
       case EventKind::kTierFlush: {
         // Aggregate the tier as a mini-batch: every buffered member gets
@@ -518,6 +572,15 @@ RoundOutcome FederatedRuntime::ExecuteRound(
                     round, outcome.end_time_s, outcome.delivered.size(),
                     outcome.late_updates, outcome.lost_updates,
                     outcome.retransmissions);
+      TraceLine(buf);
+    }
+    // Only emitted when the downlink actually lost copies, so passthrough
+    // (and uplink-loss-only) traces remain bit-identical.
+    if (outcome.lost_broadcasts > 0 || outcome.broadcast_refetches > 0) {
+      std::snprintf(buf, sizeof(buf),
+                    "round=%d downlink lost_broadcasts=%d refetches=%d",
+                    round, outcome.lost_broadcasts,
+                    outcome.broadcast_refetches);
       TraceLine(buf);
     }
   }

@@ -71,6 +71,14 @@ struct RuntimeConfig {
   int max_retries = 2;
   double backoff_factor = 2.0;
 
+  /// Downlink loss recovery (any policy): seconds after round start a
+  /// client waits for the model broadcast before requesting a re-send;
+  /// scaled by backoff_factor^attempt on later re-fetches. Only consulted
+  /// when a downlink's loss_prob > 0.
+  double refetch_timeout_s = 1.0;
+  /// Broadcast re-sends a client may request before giving the round up.
+  int max_refetches = 2;
+
   /// Async policy: base mixing weight alpha(0) of a perfectly fresh
   /// update, in (0, 1].
   double async_alpha0 = 0.6;
@@ -143,6 +151,11 @@ struct RoundOutcome {
   int retransmissions = 0;
   /// Updates permanently lost this round (retries exhausted or no retry).
   int lost_updates = 0;
+  /// Broadcasts permanently lost this round (re-fetches exhausted): the
+  /// client never receives the model and never trains.
+  int lost_broadcasts = 0;
+  /// Broadcast re-sends triggered by client re-fetch requests.
+  int broadcast_refetches = 0;
   /// Updates that arrived after the deadline and were discarded.
   int late_updates = 0;
   /// Async policies: every applied update in deterministic server
@@ -202,6 +215,10 @@ class FederatedRuntime {
   void SendUpload(EventQueue* queue, RoundOutcome* outcome, int round,
                   int client, int attempt, double send_time,
                   const std::vector<double>& upload_bytes);
+  /// Prices one broadcast copy and schedules its arrival (or its loss,
+  /// when the downlink's loss draw fires).
+  void SendBroadcast(EventQueue* queue, int round, int client, int attempt,
+                     double send_time, double broadcast_bytes);
   void Trace(int round, const SimEvent& event);
   void TraceLine(const std::string& line);
   /// Deadline the deadline policy uses for \p round (adaptive or fixed).

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace fexiot {
+
+/// \brief Seeded Poisson / burst arrival process for serving load tests.
+struct ArrivalConfig {
+  /// Baseline arrival rate (requests per simulated second).
+  double rate_hz = 100.0;
+  /// Rate multiplier while inside a burst window (1.0 = plain Poisson).
+  double burst_factor = 1.0;
+  /// Fraction of each burst period spent at the boosted rate, in [0, 1).
+  double burst_fraction = 0.0;
+  /// Length of one burst cycle in simulated seconds.
+  double burst_period_s = 10.0;
+  uint64_t seed = 1;
+};
+
+Status ValidateArrivalConfig(const ArrivalConfig& config);
+
+/// \brief Deterministic arrival-time generator: exponential gaps drawn
+/// from a counter-seeded Rng, with the instantaneous rate boosted by
+/// burst_factor during the leading burst_fraction of every burst period
+/// (a simple piecewise-homogeneous approximation of a bursty Poisson
+/// process — the gap is drawn at the rate in effect when it starts).
+/// Same seed => bit-identical arrival sequence.
+class ArrivalGenerator {
+ public:
+  explicit ArrivalGenerator(const ArrivalConfig& config)
+      : config_(config), rng_(config.seed) {}
+
+  /// \brief Returns the next arrival timestamp (strictly increasing).
+  double Next();
+
+  double now() const { return t_; }
+
+ private:
+  ArrivalConfig config_;
+  Rng rng_;
+  double t_ = 0.0;
+};
+
+}  // namespace fexiot

@@ -156,6 +156,51 @@ void MatMulTransBInto(const Matrix& a, const Matrix& b, Matrix* c) {
   }
 }
 
+void MatMulBlocksInto(const Matrix& a, const Matrix& b,
+                      const std::vector<size_t>& row_offsets, Matrix* c) {
+  assert(a.cols() == b.rows());
+  assert(c != &a && c != &b &&
+         "MatMulBlocksInto output must not alias an input");
+  assert(!row_offsets.empty() && row_offsets.front() == 0 &&
+         row_offsets.back() == a.rows());
+  const size_t k = a.cols(), m = b.cols();
+  c->Resize(a.rows(), m);  // reuses capacity; zeroed accumulators
+  // Panel width over the inner dimension: 64 doubles of B rows (64 * m
+  // doubles touched per panel) stay L1-resident while the panel sweeps
+  // all of a block's rows.
+  constexpr size_t kPanel = 64;
+  for (size_t bi = 0; bi + 1 < row_offsets.size(); ++bi) {
+    const size_t r0 = row_offsets[bi], r1 = row_offsets[bi + 1];
+    assert(r1 >= r0);
+    const size_t n = r1 - r0;
+    if (n == 0) continue;
+    if (n * k * m < kSmallFlops) {
+      // Reference kernel, k-panelled: identical per-element accumulation
+      // order (p ascends 0..k-1 for every c[i][j]; same `crow[j] += av *
+      // brow[j]` contraction as ReferenceMatMulAccum), but B panels are
+      // reused across rows instead of streaming all of B per row.
+      for (size_t p0 = 0; p0 < k; p0 += kPanel) {
+        const size_t p1 = std::min(k, p0 + kPanel);
+        for (size_t i = r0; i < r1; ++i) {
+          double* crow = c->RowPtr(i);
+          const double* arow = a.RowPtr(i);
+          for (size_t p = p0; p < p1; ++p) {
+            const double av = arow[p];
+            if (av == 0.0) continue;
+            const double* brow = b.RowPtr(p);
+            for (size_t j = 0; j < m; ++j) crow[j] += av * brow[j];
+          }
+        }
+      }
+    } else {
+      // The block's rows are contiguous at full row stride, so the
+      // blocked GEMM can treat them as a standalone n x k / n x m pair.
+      gemm::GemmBlocked(n, k, m, a.RowPtr(r0), a.cols(), false, b.data(),
+                        b.cols(), false, c->RowPtr(r0));
+    }
+  }
+}
+
 void AddBiasRow(Matrix* m, const Matrix& bias) {
   assert(bias.rows() == 1 && bias.cols() == m->cols());
   for (size_t r = 0; r < m->rows(); ++r) {

@@ -62,6 +62,24 @@ void MatMulInto(const Matrix& a, const Matrix& b, Matrix* c);
 void MatMulTransAInto(const Matrix& a, const Matrix& b, Matrix* c);
 void MatMulTransBInto(const Matrix& a, const Matrix& b, Matrix* c);
 
+/// \brief Row-blocked product for batched block-diagonal inference:
+/// computes C = A * B where A's rows are partitioned into horizontal
+/// blocks by \p row_offsets (B+1 ascending entries, front() == 0,
+/// back() == a.rows()), and each block [r0, r1) is multiplied as if it
+/// were a standalone n_b x k matrix. Every block dispatches on its OWN
+/// shape against the same small-product threshold MatMulInto uses, so
+/// block b's output rows are bit-identical to
+/// MatMulInto(rows r0..r1 of A, B) — stacking requests into a batch
+/// never flips a block from the reference kernel to the blocked GEMM.
+/// The reference path here walks the inner dimension in L1-sized panels
+/// (per output element the accumulation order over k is unchanged —
+/// still strictly ascending — so bits match ReferenceMatMulAccum), which
+/// keeps the shared B operand cache-resident across the whole batch
+/// instead of re-streaming it per row. Same aliasing / thread-safety
+/// contracts as MatMulInto.
+void MatMulBlocksInto(const Matrix& a, const Matrix& b,
+                      const std::vector<size_t>& row_offsets, Matrix* c);
+
 /// \brief Adds a 1 x cols bias row to every row of \p m, in place.
 /// \p bias must not alias \p m (use a copy to broadcast a row of m).
 void AddBiasRow(Matrix* m, const Matrix& bias);

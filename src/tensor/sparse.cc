@@ -63,6 +63,76 @@ CsrMatrix CsrMatrix::FromRowLists(
   return out;
 }
 
+CsrMatrix CsrMatrix::BlockDiagonal(const std::vector<const CsrMatrix*>& blocks) {
+  CsrMatrix out;
+  size_t total_nnz = 0;
+  for (const CsrMatrix* b : blocks) {
+    assert(b != nullptr && "BlockDiagonal requires non-null blocks");
+    out.rows_ += b->rows_;
+    out.cols_ += b->cols_;
+    total_nnz += b->nnz();
+  }
+  out.row_ptr_.reserve(out.rows_ + 1);
+  out.col_idx_.reserve(total_nnz);
+  out.values_.reserve(total_nnz);
+  size_t col_off = 0;
+  for (const CsrMatrix* b : blocks) {
+    const size_t nnz_off = out.values_.size();
+    // Skip each block's leading 0 offset: out.row_ptr_ already ends with
+    // the running nnz, which doubles as this block's row 0 start.
+    for (size_t r = 1; r <= b->rows_; ++r) {
+      out.row_ptr_.push_back(nnz_off + b->row_ptr_[r]);
+    }
+    for (int c : b->col_idx_) {
+      out.col_idx_.push_back(c + static_cast<int>(col_off));
+    }
+    out.values_.insert(out.values_.end(), b->values_.begin(),
+                       b->values_.end());
+    col_off += b->cols_;
+  }
+  return out;
+}
+
+bool CsrMatrix::HasEntry(size_t r, int c) const {
+  assert(r < rows_);
+  const auto begin = col_idx_.begin() + static_cast<ptrdiff_t>(row_ptr_[r]);
+  const auto end = col_idx_.begin() + static_cast<ptrdiff_t>(row_ptr_[r + 1]);
+  return std::binary_search(begin, end, c);
+}
+
+double CsrMatrix::GetEntry(size_t r, int c) const {
+  assert(r < rows_);
+  const auto begin = col_idx_.begin() + static_cast<ptrdiff_t>(row_ptr_[r]);
+  const auto end = col_idx_.begin() + static_cast<ptrdiff_t>(row_ptr_[r + 1]);
+  const auto it = std::lower_bound(begin, end, c);
+  if (it == end || *it != c) return 0.0;
+  return values_[static_cast<size_t>(it - col_idx_.begin())];
+}
+
+void CsrMatrix::SetEntry(size_t r, int c, double v) {
+  assert(r < rows_ && c >= 0 && static_cast<size_t>(c) < cols_);
+  const auto begin = col_idx_.begin() + static_cast<ptrdiff_t>(row_ptr_[r]);
+  const auto end = col_idx_.begin() + static_cast<ptrdiff_t>(row_ptr_[r + 1]);
+  const auto it = std::lower_bound(begin, end, c);
+  const size_t pos = static_cast<size_t>(it - col_idx_.begin());
+  const bool present = it != end && *it == c;
+  if (present) {
+    if (v == 0.0) {
+      // Erase: shift the tail left and drop every later row offset by one.
+      col_idx_.erase(col_idx_.begin() + static_cast<ptrdiff_t>(pos));
+      values_.erase(values_.begin() + static_cast<ptrdiff_t>(pos));
+      for (size_t rr = r + 1; rr <= rows_; ++rr) --row_ptr_[rr];
+    } else {
+      values_[pos] = v;
+    }
+    return;
+  }
+  if (v == 0.0) return;  // absent + zero: nothing to store
+  col_idx_.insert(col_idx_.begin() + static_cast<ptrdiff_t>(pos), c);
+  values_.insert(values_.begin() + static_cast<ptrdiff_t>(pos), v);
+  for (size_t rr = r + 1; rr <= rows_; ++rr) ++row_ptr_[rr];
+}
+
 Matrix CsrMatrix::ToDense() const {
   Matrix out(rows_, cols_);
   for (size_t r = 0; r < rows_; ++r) {

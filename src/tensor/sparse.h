@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cassert>
 #include <cstddef>
 #include <utility>
 #include <vector>
@@ -22,10 +23,13 @@ namespace fexiot {
 ///    Ascending column order is load-bearing: it is what makes SpMM
 ///    reproduce the dense reference kernel's accumulation order bit for
 ///    bit (see SpMM below and docs/KERNELS.md §5).
-///  - Stored values are never 0.0: FromDense and the builders drop exact
-///    zeros (both +0.0 and -0.0), mirroring the reference GEMM's zero-skip.
-///  - Immutable after construction; const members are safe to call
-///    concurrently.
+///  - Stored values are never 0.0: FromDense, the builders, and the
+///    mutators drop exact zeros (both +0.0 and -0.0), mirroring the
+///    reference GEMM's zero-skip.
+///  - const members are safe to call concurrently. The in-place mutators
+///    (SetEntry/InsertEntry/RemoveEntry) preserve every structural
+///    invariant above — ascending columns, no stored zeros — but require
+///    external synchronization, like any non-const container method.
 class CsrMatrix {
  public:
   CsrMatrix() : rows_(0), cols_(0), row_ptr_(1, 0) {}
@@ -38,6 +42,16 @@ class CsrMatrix {
   static CsrMatrix FromRowLists(
       size_t rows, size_t cols,
       const std::vector<std::vector<std::pair<int, double>>>& row_lists);
+
+  /// \brief Stacks \p blocks along the diagonal: the result has
+  /// sum(rows) x sum(cols) shape, block b's entry (i, j) landing at
+  /// (row_off[b] + i, col_off[b] + j). Row-major concatenation of
+  /// ascending-column rows stays ascending, so SpMM over the stacked
+  /// matrix accumulates every output row in exactly the order the
+  /// per-block SpMM would — block-diagonal batching is bit-identical to
+  /// running the blocks one at a time. Null block pointers are rejected
+  /// by assert.
+  static CsrMatrix BlockDiagonal(const std::vector<const CsrMatrix*>& blocks);
 
   /// \brief Densifies (testing / diagnostics; exact — no rounding).
   Matrix ToDense() const;
@@ -53,6 +67,31 @@ class CsrMatrix {
   const std::vector<size_t>& row_ptr() const { return row_ptr_; }
   const std::vector<int>& col_idx() const { return col_idx_; }
   const std::vector<double>& values() const { return values_; }
+
+  /// \brief Number of stored entries in row \p r.
+  size_t RowNnz(size_t r) const { return row_ptr_[r + 1] - row_ptr_[r]; }
+
+  /// \brief True iff entry (r, c) is structurally present.
+  bool HasEntry(size_t r, int c) const;
+
+  /// \brief Stored value at (r, c), or 0.0 when structurally absent.
+  double GetEntry(size_t r, int c) const;
+
+  /// \brief Sets entry (r, c) to \p v in place: inserts when absent,
+  /// overwrites when present, erases when v == 0.0 (matching the
+  /// no-stored-zeros contract). Insertion keeps the row's columns
+  /// strictly ascending. O(nnz) worst case for the tail shift — cheap at
+  /// interaction-graph scales, where rows hold a handful of entries.
+  void SetEntry(size_t r, int c, double v);
+
+  /// \brief SetEntry for a value known to be nonzero (asserts v != 0.0).
+  void InsertEntry(size_t r, int c, double v) {
+    assert(v != 0.0 && "InsertEntry requires a nonzero value");
+    SetEntry(r, c, v);
+  }
+
+  /// \brief Removes entry (r, c); no-op when structurally absent.
+  void RemoveEntry(size_t r, int c) { SetEntry(r, c, 0.0); }
 
   /// \brief Heap bytes held by the index + value arrays (the steady-state
   /// footprint a PreparedGraph carries instead of an n x n dense matrix).

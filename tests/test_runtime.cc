@@ -328,6 +328,122 @@ TEST(FederatedRuntime, TraceIsStableAcrossReruns) {
   EXPECT_EQ(t1, t2);
 }
 
+TEST(RuntimeConfig, RejectsOutOfRangeDownlinkLossKnobs) {
+  RuntimeConfig c;
+  c.max_refetches = -1;
+  EXPECT_FALSE(ValidateRuntimeConfig(c).ok());
+  c = RuntimeConfig();
+  c.default_down.loss_prob = 0.3;
+  c.refetch_timeout_s = 0.0;
+  EXPECT_FALSE(ValidateRuntimeConfig(c).ok());
+  c.refetch_timeout_s = 1.0;
+  EXPECT_TRUE(ValidateRuntimeConfig(c).ok());
+  // A lossy per-client downlink override also demands a usable timeout.
+  c = RuntimeConfig();
+  c.down_links.resize(2);
+  c.down_links[1].loss_prob = 0.5;
+  c.refetch_timeout_s = -1.0;
+  EXPECT_FALSE(ValidateRuntimeConfig(c).ok());
+}
+
+TEST(FederatedRuntime, DownlinkLossRefetchRecoversBroadcasts) {
+  // Lossy downlink with a generous re-fetch budget: every client must
+  // eventually receive the model and deliver its update; the re-fetch
+  // path must actually fire (loss_prob 0.6 over 6 clients makes
+  // first-copy losses near-certain for the fixed seed).
+  const int n = 6;
+  RuntimeConfig c;
+  c.default_down.loss_prob = 0.6;
+  c.default_down.latency_s = 0.05;
+  c.refetch_timeout_s = 1.0;
+  c.max_refetches = 20;
+  FederatedRuntime rt(c, n);
+  const std::vector<double> up(n, 2048.0), train(n, 0.0);
+  const RoundOutcome out = rt.ExecuteRound(0, 2048.0, up, train);
+  EXPECT_EQ(out.delivered.size(), static_cast<size_t>(n));
+  EXPECT_GT(out.broadcast_refetches, 0);
+  EXPECT_EQ(out.lost_broadcasts, 0);
+  // A re-fetched copy cannot arrive before the client's timeout expires.
+  EXPECT_GE(out.end_time_s, c.refetch_timeout_s);
+}
+
+TEST(FederatedRuntime, DownlinkLossExhaustedDropsClientDeterministically) {
+  // Without re-fetches a lost broadcast silences the client for the
+  // round: it never trains, never uploads, and the round still closes.
+  const int n = 5;
+  RuntimeConfig c;
+  c.default_down.loss_prob = 0.9;
+  c.max_refetches = 0;
+  auto run = [&] {
+    FederatedRuntime rt(c, n);
+    const std::vector<double> up(n, 512.0), train(n, 0.0);
+    return rt.ExecuteRound(0, 512.0, up, train);
+  };
+  const RoundOutcome out = run();
+  EXPECT_EQ(out.participants.size(), static_cast<size_t>(n));
+  EXPECT_LT(out.delivered.size(), static_cast<size_t>(n));
+  EXPECT_GT(out.lost_broadcasts, 0);
+  EXPECT_EQ(out.broadcast_refetches, 0);
+  EXPECT_EQ(out.delivered.size() + static_cast<size_t>(out.lost_broadcasts),
+            static_cast<size_t>(n));
+  const RoundOutcome again = run();
+  EXPECT_EQ(out.delivered, again.delivered);
+  EXPECT_EQ(out.lost_broadcasts, again.lost_broadcasts);
+  EXPECT_EQ(out.end_time_s, again.end_time_s);
+}
+
+TEST(FederatedRuntime, DownlinkRefetchTraceIsDeterministic) {
+  RuntimeConfig c;
+  c.record_trace = true;
+  c.default_down.loss_prob = 0.5;
+  c.refetch_timeout_s = 0.5;
+  c.max_refetches = 3;
+  auto run = [&] {
+    FederatedRuntime rt(c, 5);
+    const std::vector<double> up(5, 256.0), train(5, 1.0);
+    rt.ExecuteRound(0, 256.0, up, train);
+    rt.ExecuteRound(1, 256.0, up, train);
+    return rt.trace();
+  };
+  const std::vector<std::string> t1 = run();
+  const std::vector<std::string> t2 = run();
+  ASSERT_FALSE(t1.empty());
+  EXPECT_EQ(t1, t2);
+  bool saw_lost = false, saw_refetch = false, saw_summary = false;
+  for (const std::string& line : t1) {
+    saw_lost = saw_lost || line.find("down-lost") != std::string::npos;
+    saw_refetch = saw_refetch || line.find("refetch-send") != std::string::npos;
+    saw_summary =
+        saw_summary || line.find("lost_broadcasts=") != std::string::npos;
+  }
+  EXPECT_TRUE(saw_lost);
+  EXPECT_TRUE(saw_refetch);
+  EXPECT_TRUE(saw_summary);
+}
+
+TEST(FederatedRuntime, SemiAsyncDownlinkLossTerminatesAndAccounts) {
+  // A permanently lost broadcast must release its semi-async tier slot
+  // (like a permanently lost upload), or the tier never flushes and the
+  // wave cannot reach quorum. Every participant ends the round applied,
+  // upload-lost, or broadcast-lost — nothing hangs in between.
+  const int n = 8;
+  RuntimeConfig c;
+  c.policy = RoundPolicy::kSemiAsync;
+  c.semi_async_tiers = 2;
+  c.target_fraction = 1.0;
+  c.default_down.loss_prob = 0.7;
+  c.refetch_timeout_s = 0.5;
+  c.max_refetches = 1;
+  c.default_up.loss_prob = 0.3;
+  FederatedRuntime rt(c, n);
+  const std::vector<double> up(n, 1024.0), train(n, 0.5);
+  const RoundOutcome out = rt.ExecuteRound(0, 1024.0, up, train);
+  EXPECT_EQ(out.applied.size() + static_cast<size_t>(out.lost_updates) +
+                static_cast<size_t>(out.lost_broadcasts),
+            out.participants.size());
+  EXPECT_GT(out.lost_broadcasts, 0);
+}
+
 // ---------------------------------------------------------------------------
 // Full-simulator integration under faults + thread-count parity
 // ---------------------------------------------------------------------------

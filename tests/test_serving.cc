@@ -1,0 +1,936 @@
+// Tests for the online serving subsystem (DESIGN.md §5.11): CSR in-place
+// mutation + block-diagonal stacking, per-block batched dense transforms,
+// incremental propagation maintenance vs from-scratch PrepareGraph
+// (bit-parity under randomized churn), batched block-diagonal inference
+// vs one-graph-at-a-time (bit-identity incl. ragged/single/empty
+// batches), the streaming detection engine end to end, thread-count
+// parity, and latency-statistics properties.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "gnn/gnn_model.h"
+#include "graph/delta_graph.h"
+#include "graph/fusion.h"
+#include "graph/interaction_graph.h"
+#include "serving/arrivals.h"
+#include "serving/engine.h"
+#include "serving/stats.h"
+#include "smarthome/home.h"
+#include "tensor/matrix.h"
+#include "tensor/ops.h"
+#include "tensor/sparse.h"
+
+namespace fexiot {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Bitwise comparison helpers: the serving contracts are bit-identity, not
+// tolerance, so every comparison pins the exact double representation.
+// ---------------------------------------------------------------------------
+
+bool BitsEqual(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size()) return false;
+  if (a.empty()) return true;
+  return std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+}
+
+bool MatrixBitsEqual(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  if (a.size() == 0) return true;
+  return std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+}
+
+bool CsrBitsEqual(const CsrMatrix& a, const CsrMatrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  if (a.row_ptr() != b.row_ptr() || a.col_idx() != b.col_idx()) return false;
+  if (a.values().size() != b.values().size()) return false;
+  if (a.values().empty()) return true;
+  return std::memcmp(a.values().data(), b.values().data(),
+                     a.values().size() * sizeof(double)) == 0;
+}
+
+// ---------------------------------------------------------------------------
+// CSR in-place mutation
+// ---------------------------------------------------------------------------
+
+TEST(CsrMutation, SetEntryMatchesDenseMirrorUnderRandomOps) {
+  for (uint64_t seed : {11u, 22u, 33u}) {
+    Rng rng(seed);
+    const size_t rows = 7, cols = 9;
+    Matrix dense(rows, cols);
+    CsrMatrix csr = CsrMatrix::FromDense(dense);
+    for (int op = 0; op < 300; ++op) {
+      const size_t r = static_cast<size_t>(rng.Uniform(0.0, 1.0) * rows) % rows;
+      const int c = static_cast<int>(rng.Uniform(0.0, 1.0) * cols) %
+                    static_cast<int>(cols);
+      // ~1/3 removals, 2/3 writes of a nonzero value.
+      const double v =
+          rng.Uniform() < 1.0 / 3.0 ? 0.0 : rng.Uniform(-2.0, 2.0);
+      dense.At(r, static_cast<size_t>(c)) = v;
+      csr.SetEntry(r, c, v);
+      if (op % 25 == 0 || op == 299) {
+        EXPECT_TRUE(CsrBitsEqual(csr, CsrMatrix::FromDense(dense)))
+            << "seed=" << seed << " op=" << op;
+      }
+    }
+    EXPECT_TRUE(MatrixBitsEqual(csr.ToDense(), dense));
+  }
+}
+
+TEST(CsrMutation, AccessorsAndInsertRemove) {
+  CsrMatrix m = CsrMatrix::FromDense(Matrix(3, 4));
+  EXPECT_EQ(m.nnz(), 0u);
+  EXPECT_FALSE(m.HasEntry(1, 2));
+  EXPECT_EQ(m.GetEntry(1, 2), 0.0);
+
+  m.InsertEntry(1, 2, 2.5);
+  m.InsertEntry(1, 0, -1.0);  // before an existing column: order preserved
+  m.InsertEntry(2, 3, 4.0);
+  EXPECT_EQ(m.nnz(), 3u);
+  EXPECT_EQ(m.RowNnz(0), 0u);
+  EXPECT_EQ(m.RowNnz(1), 2u);
+  EXPECT_TRUE(m.HasEntry(1, 0));
+  EXPECT_EQ(m.GetEntry(1, 2), 2.5);
+  EXPECT_EQ(m.GetEntry(2, 3), 4.0);
+
+  m.SetEntry(1, 2, 7.0);  // overwrite keeps structure
+  EXPECT_EQ(m.nnz(), 3u);
+  EXPECT_EQ(m.GetEntry(1, 2), 7.0);
+
+  m.RemoveEntry(1, 0);
+  m.RemoveEntry(0, 0);  // absent: no-op
+  EXPECT_EQ(m.nnz(), 2u);
+  EXPECT_FALSE(m.HasEntry(1, 0));
+  EXPECT_EQ(m.GetEntry(1, 2), 7.0);  // survivor untouched
+  EXPECT_EQ(m.GetEntry(2, 3), 4.0);
+}
+
+TEST(CsrMutation, BlockDiagonalMatchesDenseOracle) {
+  Rng rng(77);
+  // Mixed shapes, including an all-zero block (zero rows stay empty).
+  const std::vector<std::pair<size_t, size_t>> shapes = {
+      {3, 4}, {1, 1}, {5, 2}, {2, 6}};
+  std::vector<Matrix> dense;
+  std::vector<CsrMatrix> blocks;
+  size_t total_rows = 0, total_cols = 0;
+  for (size_t b = 0; b < shapes.size(); ++b) {
+    Matrix m(shapes[b].first, shapes[b].second);
+    if (b != 1) {  // block 1 stays all-zero
+      for (size_t r = 0; r < m.rows(); ++r) {
+        for (size_t c = 0; c < m.cols(); ++c) {
+          if (rng.Uniform() < 0.4) m.At(r, c) = rng.Uniform(-3.0, 3.0);
+        }
+      }
+    }
+    total_rows += m.rows();
+    total_cols += m.cols();
+    blocks.push_back(CsrMatrix::FromDense(m));
+    dense.push_back(std::move(m));
+  }
+  std::vector<const CsrMatrix*> ptrs;
+  for (const CsrMatrix& b : blocks) ptrs.push_back(&b);
+  const CsrMatrix stacked = CsrMatrix::BlockDiagonal(ptrs);
+
+  Matrix oracle(total_rows, total_cols);
+  size_t ro = 0, co = 0;
+  for (const Matrix& m : dense) {
+    for (size_t r = 0; r < m.rows(); ++r) {
+      for (size_t c = 0; c < m.cols(); ++c) {
+        oracle.At(ro + r, co + c) = m.At(r, c);
+      }
+    }
+    ro += m.rows();
+    co += m.cols();
+  }
+  EXPECT_TRUE(CsrBitsEqual(stacked, CsrMatrix::FromDense(oracle)));
+
+  // Empty input: a 0 x 0 matrix.
+  const CsrMatrix empty = CsrMatrix::BlockDiagonal({});
+  EXPECT_EQ(empty.rows(), 0u);
+  EXPECT_EQ(empty.cols(), 0u);
+  EXPECT_EQ(empty.nnz(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Per-block batched dense transform
+// ---------------------------------------------------------------------------
+
+TEST(MatMulBlocks, BitIdenticalToPerBlockMatMulAcrossDispatchThreshold) {
+  // k = 308, m = 16: a 20-row block stays under the small-product
+  // threshold (reference kernel), a 60-row block crosses it (blocked
+  // GEMM). The batched kernel must dispatch per block and match
+  // MatMulInto on each slice bit for bit — including a zero-row block.
+  const size_t k = 308, m = 16;
+  const std::vector<size_t> offsets = {0, 20, 20, 80, 81};
+  const size_t n = offsets.back();
+  Rng rng(4242);
+  Matrix a(n, k), b(k, m);
+  for (size_t i = 0; i < a.size(); ++i) {
+    a.data()[i] = rng.Uniform() < 0.2 ? 0.0 : rng.Uniform(-1.0, 1.0);
+  }
+  for (size_t i = 0; i < b.size(); ++i) b.data()[i] = rng.Uniform(-1.0, 1.0);
+
+  Matrix c;
+  MatMulBlocksInto(a, b, offsets, &c);
+  ASSERT_EQ(c.rows(), n);
+  ASSERT_EQ(c.cols(), m);
+
+  for (size_t bi = 0; bi + 1 < offsets.size(); ++bi) {
+    const size_t r0 = offsets[bi], r1 = offsets[bi + 1];
+    if (r0 == r1) continue;
+    Matrix sub(r1 - r0, k);
+    for (size_t r = r0; r < r1; ++r) {
+      std::memcpy(sub.RowPtr(r - r0), a.RowPtr(r), k * sizeof(double));
+    }
+    Matrix expect;
+    MatMulInto(sub, b, &expect);
+    EXPECT_EQ(std::memcmp(c.RowPtr(r0), expect.data(),
+                          expect.size() * sizeof(double)),
+              0)
+        << "block " << bi << " rows [" << r0 << ", " << r1 << ")";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Incremental propagation maintenance vs PrepareGraph
+// ---------------------------------------------------------------------------
+
+void RunDeltaChurn(GnnType type, uint64_t seed) {
+  const int n = 24;
+  GnnConfig gc;
+  gc.type = type;
+  gc.propagation = PropagationMode::kSparse;
+  InteractionGraph g;
+  Rng rng(seed);
+  for (int i = 0; i < n; ++i) {
+    GraphNode node;
+    node.features.assign(8, rng.Uniform(-1.0, 1.0));
+    g.AddNode(std::move(node));
+  }
+  DeltaPropagation delta(type == GnnType::kGin);
+  CsrMatrix p = delta.MakeIsolated(static_cast<size_t>(n));
+  EXPECT_TRUE(CsrBitsEqual(p, PrepareGraph(g, gc).prop_csr))
+      << "isolated baseline";
+
+  std::set<std::pair<int, int>> live;
+  for (int step = 0; step < 400; ++step) {
+    int u = static_cast<int>(rng.NextU64() % static_cast<uint64_t>(n));
+    int v = static_cast<int>(rng.NextU64() % static_cast<uint64_t>(n));
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    if (live.count({u, v})) {
+      live.erase({u, v});
+      g.RemoveEdge(u, v);
+      delta.RemoveEdge(&p, u, v);
+    } else {
+      live.insert({u, v});
+      g.AddEdge(u, v);
+      delta.InsertEdge(&p, u, v);
+    }
+    if (step % 20 == 0 || step == 399) {
+      EXPECT_TRUE(CsrBitsEqual(p, PrepareGraph(g, gc).prop_csr))
+          << GnnTypeName(type) << " seed=" << seed << " step=" << step;
+    }
+  }
+  EXPECT_GT(delta.structural_updates(), 0u);
+  if (type == GnnType::kGin) {
+    EXPECT_EQ(delta.reweighted_entries(), 0u);
+  } else {
+    EXPECT_GT(delta.reweighted_entries(), 0u);
+  }
+}
+
+TEST(DeltaPropagationTest, GcnBitParityUnderRandomChurn) {
+  for (uint64_t seed : {101u, 202u, 303u}) RunDeltaChurn(GnnType::kGcn, seed);
+}
+
+TEST(DeltaPropagationTest, GinBitParityUnderRandomChurn) {
+  for (uint64_t seed : {101u, 202u, 303u}) RunDeltaChurn(GnnType::kGin, seed);
+}
+
+TEST(DeltaPropagationTest, InsertRemoveNoOpsAndTelemetry) {
+  DeltaPropagation delta(false);
+  CsrMatrix p = delta.MakeIsolated(4);
+  delta.InsertEdge(&p, 0, 2);
+  const uint64_t after_one = delta.structural_updates();
+  EXPECT_EQ(after_one, 1u);
+  delta.InsertEdge(&p, 0, 2);  // duplicate: no-op
+  delta.InsertEdge(&p, 2, 0);  // mirror of an existing pair: no-op
+  EXPECT_EQ(delta.structural_updates(), after_one);
+  EXPECT_TRUE(DeltaPropagation::HasEdge(p, 0, 2));
+  EXPECT_TRUE(DeltaPropagation::HasEdge(p, 2, 0));
+  delta.RemoveEdge(&p, 1, 3);  // absent: no-op
+  EXPECT_EQ(delta.structural_updates(), after_one);
+  delta.RemoveEdge(&p, 2, 0);
+  EXPECT_EQ(delta.structural_updates(), after_one + 1);
+  EXPECT_FALSE(DeltaPropagation::HasEdge(p, 0, 2));
+  // Back to isolated: every diagonal value exactly 1.0 again.
+  EXPECT_TRUE(CsrBitsEqual(p, delta.MakeIsolated(4)));
+}
+
+// ---------------------------------------------------------------------------
+// Batched block-diagonal inference vs per-graph Forward
+// ---------------------------------------------------------------------------
+
+std::vector<InteractionGraph> BuildRealGraphs(
+    const std::vector<Platform>& platforms, size_t count, uint64_t seed0) {
+  std::vector<InteractionGraph> out;
+  for (uint64_t i = 0; i < 3 * count && out.size() < count; ++i) {
+    Rng rng(seed0 + i);
+    const Home home = BuildChainedHome(10, platforms, &rng);
+    SimulationConfig config;
+    config.duration_seconds = 2.0 * 3600.0;
+    config.exogenous_mean_gap = 150.0;
+    HomeSimulator sim(home, config, &rng);
+    const EventLog log = sim.Run();
+    InteractionGraph g = OnlineGraphBuilder(home).Build(log.Cleaned());
+    if (g.num_nodes() > 0) out.push_back(std::move(g));
+  }
+  return out;
+}
+
+void CheckForwardBatchMatchesForward(GnnType type,
+                                     const std::vector<Platform>& platforms,
+                                     uint64_t seed0) {
+  const std::vector<InteractionGraph> graphs =
+      BuildRealGraphs(platforms, 5, seed0);
+  ASSERT_GE(graphs.size(), 3u);
+  GnnConfig gc;
+  gc.type = type;
+  gc.propagation = PropagationMode::kSparse;
+  const GnnModel model(gc);
+  std::vector<PreparedGraph> prepared;
+  prepared.reserve(graphs.size());
+  for (const InteractionGraph& g : graphs) {
+    prepared.push_back(PrepareGraph(g, gc));
+  }
+  std::vector<const PreparedGraph*> ptrs;
+  for (const PreparedGraph& p : prepared) ptrs.push_back(&p);
+
+  GraphBatch batch;
+  AssembleGraphBatch(ptrs, gc, &batch);
+  ASSERT_EQ(batch.size(), ptrs.size());
+  BatchForwardWorkspace bws;
+  std::vector<std::vector<double>> embs;
+  const GnnModel& cmodel = model;
+  cmodel.ForwardBatch(batch, &bws, &embs);
+  ASSERT_EQ(embs.size(), ptrs.size());
+
+  GnnWorkspace ws;
+  for (size_t b = 0; b < ptrs.size(); ++b) {
+    const std::vector<double>& one = model.Forward(*ptrs[b], nullptr, &ws);
+    EXPECT_TRUE(BitsEqual(embs[b], one))
+        << GnnTypeName(type) << " graph " << b << " ("
+        << ptrs[b]->features.rows() << " nodes)";
+  }
+
+  // A size-1 batch must also match, and reusing the workspace across
+  // differently shaped batches must not leak state.
+  AssembleGraphBatch({ptrs[0]}, gc, &batch);
+  cmodel.ForwardBatch(batch, &bws, &embs);
+  ASSERT_EQ(embs.size(), 1u);
+  const std::vector<double>& one = model.Forward(*ptrs[0], nullptr, &ws);
+  EXPECT_TRUE(BitsEqual(embs[0], one));
+}
+
+TEST(ForwardBatchTest, GcnBitIdenticalToSequential) {
+  CheckForwardBatchMatchesForward(GnnType::kGcn, {Platform::kSmartThings},
+                                  5000);
+}
+
+TEST(ForwardBatchTest, GinBitIdenticalToSequential) {
+  CheckForwardBatchMatchesForward(
+      GnnType::kGin, {Platform::kSmartThings, Platform::kHomeAssistant}, 5100);
+}
+
+TEST(ForwardBatchTest, MagnnBitIdenticalToSequential) {
+  // Google Assistant rules carry sentence-space (hetero) features, so the
+  // batch concatenates node_space and features_hetero too.
+  CheckForwardBatchMatchesForward(
+      GnnType::kMagnn, {Platform::kSmartThings, Platform::kGoogleAssistant},
+      5200);
+}
+
+// ---------------------------------------------------------------------------
+// Streaming detection engine
+// ---------------------------------------------------------------------------
+
+struct ServedHome {
+  Home home;
+  std::vector<LogEntry> log;  // cleaned
+  double log_end = 0.0;
+};
+
+const std::vector<ServedHome>& ServingWorld() {
+  static const std::vector<ServedHome>* world = [] {
+    auto* w = new std::vector<ServedHome>();
+    for (int i = 0; i < 8; ++i) {
+      Rng rng(9100 + static_cast<uint64_t>(i));
+      ServedHome sh;
+      sh.home = BuildChainedHome(
+          12, {Platform::kSmartThings, Platform::kHomeAssistant}, &rng);
+      SimulationConfig config;
+      config.duration_seconds = 3.0 * 3600.0;
+      config.exogenous_mean_gap = 120.0;
+      HomeSimulator sim(sh.home, config, &rng);
+      sh.log = sim.Run().Cleaned().entries();
+      for (const LogEntry& e : sh.log) {
+        sh.log_end = std::max(sh.log_end, e.timestamp);
+      }
+      w->push_back(std::move(sh));
+    }
+    return w;
+  }();
+  return *world;
+}
+
+/// Drives a deterministic ingest/request schedule: the world's logs are
+/// cut into \p chunks per-home index ranges; after each chunk every home
+/// gets one detection request at the chunk's max timestamp, then the
+/// batch is flushed. Identical schedules with different max_batch must
+/// produce bit-identical embeddings per (home, request_time).
+std::vector<DetectionResult> RunScenario(int max_batch, bool verify,
+                                         ServingStats* stats_out,
+                                         size_t num_homes = 6,
+                                         int chunks = 4) {
+  const std::vector<ServedHome>& world = ServingWorld();
+  GnnConfig gc;  // default GCN
+  const GnnModel model(gc);
+  ServingConfig sc;
+  sc.max_batch = max_batch;
+  sc.verify_incremental = verify;
+  StreamingDetectionEngine engine(&model, sc);
+  for (size_t h = 0; h < num_homes; ++h) {
+    EXPECT_TRUE(engine.AddHome(static_cast<int>(h), world[h].home).ok());
+  }
+  std::vector<DetectionResult> out;
+  // Requests use each home's own stream clock (a request at another
+  // home's later timestamp would advance this home's clock and reject
+  // the next chunk's ingest), nudged forward so every (home, time) key
+  // stays unique even when a chunk lands no events for a home.
+  std::vector<double> last_req(num_homes, 0.0);
+  for (int chunk = 0; chunk < chunks; ++chunk) {
+    for (size_t h = 0; h < num_homes; ++h) {
+      const std::vector<LogEntry>& log = world[h].log;
+      const size_t begin = log.size() * static_cast<size_t>(chunk) /
+                           static_cast<size_t>(chunks);
+      const size_t end = log.size() * static_cast<size_t>(chunk + 1) /
+                         static_cast<size_t>(chunks);
+      double t_home = last_req[h];
+      for (size_t k = begin; k < end; ++k) {
+        EXPECT_TRUE(engine.Ingest(static_cast<int>(h), log[k]).ok());
+        t_home = std::max(t_home, log[k].timestamp);
+      }
+      const double t_req = std::max(t_home, last_req[h] + 0.001);
+      last_req[h] = t_req;
+      EXPECT_TRUE(
+          engine.RequestDetection(static_cast<int>(h), t_req, &out).ok());
+    }
+    engine.Flush(&out);
+  }
+  if (stats_out != nullptr) *stats_out = engine.stats();
+  return out;
+}
+
+using ResultKey = std::pair<int, double>;  // (home_id, request_time)
+
+std::map<ResultKey, const DetectionResult*> IndexResults(
+    const std::vector<DetectionResult>& results) {
+  std::map<ResultKey, const DetectionResult*> index;
+  for (const DetectionResult& r : results) {
+    index[{r.home_id, r.request_time}] = &r;
+  }
+  return index;
+}
+
+TEST(ServingEngine, BatchedBitIdenticalToSequential) {
+  ServingStats seq_stats;
+  const std::vector<DetectionResult> seq = RunScenario(1, false, &seq_stats);
+  ASSERT_EQ(seq.size(), 24u);  // 6 homes x 4 chunks
+  const auto seq_index = IndexResults(seq);
+
+  // max_batch 8 > homes: whole chunks dispatch via Flush (size 6).
+  // max_batch 4 < homes: a full dispatch of 4 plus a ragged tail of 2.
+  for (int mb : {4, 8}) {
+    ServingStats stats;
+    const std::vector<DetectionResult> bat = RunScenario(mb, false, &stats);
+    ASSERT_EQ(bat.size(), seq.size()) << "max_batch=" << mb;
+    for (const DetectionResult& r : bat) {
+      const auto it = seq_index.find({r.home_id, r.request_time});
+      ASSERT_NE(it, seq_index.end()) << "max_batch=" << mb;
+      EXPECT_TRUE(BitsEqual(r.embedding, it->second->embedding))
+          << "max_batch=" << mb << " home=" << r.home_id
+          << " t=" << r.request_time;
+      EXPECT_EQ(r.score, it->second->score);
+      EXPECT_GE(r.latency_s, 0.0);
+      EXPECT_LE(r.batch_size, mb);
+    }
+    if (mb == 4) {
+      ASSERT_GT(stats.batch_size_hist.size(), 4u);
+      EXPECT_GT(stats.batch_size_hist[4], 0u) << "expected full batches";
+      EXPECT_GT(stats.batch_size_hist[2], 0u) << "expected ragged tails";
+    }
+  }
+
+  // The classic path reports size-1 dispatches only.
+  ASSERT_EQ(seq_stats.batch_size_hist.size(), 2u);
+  EXPECT_EQ(seq_stats.batch_size_hist[1], seq_stats.requests);
+}
+
+TEST(ServingEngine, SingleEmptyAndForcedBatches) {
+  const ServedHome& sh = ServingWorld()[0];
+  GnnConfig gc;
+  const GnnModel model(gc);
+  ServingConfig sc;
+  sc.max_batch = 8;
+  StreamingDetectionEngine engine(&model, sc);
+  ASSERT_TRUE(engine.AddHome(0, sh.home).ok());
+  for (size_t k = 0; k < sh.log.size() / 2; ++k) {
+    ASSERT_TRUE(engine.Ingest(0, sh.log[k]).ok());
+  }
+  std::vector<DetectionResult> out;
+  engine.Flush(&out);  // nothing pending: a no-op
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(engine.stats().batches, 0u);
+
+  const double t1 = sh.log_end + 10.0;
+  ASSERT_TRUE(engine.RequestDetection(0, t1, &out).ok());
+  EXPECT_TRUE(out.empty());  // lingers for batch-mates
+  engine.Flush(&out);        // single-home batch
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].batch_size, 1);
+  EXPECT_EQ(out[0].home_id, 0);
+  EXPECT_EQ(out[0].request_time, t1);
+
+  // A second request for an already-pending home forces an early
+  // dispatch so the first request keeps its snapshot-at-enqueue view.
+  out.clear();
+  const double t2 = t1 + 10.0, t3 = t2 + 10.0;
+  ASSERT_TRUE(engine.RequestDetection(0, t2, &out).ok());
+  EXPECT_TRUE(out.empty());
+  ASSERT_TRUE(engine.RequestDetection(0, t3, &out).ok());
+  ASSERT_EQ(out.size(), 1u);  // t2's request was force-dispatched
+  EXPECT_EQ(out[0].request_time, t2);
+  engine.Flush(&out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[1].request_time, t3);
+
+  engine.Flush(&out);  // drained: another no-op
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(ServingEngine, AdvanceToDispatchesAtLingerDeadline) {
+  const ServedHome& sh = ServingWorld()[1];
+  GnnConfig gc;
+  const GnnModel model(gc);
+  ServingConfig sc;
+  sc.max_batch = 8;
+  sc.max_linger_s = 0.5;
+  StreamingDetectionEngine engine(&model, sc);
+  ASSERT_TRUE(engine.AddHome(0, sh.home).ok());
+  for (const LogEntry& e : sh.log) ASSERT_TRUE(engine.Ingest(0, e).ok());
+
+  std::vector<DetectionResult> out;
+  const double t = sh.log_end + 5.0;
+  ASSERT_TRUE(engine.RequestDetection(0, t, &out).ok());
+  engine.AdvanceTo(t + 0.4, &out);  // before the deadline: still pending
+  EXPECT_TRUE(out.empty());
+  engine.AdvanceTo(t + 0.6, &out);  // past it: dispatched
+  ASSERT_EQ(out.size(), 1u);
+  // Simulated wait (deadline - enqueue) is part of the reported latency.
+  EXPECT_GE(out[0].latency_s, 0.5);
+  engine.AdvanceTo(t + 100.0, &out);  // nothing left
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(ServingEngine, ZeroLingerDispatchesImmediately) {
+  const ServedHome& sh = ServingWorld()[2];
+  GnnConfig gc;
+  const GnnModel model(gc);
+  ServingConfig sc;
+  sc.max_batch = 8;
+  sc.max_linger_s = 0.0;
+  StreamingDetectionEngine engine(&model, sc);
+  ASSERT_TRUE(engine.AddHome(0, sh.home).ok());
+  std::vector<DetectionResult> out;
+  ASSERT_TRUE(engine.RequestDetection(0, 1.0, &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].batch_size, 1);
+}
+
+TEST(ServingEngine, IncrementalMatchesRebuildUnderStream) {
+  // verify_incremental cross-checks every snapshot against a from-scratch
+  // PrepareGraph; six chunks of real simulator traffic with 600 s active
+  // windows force plenty of edge churn between snapshots.
+  ServingStats stats;
+  const std::vector<DetectionResult> results =
+      RunScenario(8, true, &stats, 6, 6);
+  EXPECT_EQ(results.size(), 36u);
+  EXPECT_GT(stats.firings, 0u);
+  EXPECT_GT(stats.incremental_updates, 0u);
+  EXPECT_GT(stats.parity_checks, 0u);
+  EXPECT_EQ(stats.parity_failures, 0u);
+}
+
+TEST(ServingEngine, FinalPreparedMatchesRebuildBitwise) {
+  const std::vector<ServedHome>& world = ServingWorld();
+  GnnConfig gc;
+  const GnnModel model(gc);
+  ServingConfig sc;
+  sc.max_batch = 4;
+  StreamingDetectionEngine engine(&model, sc);
+  const size_t num_homes = 4;
+  for (size_t h = 0; h < num_homes; ++h) {
+    ASSERT_TRUE(engine.AddHome(static_cast<int>(h), world[h].home).ok());
+  }
+  std::vector<DetectionResult> out;
+  for (size_t h = 0; h < num_homes; ++h) {
+    for (const LogEntry& e : world[h].log) {
+      ASSERT_TRUE(engine.Ingest(static_cast<int>(h), e).ok());
+    }
+    ASSERT_TRUE(
+        engine.RequestDetection(static_cast<int>(h), world[h].log_end, &out)
+            .ok());
+  }
+  engine.Flush(&out);
+  ASSERT_EQ(out.size(), num_homes);
+  for (size_t h = 0; h < num_homes; ++h) {
+    const PreparedGraph* inc = engine.prepared(static_cast<int>(h));
+    ASSERT_NE(inc, nullptr);
+    const PreparedGraph ref = engine.RebuildPrepared(static_cast<int>(h));
+    EXPECT_TRUE(CsrBitsEqual(inc->prop_csr, ref.prop_csr)) << "home " << h;
+    EXPECT_TRUE(MatrixBitsEqual(inc->features, ref.features)) << "home " << h;
+    EXPECT_TRUE(MatrixBitsEqual(inc->features_hetero, ref.features_hetero));
+    EXPECT_EQ(inc->node_space, ref.node_space);
+  }
+}
+
+TEST(ServingEngine, ChurnThresholdTriggersRebuilds) {
+  // A tiny churn budget forces the compaction path; results must not
+  // change (pinned globally by BatchedBitIdenticalToSequential +
+  // verify_incremental, here we pin the counter actually moving).
+  const std::vector<ServedHome>& world = ServingWorld();
+  GnnConfig gc;
+  const GnnModel model(gc);
+  ServingConfig sc;
+  sc.max_batch = 1;
+  sc.rebuild_churn_fraction = 1e-6;
+  sc.verify_incremental = true;
+  StreamingDetectionEngine engine(&model, sc);
+  ASSERT_TRUE(engine.AddHome(0, world[0].home).ok());
+  std::vector<DetectionResult> out;
+  const std::vector<LogEntry>& log = world[0].log;
+  for (size_t k = 0; k < log.size(); ++k) {
+    ASSERT_TRUE(engine.Ingest(0, log[k]).ok());
+    if (k % 25 == 24) {
+      ASSERT_TRUE(engine.RequestDetection(0, log[k].timestamp, &out).ok());
+    }
+  }
+  ASSERT_GT(engine.stats().requests, 0u);
+  EXPECT_GT(engine.stats().rebuilds, 0u);
+  EXPECT_EQ(engine.stats().parity_failures, 0u);
+}
+
+TEST(ServingEngine, RejectsBadInputs) {
+  const ServedHome& sh = ServingWorld()[0];
+  GnnConfig gc;
+  const GnnModel model(gc);
+  ServingConfig sc;
+  StreamingDetectionEngine engine(&model, sc);
+  ASSERT_TRUE(engine.AddHome(7, sh.home).ok());
+  EXPECT_EQ(engine.AddHome(7, sh.home).code(), StatusCode::kAlreadyExists);
+  Home empty_home;
+  EXPECT_EQ(engine.AddHome(8, empty_home).code(),
+            StatusCode::kInvalidArgument);
+
+  LogEntry e;
+  e.timestamp = 100.0;
+  e.kind = LogKind::kStateChange;
+  EXPECT_EQ(engine.Ingest(99, e).code(), StatusCode::kNotFound);
+  ASSERT_TRUE(engine.Ingest(7, e).ok());
+  e.timestamp = 50.0;  // time went backwards
+  EXPECT_EQ(engine.Ingest(7, e).code(), StatusCode::kInvalidArgument);
+
+  std::vector<DetectionResult> out;
+  EXPECT_EQ(engine.RequestDetection(99, 1.0, &out).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(engine.prepared(99), nullptr);
+  EXPECT_EQ(engine.graph(99), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Thread-count parity & digest artifact (CI stage 11)
+// ---------------------------------------------------------------------------
+
+std::string ResultDigestLine(const DetectionResult& r) {
+  char buf[64];
+  std::string line = "home=" + std::to_string(r.home_id);
+  std::snprintf(buf, sizeof(buf), " t=%a", r.request_time);
+  line += buf;
+  line += " emb=";
+  for (double v : r.embedding) {
+    std::snprintf(buf, sizeof(buf), "%a,", v);
+    line += buf;
+  }
+  line += "\n";
+  return line;
+}
+
+/// Digest independent of dispatch grouping (latency/batch_size excluded,
+/// lines sorted): identical across max_batch settings and thread counts.
+std::string SortedResultDigest(const std::vector<DetectionResult>& results) {
+  std::vector<std::string> lines;
+  lines.reserve(results.size());
+  for (const DetectionResult& r : results) {
+    lines.push_back(ResultDigestLine(r));
+  }
+  std::sort(lines.begin(), lines.end());
+  std::string digest;
+  for (const std::string& l : lines) digest += l;
+  return digest;
+}
+
+TEST(ServingEngine, ThreadCountParity) {
+  parallel::SetThreads(1);
+  const std::vector<DetectionResult> r1 = RunScenario(8, false, nullptr);
+  parallel::SetThreads(4);
+  const std::vector<DetectionResult> r4 = RunScenario(8, false, nullptr);
+  parallel::SetThreads(0);
+  EXPECT_EQ(SortedResultDigest(r1), SortedResultDigest(r4));
+}
+
+TEST(ServingDigest, WritesDigestArtifact) {
+  const char* path = std::getenv("FEXIOT_SERVING_DIGEST_OUT");
+  if (path == nullptr) {
+    GTEST_SKIP() << "set FEXIOT_SERVING_DIGEST_OUT to write the digest";
+  }
+  int max_batch = 8;
+  if (const char* b = std::getenv("FEXIOT_SERVING_BATCH")) {
+    max_batch = std::atoi(b);
+  }
+  ASSERT_GE(max_batch, 1);
+  const std::vector<DetectionResult> results =
+      RunScenario(max_batch, false, nullptr);
+  ASSERT_FALSE(results.empty());
+  FILE* f = std::fopen(path, "w");
+  ASSERT_NE(f, nullptr) << "cannot open " << path;
+  const std::string digest = SortedResultDigest(results);
+  std::fputs(digest.c_str(), f);
+  std::fclose(f);
+}
+
+// ---------------------------------------------------------------------------
+// Seeded Poisson soak (CI stage 11)
+// ---------------------------------------------------------------------------
+
+TEST(ServingSoak, PoissonLoadMeetsLatencyBound) {
+  if (std::getenv("FEXIOT_SERVING_SOAK") == nullptr) {
+    GTEST_SKIP() << "set FEXIOT_SERVING_SOAK=1 to run the Poisson soak";
+  }
+  const std::vector<ServedHome>& world = ServingWorld();
+  GnnConfig gc;
+  const GnnModel model(gc);
+  ServingConfig sc;
+  sc.max_batch = 8;
+  sc.max_linger_s = 0.02;
+  StreamingDetectionEngine engine(&model, sc);
+  const size_t num_homes = 4;
+  double t0 = 0.0;
+  for (size_t h = 0; h < num_homes; ++h) {
+    ASSERT_TRUE(engine.AddHome(static_cast<int>(h), world[h].home).ok());
+    for (const LogEntry& e : world[h].log) {
+      ASSERT_TRUE(engine.Ingest(static_cast<int>(h), e).ok());
+    }
+    t0 = std::max(t0, world[h].log_end);
+  }
+
+  ArrivalConfig ac;
+  ac.rate_hz = 200.0;
+  ac.burst_factor = 4.0;
+  ac.burst_fraction = 0.25;
+  ac.burst_period_s = 2.0;
+  ac.seed = 13;
+  ASSERT_TRUE(ValidateArrivalConfig(ac).ok());
+  ArrivalGenerator gen(ac);
+  std::vector<DetectionResult> out;
+  const int kRequests = 2000;
+  for (int k = 0; k < kRequests; ++k) {
+    const double t = t0 + gen.Next();
+    engine.AdvanceTo(t, &out);
+    ASSERT_TRUE(
+        engine.RequestDetection(static_cast<int>(k % num_homes), t, &out)
+            .ok());
+  }
+  engine.Flush(&out);
+  ASSERT_EQ(out.size(), static_cast<size_t>(kRequests));
+
+  const ServingStats& stats = engine.stats();
+  EXPECT_EQ(stats.latency.count(), static_cast<size_t>(kRequests));
+  const double p50 = stats.latency.Percentile(50.0);
+  const double p99 = stats.latency.Percentile(99.0);
+  EXPECT_LE(p50, p99);
+  // End-to-end latency = simulated queueing (bounded by the 20 ms linger
+  // plus forced-dispatch waits) + measured inference wall time. A quarter
+  // second leaves an order of magnitude of headroom on a loaded CI box
+  // while still catching pathological regressions.
+  EXPECT_LT(p99, 0.25) << "p50=" << p50 << " max=" << stats.latency.Max();
+  EXPECT_GT(stats.batches, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Latency statistics
+// ---------------------------------------------------------------------------
+
+TEST(ServingStatsTest, PercentileExactOnKnownSamples) {
+  LatencyRecorder rec;
+  EXPECT_EQ(rec.Percentile(50.0), 0.0);
+  EXPECT_EQ(rec.Max(), 0.0);
+  for (double v : {5.0, 1.0, 4.0, 2.0, 3.0}) rec.Add(v);
+  EXPECT_EQ(rec.count(), 5u);
+  EXPECT_EQ(rec.Percentile(0.0), 1.0);
+  EXPECT_EQ(rec.Percentile(25.0), 2.0);
+  EXPECT_EQ(rec.Percentile(50.0), 3.0);
+  EXPECT_EQ(rec.Percentile(75.0), 4.0);
+  EXPECT_EQ(rec.Percentile(100.0), 5.0);
+  EXPECT_DOUBLE_EQ(rec.Percentile(90.0), 4.6);  // rank 3.6 interpolated
+  EXPECT_EQ(rec.Max(), 5.0);
+  EXPECT_DOUBLE_EQ(rec.Mean(), 3.0);
+  rec.Clear();
+  EXPECT_EQ(rec.count(), 0u);
+}
+
+TEST(ServingStatsTest, PercentilesMonotoneOnRandomSamples) {
+  Rng rng(321);
+  LatencyRecorder rec;
+  for (int i = 0; i < 500; ++i) rec.Add(rng.Uniform(0.0, 10.0));
+  double prev = rec.Percentile(0.0);
+  for (double p : {10.0, 50.0, 90.0, 95.0, 99.0, 100.0}) {
+    const double cur = rec.Percentile(p);
+    EXPECT_GE(cur, prev) << "p=" << p;
+    prev = cur;
+  }
+  EXPECT_EQ(rec.Percentile(100.0), rec.Max());
+}
+
+TEST(ServingStatsTest, EngineAccountingConsistent) {
+  ServingStats stats;
+  const std::vector<DetectionResult> results =
+      RunScenario(4, false, &stats, 5, 3);
+  EXPECT_EQ(stats.requests, static_cast<uint64_t>(results.size()));
+  EXPECT_EQ(stats.latency.count(), results.size());
+  uint64_t hist_requests = 0, hist_batches = 0;
+  for (size_t s = 0; s < stats.batch_size_hist.size(); ++s) {
+    hist_requests += stats.batch_size_hist[s] * s;
+    hist_batches += stats.batch_size_hist[s];
+  }
+  EXPECT_EQ(hist_requests, stats.requests);
+  EXPECT_EQ(hist_batches, stats.batches);
+  const double p50 = stats.latency.Percentile(50.0);
+  const double p95 = stats.latency.Percentile(95.0);
+  const double p99 = stats.latency.Percentile(99.0);
+  EXPECT_GE(p50, 0.0);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_LE(p99, stats.latency.Max());
+}
+
+// ---------------------------------------------------------------------------
+// Config validation & arrivals
+// ---------------------------------------------------------------------------
+
+TEST(ServingConfigTest, ValidateRejectsBadKnobs) {
+  EXPECT_TRUE(ValidateServingConfig(ServingConfig()).ok());
+  ServingConfig c;
+  c.max_batch = 0;
+  EXPECT_FALSE(ValidateServingConfig(c).ok());
+  c = ServingConfig();
+  c.max_batch = 5000;
+  EXPECT_FALSE(ValidateServingConfig(c).ok());
+  c = ServingConfig();
+  c.max_linger_s = -0.1;
+  EXPECT_FALSE(ValidateServingConfig(c).ok());
+  c = ServingConfig();
+  c.active_window_s = 0.0;
+  EXPECT_FALSE(ValidateServingConfig(c).ok());
+  c = ServingConfig();
+  c.firing_window_s = -1.0;
+  EXPECT_FALSE(ValidateServingConfig(c).ok());
+  c = ServingConfig();
+  c.consistency_window_s = 0.0;
+  EXPECT_FALSE(ValidateServingConfig(c).ok());
+  c = ServingConfig();
+  c.rebuild_churn_fraction = 0.0;
+  EXPECT_FALSE(ValidateServingConfig(c).ok());
+}
+
+TEST(ArrivalsTest, ValidateRejectsBadKnobs) {
+  EXPECT_TRUE(ValidateArrivalConfig(ArrivalConfig()).ok());
+  ArrivalConfig c;
+  c.rate_hz = 0.0;
+  EXPECT_FALSE(ValidateArrivalConfig(c).ok());
+  c = ArrivalConfig();
+  c.burst_factor = 0.5;
+  EXPECT_FALSE(ValidateArrivalConfig(c).ok());
+  c = ArrivalConfig();
+  c.burst_fraction = 1.0;
+  EXPECT_FALSE(ValidateArrivalConfig(c).ok());
+  c = ArrivalConfig();
+  c.burst_fraction = -0.1;
+  EXPECT_FALSE(ValidateArrivalConfig(c).ok());
+  c = ArrivalConfig();
+  c.burst_fraction = 0.5;
+  c.burst_period_s = 0.0;
+  EXPECT_FALSE(ValidateArrivalConfig(c).ok());
+}
+
+TEST(ArrivalsTest, DeterministicAndStrictlyIncreasing) {
+  ArrivalConfig c;
+  c.rate_hz = 50.0;
+  c.seed = 99;
+  ArrivalGenerator a(c), b(c);
+  double prev = 0.0;
+  for (int i = 0; i < 1000; ++i) {
+    const double ta = a.Next();
+    EXPECT_EQ(ta, b.Next());  // same seed => bit-identical sequence
+    EXPECT_GT(ta, prev);
+    prev = ta;
+  }
+  EXPECT_EQ(a.now(), prev);
+}
+
+TEST(ArrivalsTest, BurstsRaiseArrivalCount) {
+  const double horizon = 20.0;
+  ArrivalConfig plain;
+  plain.rate_hz = 50.0;
+  plain.seed = 7;
+  ArrivalConfig bursty = plain;
+  bursty.burst_factor = 5.0;
+  bursty.burst_fraction = 0.5;
+  bursty.burst_period_s = 4.0;
+  auto count_until = [&](const ArrivalConfig& c) {
+    ArrivalGenerator gen(c);
+    int n = 0;
+    while (gen.Next() < horizon) ++n;
+    return n;
+  };
+  const int plain_n = count_until(plain);
+  const int bursty_n = count_until(bursty);
+  // Expected rates: 50/s plain vs 50 * (0.5 + 0.5*5) = 150/s bursty.
+  EXPECT_GT(plain_n, 700);
+  EXPECT_GT(bursty_n, 2 * plain_n);
+}
+
+}  // namespace
+}  // namespace fexiot
