@@ -60,7 +60,7 @@ int main() {
 
   TablePrinter table({"method", "fidelity_mean", "fidelity_std",
                       "sparsity_mean", "avg_subgraph", "avg_evals",
-                      "time_per_graph"});
+                      "avg_tt_hits", "avg_memo_hits", "time_per_graph"});
   std::vector<std::unique_ptr<Explainer>> explainers;
   explainers.push_back(std::make_unique<ShapMcbsExplainer>(sopt));
   explainers.push_back(std::make_unique<SubgraphXExplainer>(sopt));
@@ -69,6 +69,7 @@ int main() {
   for (auto& ex : explainers) {
     std::vector<double> fidelities, sparsities;
     double total_nodes = 0.0, total_evals = 0.0;
+    double total_tt_hits = 0.0, total_memo_hits = 0.0;
     Stopwatch watch;
     for (const auto& g : cases) {
       GnnGraphScorer scorer(&model, &head, &g);
@@ -79,12 +80,16 @@ int main() {
       sparsities.push_back(fs.sparsity);
       total_nodes += static_cast<double>(res.subgraph_nodes.size());
       total_evals += res.model_evaluations;
+      total_tt_hits += static_cast<double>(res.tt_hits);
+      total_memo_hits += static_cast<double>(scorer.memo_hits());
     }
     const MeanStd fid = ComputeMeanStd(fidelities);
     const MeanStd spa = ComputeMeanStd(sparsities);
     table.AddRow({ex->Name(), Fmt(fid.mean), Fmt(fid.stddev),
                   Fmt(spa.mean), Fmt(total_nodes / num_graphs, 1),
                   Fmt(total_evals / num_graphs, 0),
+                  Fmt(total_tt_hits / num_graphs, 0),
+                  Fmt(total_memo_hits / num_graphs, 0),
                   Fmt(watch.ElapsedSeconds() / num_graphs, 2) + "s"});
   }
   table.Print();

@@ -16,12 +16,15 @@
 # every test), a 100k-client lazy-state scale smoke with an RSS ceiling,
 # a serving smoke (the streaming engine's result digest must be
 # byte-identical between max_batch=1 and max_batch=8, plus a seeded
-# Poisson soak against a p99 latency bound), then a ThreadSanitizer pass
-# over the concurrency-bearing binaries (thread pool / parallel facade /
-# blocked GEMM race harness incl. the parallel PackB + pack-reuse
-# fan-out / SpMM row fan-out / stream-split corpus fan-out /
-# runtime-driven federated rounds incl. the async policies / lazy-state
-# scale simulator fan-out / batched serving inference).
+# Poisson soak against a p99 latency bound), an explain parity check
+# (explanation subgraphs + fidelity/sparsity digests of all three
+# explainers must be byte-identical between FEXIOT_THREADS=1 and 4),
+# then a ThreadSanitizer pass over the concurrency-bearing binaries
+# (thread pool / parallel facade / blocked GEMM race harness incl. the
+# parallel PackB + pack-reuse fan-out / SpMM row fan-out / stream-split
+# corpus fan-out / runtime-driven federated rounds incl. the async
+# policies / lazy-state scale simulator fan-out / batched serving
+# inference / parallel explanation search with its shared score memo).
 #
 # Usage: ci/run_tests.sh [build-dir] [tsan-build-dir]
 set -euo pipefail
@@ -31,14 +34,14 @@ BUILD_DIR="${1:-build}"
 TSAN_DIR="${2:-build-tsan}"
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
-echo "==> [1/11] configure + build (${BUILD_DIR})"
+echo "==> [1/12] configure + build (${BUILD_DIR})"
 cmake -B "${BUILD_DIR}" -S . >/dev/null
 cmake --build "${BUILD_DIR}" -j "${JOBS}"
 
-echo "==> [2/11] full test suite"
+echo "==> [2/12] full test suite"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
 
-echo "==> [3/11] GEMM ISA dispatch sweep (FEXIOT_ISA=scalar/avx2/avx512)"
+echo "==> [3/12] GEMM ISA dispatch sweep (FEXIOT_ISA=scalar/avx2/avx512)"
 for isa in scalar avx2 avx512; do
   echo "    FEXIOT_ISA=${isa}"
   FEXIOT_ISA="${isa}" "${BUILD_DIR}/tests/test_kernels" \
@@ -46,7 +49,7 @@ for isa in scalar avx2 avx512; do
 done
 echo "    kernel parity holds under every FEXIOT_ISA tier"
 
-echo "==> [4/11] corpus thread-count parity (FEXIOT_THREADS=1 vs 4)"
+echo "==> [4/12] corpus thread-count parity (FEXIOT_THREADS=1 vs 4)"
 STATS_DIR="${BUILD_DIR}/corpus-parity"
 mkdir -p "${STATS_DIR}"
 FEXIOT_THREADS=1 FEXIOT_STATS_OUT="${STATS_DIR}/stats_t1.json" \
@@ -61,7 +64,7 @@ if ! diff -u "${STATS_DIR}/stats_t1.json" "${STATS_DIR}/stats_t4.json"; then
 fi
 echo "    stats + fingerprints identical across thread counts"
 
-echo "==> [5/11] runtime thread-count parity (event trace + result digest)"
+echo "==> [5/12] runtime thread-count parity (event trace + result digest)"
 TRACE_DIR="${BUILD_DIR}/runtime-parity"
 mkdir -p "${TRACE_DIR}"
 FEXIOT_THREADS=1 FEXIOT_TRACE_OUT="${TRACE_DIR}/trace_t1.txt" \
@@ -76,7 +79,7 @@ if ! diff -u "${TRACE_DIR}/trace_t1.txt" "${TRACE_DIR}/trace_t4.txt"; then
 fi
 echo "    event trace + result digest identical across thread counts"
 
-echo "==> [6/11] async-policy thread-count parity (async + semi-async traces)"
+echo "==> [6/12] async-policy thread-count parity (async + semi-async traces)"
 FEXIOT_THREADS=1 FEXIOT_ASYNC_TRACE_OUT="${TRACE_DIR}/async_trace_t1.txt" \
   "${BUILD_DIR}/tests/test_runtime" \
   --gtest_filter='AsyncRuntimeParity.*' >/dev/null
@@ -90,7 +93,7 @@ if ! diff -u "${TRACE_DIR}/async_trace_t1.txt" \
 fi
 echo "    async + semi-async traces/digests identical across thread counts"
 
-echo "==> [7/11] tree-aggregation thread-count parity (hierarchical traces)"
+echo "==> [7/12] tree-aggregation thread-count parity (hierarchical traces)"
 FEXIOT_THREADS=1 FEXIOT_TREE_TRACE_OUT="${TRACE_DIR}/tree_trace_t1.txt" \
   "${BUILD_DIR}/tests/test_runtime" \
   --gtest_filter='TreeRuntimeParity.*' >/dev/null
@@ -104,7 +107,7 @@ if ! diff -u "${TRACE_DIR}/tree_trace_t1.txt" \
 fi
 echo "    hierarchical traces/digests identical across thread counts"
 
-echo "==> [8/11] propagation-mode sweep (FEXIOT_PROPAGATION=dense/sparse)"
+echo "==> [8/12] propagation-mode sweep (FEXIOT_PROPAGATION=dense/sparse)"
 for mode in dense sparse; do
   echo "    FEXIOT_PROPAGATION=${mode}"
   FEXIOT_PROPAGATION="${mode}" "${BUILD_DIR}/tests/test_gnn" \
@@ -114,12 +117,12 @@ for mode in dense sparse; do
 done
 echo "    both propagation engines pass the GNN + sparse suites"
 
-echo "==> [9/11] scale smoke (100k clients, lazy state, RSS ceiling)"
+echo "==> [9/12] scale smoke (100k clients, lazy state, RSS ceiling)"
 FEXIOT_SLOW_TESTS=1 "${BUILD_DIR}/tests/test_scale" \
   --gtest_filter='ScaleSmoke.*' --gtest_brief=1
 echo "    100k-client sampled round fits the lazy-state RSS ceiling"
 
-echo "==> [10/11] serving smoke (batch-size digest parity + Poisson soak)"
+echo "==> [10/12] serving smoke (batch-size digest parity + Poisson soak)"
 SERVE_DIR="${BUILD_DIR}/serving-smoke"
 mkdir -p "${SERVE_DIR}"
 FEXIOT_SERVING_DIGEST_OUT="${SERVE_DIR}/digest_b1.txt" FEXIOT_SERVING_BATCH=1 \
@@ -136,13 +139,28 @@ FEXIOT_SERVING_SOAK=1 "${BUILD_DIR}/tests/test_serving" \
   --gtest_filter='ServingSoak.*' --gtest_brief=1
 echo "    batched serving bit-matches sequential; soak met the latency bound"
 
-echo "==> [11/11] TSAN pass (test_common + test_kernels + test_sparse + test_corpus_determinism + test_runtime + test_scale + test_serving)"
+echo "==> [11/12] explain thread-count parity (explanation digests, t=1 vs 4)"
+EXPLAIN_DIR="${BUILD_DIR}/explain-parity"
+mkdir -p "${EXPLAIN_DIR}"
+FEXIOT_THREADS=1 FEXIOT_EXPLAIN_DIGEST_OUT="${EXPLAIN_DIR}/digest_t1.txt" \
+  "${BUILD_DIR}/tests/test_explain" \
+  --gtest_filter='ParallelSearch.WritesExplanationDigestArtifact' >/dev/null
+FEXIOT_THREADS=4 FEXIOT_EXPLAIN_DIGEST_OUT="${EXPLAIN_DIR}/digest_t4.txt" \
+  "${BUILD_DIR}/tests/test_explain" \
+  --gtest_filter='ParallelSearch.WritesExplanationDigestArtifact' >/dev/null
+if ! diff -u "${EXPLAIN_DIR}/digest_t1.txt" "${EXPLAIN_DIR}/digest_t4.txt"; then
+  echo "FAIL: explanation subgraphs/metrics differ across thread counts"
+  exit 1
+fi
+echo "    explanation digests identical across thread counts"
+
+echo "==> [12/12] TSAN pass (test_common + test_kernels + test_sparse + test_corpus_determinism + test_runtime + test_scale + test_serving + test_explain)"
 cmake -B "${TSAN_DIR}" -S . \
   -DFEXIOT_SANITIZE=thread \
   -DFEXIOT_BUILD_BENCHMARKS=OFF \
   -DFEXIOT_BUILD_EXAMPLES=OFF >/dev/null
 cmake --build "${TSAN_DIR}" -j "${JOBS}" \
-  --target test_common test_kernels test_sparse test_corpus_determinism test_runtime test_scale test_serving
+  --target test_common test_kernels test_sparse test_corpus_determinism test_runtime test_scale test_serving test_explain
 "${TSAN_DIR}/tests/test_common"
 "${TSAN_DIR}/tests/test_kernels"
 FEXIOT_THREADS=4 "${TSAN_DIR}/tests/test_sparse"
@@ -150,5 +168,6 @@ FEXIOT_THREADS=4 "${TSAN_DIR}/tests/test_corpus_determinism"
 FEXIOT_THREADS=4 "${TSAN_DIR}/tests/test_runtime"
 FEXIOT_THREADS=4 "${TSAN_DIR}/tests/test_scale"
 FEXIOT_THREADS=4 "${TSAN_DIR}/tests/test_serving"
+FEXIOT_THREADS=4 "${TSAN_DIR}/tests/test_explain"
 
 echo "OK: tier-1 suite green, thread-count parity holds, TSAN clean"

@@ -1,153 +1,26 @@
 #include "explain/explainer.h"
 
 #include <algorithm>
-#include <cmath>
-#include <functional>
 #include <set>
+#include <vector>
 
 namespace fexiot {
-namespace {
 
-using NodeSet = std::vector<int>;  // sorted
-
-std::string KeyOf(const NodeSet& s) {
-  std::string k;
-  for (int v : s) {
-    k += std::to_string(v);
-    k += ',';
-  }
-  return k;
-}
-
-/// Per-subgraph search-tree statistics.
-struct TreeNode {
-  double reward = 0.0;   // immediate reward R (cached)
-  bool reward_known = false;
-  double q_total = 0.0;  // backed-up reward sum
-  int visits = 0;
-
-  double Q() const { return visits > 0 ? q_total / visits : 0.0; }
-};
-
-/// All prunings of `s` (drop one node) that stay connected in `g`.
-std::vector<NodeSet> ConnectedPrunings(const InteractionGraph& g,
-                                       const NodeSet& s) {
-  std::vector<NodeSet> out;
-  if (s.size() <= 1) return out;
-  for (size_t i = 0; i < s.size(); ++i) {
-    NodeSet child;
-    child.reserve(s.size() - 1);
-    for (size_t j = 0; j < s.size(); ++j) {
-      if (j != i) child.push_back(s[j]);
-    }
-    if (g.IsConnectedSubset(child)) out.push_back(std::move(child));
-  }
-  return out;
-}
-
-/// Largest connected component (search root).
-NodeSet SearchRoot(const InteractionGraph& g) {
-  auto comps = g.ConnectedComponents();
-  size_t best = 0;
-  for (size_t i = 1; i < comps.size(); ++i) {
-    if (comps[i].size() > comps[best].size()) best = i;
-  }
-  return comps.empty() ? NodeSet{} : comps[best];
-}
-
-using RewardFn = std::function<double(const NodeSet&)>;
-
-/// Shared Monte Carlo (beam) tree search used by all three explainers
-/// (Algorithm 2 skeleton). Each iteration walks root -> leaf picking the
-/// child maximizing Q + lambda * R over a beam of reward-scored children,
-/// then backs the leaf reward up the path.
-ExplanationResult MonteCarloSearch(const GnnGraphScorer& scorer,
-                                   const SearchOptions& options,
-                                   const RewardFn& reward, Rng* rng) {
-  ExplanationResult result;
-  const InteractionGraph& g = scorer.graph();
-  const NodeSet root = SearchRoot(g);
-  if (root.empty()) return result;
-
-  std::map<std::string, TreeNode> tree;
-  auto reward_of = [&](const NodeSet& s) {
-    TreeNode& node = tree[KeyOf(s)];
-    if (!node.reward_known) {
-      node.reward = reward(s);
-      node.reward_known = true;
-      ++result.subgraphs_scored;
-    }
-    return node.reward;
-  };
-
-  NodeSet best_leaf;
-  double best_score = -1e18;
-  const size_t target =
-      static_cast<size_t>(std::max(1, options.max_subgraph_nodes));
-
-  for (int iter = 0; iter < options.iterations; ++iter) {
-    NodeSet s = root;
-    std::vector<std::string> path = {KeyOf(s)};
-    while (s.size() > target) {
-      std::vector<NodeSet> children = ConnectedPrunings(g, s);
-      if (children.empty()) break;
-      // Beam: score a bounded random sample of children, keep the best
-      // `beam_width` by immediate reward.
-      rng->Shuffle(&children);
-      const size_t candidates =
-          std::min(children.size(),
-                   static_cast<size_t>(std::max(1, 2 * options.beam_width)));
-      children.resize(candidates);
-      std::vector<std::pair<double, size_t>> scored;
-      for (size_t i = 0; i < children.size(); ++i) {
-        scored.emplace_back(reward_of(children[i]), i);
-      }
-      std::sort(scored.begin(), scored.end(),
-                [](const auto& a, const auto& b) { return a.first > b.first; });
-      const size_t beam = std::min(
-          scored.size(), static_cast<size_t>(std::max(1, options.beam_width)));
-      // Eq. 7 selection among the beam.
-      double best_sel = -1e18;
-      size_t pick = scored[0].second;
-      for (size_t b = 0; b < beam; ++b) {
-        const NodeSet& child = children[scored[b].second];
-        const TreeNode& node = tree[KeyOf(child)];
-        const double sel = node.Q() + options.lambda * node.reward;
-        if (sel > best_sel) {
-          best_sel = sel;
-          pick = scored[b].second;
-        }
-      }
-      s = children[pick];
-      path.push_back(KeyOf(s));
-    }
-    const double leaf_reward = reward_of(s);
-    if (s.size() <= target && leaf_reward > best_score) {
-      best_score = leaf_reward;
-      best_leaf = s;
-    }
-    for (const auto& key : path) {
-      TreeNode& node = tree[key];
-      ++node.visits;
-      node.q_total += leaf_reward;
-    }
-  }
-  if (best_leaf.empty()) best_leaf = root;  // tiny graphs
-  result.subgraph_nodes = best_leaf;
-  result.score = best_score > -1e17 ? best_score : reward_of(best_leaf);
-  result.model_evaluations = scorer.evaluations();
-  return result;
-}
-
-}  // namespace
+// Reward adapters only — the search itself (waves, transposition table,
+// virtual loss, determinism discipline) lives in explain/search.cc. Every
+// reward below is a pure function of (rng stream, subset): it touches no
+// mutable state beyond its own Rng and the scorer's thread-safe memo, so
+// the core may evaluate it from any parallel worker.
 
 ExplanationResult ShapMcbsExplainer::Explain(const GnnGraphScorer& scorer,
                                              Rng* rng) {
-  KernelShap shap(KernelShap::Options{options_.shap_samples, rng->NextU64()});
-  const RewardFn reward = [&](const NodeSet& s) {
-    return shap.SubgraphShap(scorer, s, rng);
+  const KernelShap shap(
+      KernelShap::Options{options_.shap_samples, /*seed=*/0});
+  const RewardFn reward = [&shap, &scorer](const NodeSet& s, Rng* r) {
+    return shap.SubgraphShap(scorer, s, r);
   };
-  return MonteCarloSearch(scorer, options_, reward, rng);
+  return ParallelSubgraphSearch(scorer, options_, reward, RewardBatchFn{},
+                                rng);
 }
 
 ExplanationResult SubgraphXExplainer::Explain(const GnnGraphScorer& scorer,
@@ -156,33 +29,54 @@ ExplanationResult SubgraphXExplainer::Explain(const GnnGraphScorer& scorer,
   // Shapley value with the independence assumption: average marginal
   // contribution of the subgraph over uniformly sampled context
   // coalitions of the *other* nodes.
-  const RewardFn reward = [&](const NodeSet& s) {
+  const int samples = std::max(2, options_.shap_samples / 2);
+  const RewardFn reward = [&g, &scorer, samples](const NodeSet& s, Rng* r) {
     std::set<int> sub(s.begin(), s.end());
     std::vector<int> others;
     for (int v = 0; v < g.num_nodes(); ++v) {
       if (!sub.count(v)) others.push_back(v);
     }
-    double total = 0.0;
-    const int samples = std::max(2, options_.shap_samples / 2);
+    // Draw every context up front (scoring consumes no randomness), then
+    // push all with/without pairs through one batched scorer call.
+    std::vector<std::vector<int>> sets;
+    sets.reserve(2 * static_cast<size_t>(samples));
     for (int k = 0; k < samples; ++k) {
       std::vector<int> context;
       for (int v : others) {
-        if (rng->Bernoulli(0.5)) context.push_back(v);
+        if (r->Bernoulli(0.5)) context.push_back(v);
       }
       std::vector<int> with = context;
       with.insert(with.end(), s.begin(), s.end());
       std::sort(with.begin(), with.end());
-      total += scorer.Score(with) - scorer.Score(context);
+      sets.push_back(std::move(with));
+      sets.push_back(std::move(context));
+    }
+    std::vector<double> v;
+    scorer.ScoreBatch(sets, &v);
+    double total = 0.0;
+    for (int k = 0; k < samples; ++k) {
+      total += v[2 * static_cast<size_t>(k)] -
+               v[2 * static_cast<size_t>(k) + 1];
     }
     return total / samples;
   };
-  return MonteCarloSearch(scorer, options_, reward, rng);
+  return ParallelSubgraphSearch(scorer, options_, reward, RewardBatchFn{},
+                                rng);
 }
 
 ExplanationResult MctsGnnExplainer::Explain(const GnnGraphScorer& scorer,
                                             Rng* rng) {
-  const RewardFn reward = [&](const NodeSet& s) { return scorer.Score(s); };
-  return MonteCarloSearch(scorer, options_, reward, rng);
+  const RewardFn reward = [&scorer](const NodeSet& s, Rng* /*rng*/) {
+    return scorer.Score(s);
+  };
+  // The GNN score ignores the reward stream, so whole wave-levels of
+  // candidates can run as one block-diagonal forward pass.
+  const RewardBatchFn reward_batch = [&scorer](
+                                         const std::vector<NodeSet>& sets,
+                                         std::vector<double>* vals) {
+    scorer.ScoreBatch(sets, vals);
+  };
+  return ParallelSubgraphSearch(scorer, options_, reward, reward_batch, rng);
 }
 
 FidelitySparsity EvaluateExplanation(const GnnGraphScorer& scorer,

@@ -1,26 +1,19 @@
 #pragma once
 
-#include <map>
 #include <string>
 #include <vector>
 
 #include "common/rng.h"
 #include "explain/scorer.h"
+#include "explain/search.h"
 #include "explain/shap.h"
 
 namespace fexiot {
 
-/// \brief Result of an explanation search: the most responsible connected
-/// subgraph and its risk score.
-struct ExplanationResult {
-  std::vector<int> subgraph_nodes;
-  double score = 0.0;
-  int model_evaluations = 0;
-  /// Leaf subgraphs examined (diagnostics).
-  int subgraphs_scored = 0;
-};
-
-/// \brief Common interface of the Section IV-D explanation methods.
+/// \brief Common interface of the Section IV-D explanation methods. All
+/// three implementations are thin reward adapters over the shared
+/// `ParallelSubgraphSearch` core (explain/search.h) — they differ only in
+/// how a candidate subgraph's immediate reward is computed.
 class Explainer {
  public:
   virtual ~Explainer() = default;
@@ -28,21 +21,6 @@ class Explainer {
   virtual ExplanationResult Explain(const GnnGraphScorer& scorer,
                                     Rng* rng) = 0;
   virtual std::string Name() const = 0;
-};
-
-/// \brief Shared search options.
-struct SearchOptions {
-  /// Monte Carlo iterations I.
-  int iterations = 8;
-  /// Beam width per level (FexIoT's MCBS; ignored by pure MCTS).
-  int beam_width = 4;
-  /// Maximum explanation subgraph size ("least node number" N_min of
-  /// Algorithm 2: pruning stops when the subgraph reaches this size).
-  int max_subgraph_nodes = 5;
-  /// Exploration-exploitation balance lambda of Eq. 7.
-  double lambda = 0.5;
-  /// Kernel SHAP samples K (FexIoT) / Shapley MC samples (SubgraphX).
-  int shap_samples = 16;
 };
 
 /// \brief FexIoT's explanation method: Monte Carlo beam search over
@@ -72,7 +50,9 @@ class SubgraphXExplainer : public Explainer {
 };
 
 /// \brief MCTS_GNN baseline: the same tree search rewarded directly by the
-/// GNN prediction score of the subgraph.
+/// GNN prediction score of the subgraph. Rewards batch through
+/// `GnnGraphScorer::ScoreBatch`, so a whole wave-level of candidates runs
+/// as one block-diagonal forward pass.
 class MctsGnnExplainer : public Explainer {
  public:
   explicit MctsGnnExplainer(SearchOptions options) : options_(options) {}

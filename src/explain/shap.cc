@@ -9,9 +9,17 @@
 namespace fexiot {
 namespace {
 
+// std::lgamma writes the process-global `signgam`, which races when
+// coalition weights are computed from pool workers; lgamma_r takes the
+// sign out parameter explicitly and touches no shared state.
+double LgammaLocal(double x) {
+  int sign = 0;
+  return ::lgamma_r(x, &sign);
+}
+
 double LogChoose(int n, int k) {
-  return std::lgamma(n + 1.0) - std::lgamma(k + 1.0) -
-         std::lgamma(n - k + 1.0);
+  return LgammaLocal(n + 1.0) - LgammaLocal(k + 1.0) -
+         LgammaLocal(n - k + 1.0);
 }
 
 // Shapley kernel weight for coalition size s out of M players.
@@ -38,7 +46,9 @@ double KernelShap::SubgraphShap(const GnnGraphScorer& scorer,
   const int m = 1 + static_cast<int>(others.size());
   if (m == 1) {
     // Whole graph is the player: phi = h(G) - h(empty).
-    return scorer.Score(subgraph_nodes) - scorer.Score({});
+    std::vector<double> v;
+    scorer.ScoreBatch({subgraph_nodes, {}}, &v);
+    return v[0] - v[1];
   }
 
   auto player_nodes = [&](const std::vector<int>& coalition) {
@@ -55,20 +65,15 @@ double KernelShap::SubgraphShap(const GnnGraphScorer& scorer,
     return nodes;
   };
 
-  const double v_empty = scorer.Score({});
   std::vector<int> all_players(static_cast<size_t>(m));
   for (int p = 0; p < m; ++p) all_players[static_cast<size_t>(p)] = p;
-  const double v_full = scorer.Score(player_nodes(all_players));
 
-  // Design matrix over sampled coalitions; columns = players (intercept is
-  // eliminated by regressing y - v_empty on z with the constraint absorbed
-  // via the full-coalition anchor, here approximated by adding both
-  // anchors with large weight).
+  // Sample every coalition up front (scoring consumes no randomness, so
+  // the draw sequence is identical to per-coalition scoring), then push
+  // the empty/full anchors and all masked subgraphs through one batched
+  // scorer call — a single block-diagonal forward for the whole game.
   const int k = std::max(4, options_.num_samples);
-  Matrix x(static_cast<size_t>(k) + 2, static_cast<size_t>(m) + 1);
-  std::vector<double> y(static_cast<size_t>(k) + 2, 0.0);
-  std::vector<double> w(static_cast<size_t>(k) + 2, 0.0);
-
+  std::vector<std::vector<int>> coalitions(static_cast<size_t>(k));
   for (int i = 0; i < k; ++i) {
     // Sample coalition size by the kernel distribution (sizes near 1 and
     // m-1 carry most weight), then a uniform subset of that size.
@@ -81,14 +86,38 @@ double KernelShap::SubgraphShap(const GnnGraphScorer& scorer,
     const int s = 1 + static_cast<int>(rng->Categorical(size_weights));
     std::vector<size_t> chosen = rng->SampleWithoutReplacement(
         static_cast<size_t>(m), static_cast<size_t>(s));
-    std::vector<int> coalition;
-    for (size_t c : chosen) coalition.push_back(static_cast<int>(c));
+    for (size_t c : chosen) {
+      coalitions[static_cast<size_t>(i)].push_back(static_cast<int>(c));
+    }
+  }
+  std::vector<std::vector<int>> sets;
+  sets.reserve(static_cast<size_t>(k) + 2);
+  sets.push_back({});                          // v_empty
+  sets.push_back(player_nodes(all_players));   // v_full
+  for (const std::vector<int>& coalition : coalitions) {
+    sets.push_back(player_nodes(coalition));
+  }
+  std::vector<double> values;
+  scorer.ScoreBatch(sets, &values);
+  const double v_empty = values[0];
+  const double v_full = values[1];
+
+  // Design matrix over sampled coalitions; columns = players (intercept is
+  // eliminated by regressing y - v_empty on z with the constraint absorbed
+  // via the full-coalition anchor, here approximated by adding both
+  // anchors with large weight).
+  Matrix x(static_cast<size_t>(k) + 2, static_cast<size_t>(m) + 1);
+  std::vector<double> y(static_cast<size_t>(k) + 2, 0.0);
+  std::vector<double> w(static_cast<size_t>(k) + 2, 0.0);
+  for (int i = 0; i < k; ++i) {
+    const std::vector<int>& coalition = coalitions[static_cast<size_t>(i)];
     x.At(static_cast<size_t>(i), 0) = 1.0;  // intercept
     for (int p : coalition) {
       x.At(static_cast<size_t>(i), static_cast<size_t>(p) + 1) = 1.0;
     }
-    y[static_cast<size_t>(i)] = scorer.Score(player_nodes(coalition));
-    w[static_cast<size_t>(i)] = KernelWeight(m, s);
+    y[static_cast<size_t>(i)] = values[static_cast<size_t>(i) + 2];
+    w[static_cast<size_t>(i)] =
+        KernelWeight(m, static_cast<int>(coalition.size()));
   }
   // Anchors: empty and full coalitions with dominating weight, enforcing
   // g(0) = v_empty and g(1) = v_full.

@@ -1,7 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
 #include <set>
+#include <string>
 
+#include "common/parallel.h"
 #include "explain/explainer.h"
 #include "explain/shap.h"
 #include "gnn/trainer.h"
@@ -179,6 +184,199 @@ TEST(ShapMcbs, RecoversWitnessBetterThanChance) {
   }
   ASSERT_GT(cases, 0);
   EXPECT_GE(recall, random_recall);
+}
+
+std::unique_ptr<Explainer> MakeExplainer(int kind, const SearchOptions& opt) {
+  switch (kind) {
+    case 0: return std::make_unique<ShapMcbsExplainer>(opt);
+    case 1: return std::make_unique<SubgraphXExplainer>(opt);
+    default: return std::make_unique<MctsGnnExplainer>(opt);
+  }
+}
+
+/// A seed-pinned vulnerable graph, independent of the shared fixture's rng
+/// position (the parity tests regenerate the identical graph per run).
+InteractionGraph MakeGraph(uint64_t seed, VulnerabilityType type) {
+  CorpusOptions opt;
+  opt.platforms = {Platform::kIfttt};
+  opt.min_nodes = 5;
+  opt.max_nodes = 9;
+  opt.vulnerable_fraction = 0.5;
+  opt.extraction_noise = 0.0;
+  Rng rng(seed);
+  GraphCorpusGenerator gen(opt, &rng);
+  return gen.GenerateVulnerable(type);
+}
+
+TEST(GnnGraphScorer, ScoreBatchMatchesSequentialScoreBitwise) {
+  Fixture& f = Fixture::Get();
+  const InteractionGraph g =
+      f.gen.GenerateVulnerable(VulnerabilityType::kConditionBypass);
+  // A ragged batch: empty set, full graph, singletons, mid-sized subsets,
+  // and an exact duplicate.
+  std::vector<int> all;
+  for (int i = 0; i < g.num_nodes(); ++i) all.push_back(i);
+  std::vector<std::vector<int>> sets = {
+      {}, all, {0}, {1}, {0, 1, 2}, {0, 1, 2}, {2, 3}, all};
+  // Reference: one fresh scorer, sequential Score calls.
+  GnnGraphScorer seq(&f.model, &f.head, &g);
+  std::vector<double> expected;
+  for (const auto& s : sets) expected.push_back(seq.Score(s));
+  // One batched call on another fresh scorer.
+  GnnGraphScorer batched(&f.model, &f.head, &g);
+  std::vector<double> got;
+  batched.ScoreBatch(sets, &got);
+  ASSERT_EQ(got.size(), sets.size());
+  for (size_t i = 0; i < sets.size(); ++i) {
+    EXPECT_EQ(expected[i], got[i]) << "set " << i;  // bitwise
+  }
+  // Counting contract: 6 distinct subsets, 8 queries, exact invariant.
+  EXPECT_EQ(batched.evaluations(), 6);
+  EXPECT_EQ(batched.queries(), 8);
+  EXPECT_EQ(batched.queries(), batched.evaluations() + batched.memo_hits());
+  // A second identical batch is served entirely from the memo.
+  batched.ScoreBatch(sets, &got);
+  EXPECT_EQ(batched.evaluations(), 6);
+  for (size_t i = 0; i < sets.size(); ++i) EXPECT_EQ(expected[i], got[i]);
+  // Single-element batches take the sequential fallback path.
+  std::vector<double> lone;
+  GnnGraphScorer single(&f.model, &f.head, &g);
+  single.ScoreBatch({{1, 2}}, &lone);
+  EXPECT_EQ(lone[0], seq.Score({1, 2}));
+  EXPECT_EQ(single.evaluations(), 1);
+}
+
+TEST(ParallelSearch, ThreadCountDoesNotChangeExplanationBits) {
+  Fixture& f = Fixture::Get();
+  SearchOptions opt;
+  opt.iterations = 6;
+  opt.beam_width = 3;
+  opt.max_subgraph_nodes = 3;
+  opt.shap_samples = 8;
+  opt.rollout_slots = 4;
+  for (const uint64_t seed : {101u, 202u, 303u}) {
+    const InteractionGraph g =
+        MakeGraph(seed, VulnerabilityType::kActionConflict);
+    for (int kind = 0; kind < 3; ++kind) {
+      struct Run {
+        std::vector<int> nodes;
+        double score, fidelity, sparsity;
+        int evaluations;
+      };
+      auto run_at = [&](size_t threads) {
+        parallel::SetThreads(threads);
+        GnnGraphScorer scorer(&f.model, &f.head, &g);
+        auto explainer = MakeExplainer(kind, opt);
+        Rng rng(seed * 7 + static_cast<uint64_t>(kind));
+        const ExplanationResult res = explainer->Explain(scorer, &rng);
+        const FidelitySparsity fs =
+            EvaluateExplanation(scorer, res.subgraph_nodes);
+        parallel::SetThreads(0);
+        return Run{res.subgraph_nodes, res.score, fs.fidelity, fs.sparsity,
+                   scorer.evaluations()};
+      };
+      const Run t1 = run_at(1);
+      for (const size_t threads : {2u, 4u}) {
+        const Run tn = run_at(threads);
+        EXPECT_EQ(t1.nodes, tn.nodes)
+            << "kind=" << kind << " seed=" << seed << " t=" << threads;
+        EXPECT_EQ(t1.score, tn.score);            // bitwise
+        EXPECT_EQ(t1.fidelity, tn.fidelity);      // bitwise
+        EXPECT_EQ(t1.sparsity, tn.sparsity);      // bitwise
+        EXPECT_EQ(t1.evaluations, tn.evaluations);
+      }
+    }
+  }
+}
+
+TEST(ParallelSearch, TranspositionTableMatchesMemoFreeReference) {
+  // Oracle: the memo-free reference search (rewards recomputed at every
+  // visit, scorer memo off) must select the same subgraph with the same
+  // score bits — the transposition table and score memo only skip
+  // recomputation of pure values, never change them.
+  Fixture& f = Fixture::Get();
+  SearchOptions tt_opt;
+  tt_opt.iterations = 8;
+  tt_opt.beam_width = 3;
+  tt_opt.max_subgraph_nodes = 3;
+  tt_opt.shap_samples = 8;
+  tt_opt.rollout_slots = 4;
+  SearchOptions ref_opt = tt_opt;
+  ref_opt.reuse_rewards = false;
+  for (const uint64_t seed : {11u, 22u, 33u}) {
+    const InteractionGraph g =
+        MakeGraph(seed, VulnerabilityType::kActionLoop);
+    for (int kind = 0; kind < 3; ++kind) {
+      GnnGraphScorer tt_scorer(&f.model, &f.head, &g);
+      Rng tt_rng(seed + 900 + static_cast<uint64_t>(kind));
+      const ExplanationResult tt_res =
+          MakeExplainer(kind, tt_opt)->Explain(tt_scorer, &tt_rng);
+
+      GnnGraphScorer ref_scorer(&f.model, &f.head, &g);
+      ref_scorer.set_memoize(false);
+      Rng ref_rng(seed + 900 + static_cast<uint64_t>(kind));
+      const ExplanationResult ref_res =
+          MakeExplainer(kind, ref_opt)->Explain(ref_scorer, &ref_rng);
+
+      EXPECT_EQ(tt_res.subgraph_nodes, ref_res.subgraph_nodes)
+          << "kind=" << kind << " seed=" << seed;
+      EXPECT_EQ(tt_res.score, ref_res.score);  // bitwise
+      // The caches must actually fire: the table serves repeat lookups,
+      // and the reference pays at least as many model evaluations.
+      EXPECT_GT(tt_res.tt_hits, 0) << "kind=" << kind;
+      EXPECT_EQ(ref_res.tt_hits, 0) << "kind=" << kind;
+      EXPECT_GE(ref_scorer.evaluations(), tt_scorer.evaluations());
+      EXPECT_GE(ref_res.subgraphs_scored, tt_res.subgraphs_scored);
+    }
+  }
+}
+
+TEST(ParallelSearch, WritesExplanationDigestArtifact) {
+  // CI hook (ci/run_tests.sh explain digest-parity stage): when
+  // FEXIOT_EXPLAIN_DIGEST_OUT is set, dump every explanation decision and
+  // metric in hexfloat so runs at different FEXIOT_THREADS can be diffed
+  // byte-for-byte. Skipped in normal runs.
+  const char* out_path = std::getenv("FEXIOT_EXPLAIN_DIGEST_OUT");
+  if (out_path == nullptr) {
+    GTEST_SKIP() << "set FEXIOT_EXPLAIN_DIGEST_OUT to enable";
+  }
+  Fixture& f = Fixture::Get();
+  SearchOptions opt;
+  opt.iterations = 6;
+  opt.beam_width = 3;
+  opt.max_subgraph_nodes = 3;
+  opt.shap_samples = 8;
+  opt.rollout_slots = 4;
+  std::FILE* out = std::fopen(out_path, "w");
+  ASSERT_NE(out, nullptr) << out_path;
+  const VulnerabilityType digest_types[3] = {
+      VulnerabilityType::kActionConflict, VulnerabilityType::kActionLoop,
+      VulnerabilityType::kConditionBypass};
+  for (const uint64_t seed : {5u, 6u, 7u}) {
+    const InteractionGraph g =
+        MakeGraph(seed * 31, digest_types[seed % 3]);
+    for (int kind = 0; kind < 3; ++kind) {
+      GnnGraphScorer scorer(&f.model, &f.head, &g);
+      auto explainer = MakeExplainer(kind, opt);
+      Rng rng(seed * 13 + static_cast<uint64_t>(kind));
+      const ExplanationResult res = explainer->Explain(scorer, &rng);
+      const FidelitySparsity fs =
+          EvaluateExplanation(scorer, res.subgraph_nodes);
+      std::string nodes;
+      for (int v : res.subgraph_nodes) {
+        nodes += std::to_string(v);
+        nodes += ',';
+      }
+      std::fprintf(out,
+                   "%s seed=%llu nodes=%s score=%a fidelity=%a sparsity=%a "
+                   "evals=%d scored=%d waves=%d\n",
+                   explainer->Name().c_str(),
+                   static_cast<unsigned long long>(seed), nodes.c_str(),
+                   res.score, fs.fidelity, fs.sparsity, scorer.evaluations(),
+                   res.subgraphs_scored, res.waves);
+    }
+  }
+  std::fclose(out);
 }
 
 }  // namespace
