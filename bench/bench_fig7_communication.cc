@@ -26,6 +26,9 @@ struct Fig7Record {
   double gcfl_mb = 0.0;
   double fexiot_mb = 0.0;
   double saving = 0.0;
+  /// Real serialized uplink bytes of the FexIoT run under each wire codec
+  /// (MessageWireBytes pricing — framing, quantized records, retransmits).
+  double wire_mb[kNumWireCodecs] = {0.0, 0.0, 0.0, 0.0};
 };
 
 bool WriteJson(const std::string& path,
@@ -52,6 +55,64 @@ bool WriteJson(const std::string& path,
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
   std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
+/// Merges the fig7 per-codec compressed-bytes columns into an existing
+/// BENCH_wire.json (read-modify-write: strip the trailing brace, append a
+/// "fig7_compressed" section). Writes a standalone record when the wire
+/// bench has not run yet.
+bool MergeIntoWireJson(const std::string& path,
+                       const std::vector<Fig7Record>& records) {
+  std::string head;
+  if (FILE* in = std::fopen(path.c_str(), "r")) {
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), in)) > 0) head.append(buf, n);
+    std::fclose(in);
+    // Drop everything from the closing brace (and any prior
+    // fig7_compressed section from an earlier merge) so reruns are
+    // idempotent.
+    const size_t prev = head.find("  \"fig7_compressed\"");
+    const size_t cut = prev != std::string::npos ? prev : head.rfind('}');
+    if (cut == std::string::npos) {
+      head.clear();
+    } else {
+      head.erase(cut);
+      while (!head.empty() &&
+             (head.back() == '\n' || head.back() == ' ')) {
+        head.pop_back();
+      }
+      if (!head.empty() && head.back() != ',') head += ',';
+      head += '\n';
+    }
+  }
+  if (head.empty()) head = "{\n  \"bench\": \"wire\",\n";
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  std::fwrite(head.data(), 1, head.size(), f);
+  std::fprintf(f, "  \"fig7_compressed\": [\n");
+  for (size_t i = 0; i < records.size(); ++i) {
+    const Fig7Record& r = records[i];
+    std::fprintf(f, "    {\"clients\": %d, \"rounds\": %d", r.clients,
+                 r.rounds);
+    for (int c = 0; c < kNumWireCodecs; ++c) {
+      std::fprintf(f, ", \"%s_mb\": %.3f",
+                   WireCodecName(static_cast<WireCodec>(c)), r.wire_mb[c]);
+    }
+    std::fprintf(f, ", \"int8_ratio\": %.3f}%s\n",
+                 r.wire_mb[0] > 0.0
+                     ? r.wire_mb[0] /
+                           r.wire_mb[static_cast<int>(WireCodec::kInt8)]
+                     : 0.0,
+                 i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("merged fig7_compressed into %s\n", path.c_str());
   return true;
 }
 
@@ -102,6 +163,17 @@ int main(int argc, char** argv) {
       mb.push_back(res.total_comm_bytes / (1024.0 * 1024.0));
     }
     const double saving = 1.0 - mb[3] / mb[0];
+    // Compressed columns: the FexIoT exchange re-run under each wire
+    // codec; wire_mb is real serialized uplink bytes, not an estimate.
+    double wire_mb[kNumWireCodecs] = {0.0, 0.0, 0.0, 0.0};
+    for (int c = 0; c < kNumWireCodecs; ++c) {
+      FlConfig wfc = fc;
+      wfc.runtime.wire_codec = static_cast<WireCodec>(c);
+      FederatedSimulator sim(gc, wfc);
+      sim.SetupClients(corpus.data, corpus.partition, corpus.cluster_tests);
+      const FlResult res = sim.Run(FlAlgorithm::kFexiot).value();
+      wire_mb[c] = res.total_uplink_wire_bytes / (1024.0 * 1024.0);
+    }
     table.AddRow({std::to_string(clients), Fmt(mb[0], 1), Fmt(mb[1], 1),
                   Fmt(mb[2], 1), Fmt(mb[3], 1),
                   Fmt(100.0 * saving, 1) + "%"});
@@ -113,9 +185,20 @@ int main(int argc, char** argv) {
     rec.gcfl_mb = mb[2];
     rec.fexiot_mb = mb[3];
     rec.saving = saving;
+    for (int c = 0; c < kNumWireCodecs; ++c) rec.wire_mb[c] = wire_mb[c];
     records.push_back(rec);
   }
   table.Print();
+  TablePrinter wire_table({"clients", "fp64_MB", "fp32_MB", "bf16_MB",
+                           "int8_MB", "int8_ratio"});
+  for (const Fig7Record& r : records) {
+    wire_table.AddRow(
+        {std::to_string(r.clients), Fmt(r.wire_mb[0], 1),
+         Fmt(r.wire_mb[1], 1), Fmt(r.wire_mb[2], 1), Fmt(r.wire_mb[3], 1),
+         Fmt(r.wire_mb[0] / r.wire_mb[3], 2) + "x"});
+  }
+  std::printf("\nFexIoT uplink under each wire codec (real encoded "
+              "sizes):\n%s\n", wire_table.ToString().c_str());
   std::printf(
       "\nPaper reference: FexIoT saves 40.2%% of FedAvg's bytes; FMTL and\n"
       "GCFL+ pay the full whole-model exchange like FedAvg. Shape check:\n"
@@ -125,5 +208,8 @@ int main(int argc, char** argv) {
       "on rounds: with the paper's 60 rounds more of the run is spent in\n"
       "the cheap clustering phase per split; run FEXIOT_SCALE=5 to see\n"
       "larger savings.)\n");
-  return WriteJson(argc > 1 ? argv[1] : "BENCH_fig7.json", records) ? 0 : 1;
+  if (!WriteJson(argc > 1 ? argv[1] : "BENCH_fig7.json", records)) return 1;
+  return MergeIntoWireJson(argc > 2 ? argv[2] : "BENCH_wire.json", records)
+             ? 0
+             : 1;
 }

@@ -50,6 +50,7 @@ void FederatedSimulator::SetupClients(
   unlocked_layers_ = 1;
   fexiot_partition_.clear();
   agg_scale_.clear();
+  codec_of_.clear();
   async_global_.clear();
 }
 
@@ -88,6 +89,7 @@ void FederatedSimulator::SetupClients(const GraphDataset& data,
   unlocked_layers_ = 1;
   fexiot_partition_.clear();
   agg_scale_.clear();
+  codec_of_.clear();
   async_global_.clear();
 }
 
@@ -110,6 +112,22 @@ double FederatedSimulator::AggScale(int c) const {
   return it == agg_scale_.end() ? 1.0 : it->second;
 }
 
+WireCodec FederatedSimulator::CodecOf(int c) const {
+  return static_cast<size_t>(c) < codec_of_.size()
+             ? codec_of_[static_cast<size_t>(c)]
+             : WireCodec::kFp64;
+}
+
+const std::vector<double>& FederatedSimulator::ThroughWire(
+    int c, const std::vector<double>& raw,
+    std::vector<double>* scratch) const {
+  const WireCodec codec = CodecOf(c);
+  if (codec == WireCodec::kFp64) return raw;
+  *scratch = raw;
+  CodecRoundTrip(codec, scratch);
+  return *scratch;
+}
+
 void FederatedSimulator::AverageLayer(int layer,
                                       const std::vector<int>& group) {
   if (group.empty()) return;
@@ -119,16 +137,23 @@ void FederatedSimulator::AverageLayer(int layer,
   }
   if (weight_sum <= 0.0) return;
   std::vector<double> avg;
+  std::vector<double> scratch;
   for (int c : group) {
-    const std::vector<double> w =
+    // The server accumulates what arrived over the uplink: the client's
+    // weights as seen through its codec (fp64: the weights themselves).
+    const std::vector<double> local =
         clients_[static_cast<size_t>(c)]->LayerWeights(layer);
+    const std::vector<double>& w = ThroughWire(c, local, &scratch);
     const double wc =
         client_weight_[static_cast<size_t>(c)] * AggScale(c) / weight_sum;
     if (avg.empty()) avg.assign(w.size(), 0.0);
     for (size_t i = 0; i < w.size(); ++i) avg[i] += wc * w[i];
   }
   for (int c : group) {
-    clients_[static_cast<size_t>(c)]->SetLayerWeights(layer, avg);
+    // The install crosses the downlink: each member receives the average
+    // as encoded with its own codec.
+    clients_[static_cast<size_t>(c)]->SetLayerWeights(
+        layer, ThroughWire(c, avg, &scratch));
   }
 }
 
@@ -150,6 +175,7 @@ void FederatedSimulator::AsyncFedAvgRound(const RoundOutcome& outcome,
                                           double* bytes) {
   const RuntimeConfig& rc = fl_config_.runtime;
   const int num_layers = clients_.front()->num_layers();
+  std::vector<double> scratch;
   if (rc.policy == RoundPolicy::kAsync) {
     // Immediate per-update mixing in the runtime's application order.
     for (const UpdateApplication& u : outcome.applied) {
@@ -157,8 +183,9 @@ void FederatedSimulator::AsyncFedAvgRound(const RoundOutcome& outcome,
                                        rc.async_staleness_exponent,
                                        u.staleness);
       for (int l = 0; l < num_layers; ++l) {
-        const std::vector<double> w =
+        const std::vector<double> local =
             clients_[static_cast<size_t>(u.client)]->LayerWeights(l);
+        const std::vector<double>& w = ThroughWire(u.client, local, &scratch);
         auto& g = async_global_[static_cast<size_t>(l)];
         for (size_t i = 0; i < g.size(); ++i) {
           g[i] = (1.0 - a) * g[i] + a * w[i];
@@ -189,8 +216,10 @@ void FederatedSimulator::AsyncFedAvgRound(const RoundOutcome& outcome,
         std::vector<double> avg(g.size(), 0.0);
         for (size_t k = i; k < j; ++k) {
           const size_t c = static_cast<size_t>(outcome.applied[k].client);
-          const std::vector<double> w =
+          const std::vector<double> local =
               clients_[c]->LayerWeights(static_cast<int>(l));
+          const std::vector<double>& w =
+              ThroughWire(static_cast<int>(c), local, &scratch);
           const double wc = client_weight_[c] / wsum;
           for (size_t x = 0; x < w.size(); ++x) avg[x] += wc * w[x];
         }
@@ -206,19 +235,27 @@ void FederatedSimulator::AsyncFedAvgRound(const RoundOutcome& outcome,
   for (int c : outcome.delivered) {
     for (int l = 0; l < num_layers; ++l) {
       clients_[static_cast<size_t>(c)]->SetLayerWeights(
-          l, async_global_[static_cast<size_t>(l)]);
+          l, ThroughWire(c, async_global_[static_cast<size_t>(l)], &scratch));
     }
   }
   for (int l = 0; l < num_layers; ++l) {
-    *bytes += LayerExchangeBytes(l, outcome.delivered.size());
+    *bytes += LayerExchangeBytes(l, outcome.delivered);
   }
 }
 
-double FederatedSimulator::LayerExchangeBytes(int layer,
-                                              size_t group_size) const {
-  // Upload + download of the layer for each group member.
-  return 2.0 * static_cast<double>(group_size) *
-         static_cast<double>(clients_.front()->LayerBytes(layer));
+double FederatedSimulator::LayerExchangeBytes(
+    int layer, const std::vector<int>& group) const {
+  // Upload + download of the layer's payload lanes for each group member,
+  // under the member's codec. The lane bytes exclude the u64 count prefix
+  // so the fp64 default prices exactly LayerBytes(layer) per direction —
+  // the historical accounting, bit for bit.
+  const size_t n = clients_.front()->LayerBytes(layer) / sizeof(double);
+  double bytes = 0.0;
+  for (int c : group) {
+    bytes += 2.0 * static_cast<double>(EncodedPayloadBytes(n, CodecOf(c)) -
+                                       sizeof(uint64_t));
+  }
+  return bytes;
 }
 
 std::vector<int> FederatedSimulator::FilterDelivered(
@@ -250,27 +287,30 @@ std::vector<int> FederatedSimulator::FexiotLayersThisRound() const {
   return layers;
 }
 
-double FederatedSimulator::RoundWireBytesPerClient(
+std::vector<double> FederatedSimulator::RoundWireBytesPerClient(
     FlAlgorithm algorithm) const {
+  std::vector<double> bytes(clients_.size(), 0.0);
+  if (algorithm == FlAlgorithm::kLocalOnly) return bytes;
   const FlClient& c0 = *clients_.front();
-  auto layer_doubles = [&](int l) {
-    return c0.LayerBytes(l) / sizeof(double);
-  };
-  double bytes = 0.0;
-  switch (algorithm) {
-    case FlAlgorithm::kLocalOnly:
-      return 0.0;
-    case FlAlgorithm::kFexiot:
-      for (int l : FexiotLayersThisRound()) {
-        bytes += static_cast<double>(MessageWireBytes(layer_doubles(l)));
-      }
-      return bytes;
-    default:
-      for (int l = 0; l < c0.num_layers(); ++l) {
-        bytes += static_cast<double>(MessageWireBytes(layer_doubles(l)));
-      }
-      return bytes;
+  std::vector<int> layers;
+  if (algorithm == FlAlgorithm::kFexiot) {
+    layers = FexiotLayersThisRound();
+  } else {
+    for (int l = 0; l < c0.num_layers(); ++l) layers.push_back(l);
   }
+  // One message per exchanged layer; the encoded size is shared by every
+  // client negotiating the same codec.
+  double by_codec[kNumWireCodecs] = {};
+  for (int k = 0; k < kNumWireCodecs; ++k) {
+    for (int l : layers) {
+      by_codec[k] += static_cast<double>(MessageWireBytes(
+          c0.LayerBytes(l) / sizeof(double), static_cast<WireCodec>(k)));
+    }
+  }
+  for (size_t c = 0; c < clients_.size(); ++c) {
+    bytes[c] = by_codec[static_cast<int>(CodecOf(static_cast<int>(c)))];
+  }
+  return bytes;
 }
 
 std::vector<double> FederatedSimulator::ConcatAllLayers(int client) const {
@@ -284,10 +324,13 @@ std::vector<double> FederatedSimulator::ConcatAllLayers(int client) const {
 }
 
 std::vector<double> FederatedSimulator::ConcatAllDeltas(int client) const {
-  std::vector<double> out;
+  // Server-side view of the client's whole-model delta. Quantization is
+  // per tensor, so each layer is round-tripped before the concat.
+  std::vector<double> out, scratch;
   const auto& cl = clients_[static_cast<size_t>(client)];
   for (int l = 0; l < cl->num_layers(); ++l) {
-    const std::vector<double>& d = cl->LayerDelta(l);
+    const std::vector<double>& d =
+        ThroughWire(client, cl->LayerDelta(l), &scratch);
     out.insert(out.end(), d.begin(), d.end());
   }
   return out;
@@ -323,27 +366,31 @@ bool FederatedSimulator::FexiotRound(double* bytes,
       // local weights and re-sync when they next deliver.
       const std::vector<int> active = FilterDelivered(group, delivered);
       if (active.empty()) continue;
-      *bytes += LayerExchangeBytes(l, active.size());
+      *bytes += LayerExchangeBytes(l, active);
       AverageLayer(l, active);
 
       // Gate of Eq. 3 on this layer's deltas within the delivered part of
-      // the group.
+      // the group. The server observes every clustering signal through the
+      // member's uplink codec (fp64: the delta itself).
       double weight_sum = 0.0;
       for (int c : active) {
         weight_sum += client_weight_[static_cast<size_t>(c)];
       }
       std::vector<double> weighted_delta;
+      std::vector<double> scratch;
       double max_norm = 0.0;
       std::vector<std::vector<double>> deltas;
       for (int c : active) {
-        const std::vector<double>& d =
-            clients_[static_cast<size_t>(c)]->LayerDelta(l);
+        const std::vector<double>& d = ThroughWire(
+            c, clients_[static_cast<size_t>(c)]->LayerDelta(l), &scratch);
         if (weighted_delta.empty()) weighted_delta.assign(d.size(), 0.0);
         const double wc = client_weight_[static_cast<size_t>(c)] / weight_sum;
         for (size_t i = 0; i < d.size(); ++i) weighted_delta[i] += wc * d[i];
         max_norm = std::max(max_norm, VectorNorm(d));
         // Cluster on the stable cross-round drift direction.
-        deltas.push_back(clients_[static_cast<size_t>(c)]->LayerDeltaEma(l));
+        deltas.push_back(CodecRoundTripped(
+            CodecOf(c),
+            clients_[static_cast<size_t>(c)]->LayerDeltaEma(l)));
       }
       const double mean_norm = VectorNorm(weighted_delta);
       // Splits are deferred until the whole group delivered fresh updates:
@@ -453,7 +500,7 @@ void FederatedSimulator::ClusteredWholeModelRound(
     }
     // Whole model exchanged by every delivered cluster member.
     for (int l = 0; l < clients_.front()->num_layers(); ++l) {
-      *bytes += LayerExchangeBytes(l, active.size());
+      *bytes += LayerExchangeBytes(l, active);
       AverageLayer(l, active);
     }
     // Split test (Eq. 3 over whole-model deltas of delivered members).
@@ -525,11 +572,23 @@ Result<FlResult> FederatedSimulator::Run(FlAlgorithm algorithm) {
   fexiot_round_counter_ = 0;
   double bytes = 0.0;
   double retransmit_bytes = 0.0;
+  double uplink_wire_bytes = 0.0;
+  double downlink_wire_bytes = 0.0;
 
   runtime_ = std::make_unique<FederatedRuntime>(
       fl_config_.runtime, static_cast<int>(clients_.size()));
 
   const RuntimeConfig& rc = fl_config_.runtime;
+  // Codec negotiation: the configured default resolved through the
+  // FEXIOT_WIRE_CODEC env override, then per-client overrides. When the
+  // env var actively overrode the default it forces a uniform fleet (CI
+  // sweeps re-run whole configurations under one codec).
+  const WireCodec default_codec = ResolveWireCodec(rc.wire_codec);
+  codec_of_.assign(clients_.size(), default_codec);
+  if (default_codec == rc.wire_codec) {
+    const size_t n_over = std::min(codec_of_.size(), rc.client_codecs.size());
+    for (size_t c = 0; c < n_over; ++c) codec_of_[c] = rc.client_codecs[c];
+  }
   const bool async_policy = rc.policy == RoundPolicy::kAsync ||
                             rc.policy == RoundPolicy::kSemiAsync;
   agg_scale_.clear();
@@ -556,10 +615,11 @@ Result<FlResult> FederatedSimulator::Run(FlAlgorithm algorithm) {
   const int num_layers = clients_.front()->num_layers();
   for (int round = 0; round < fl_config_.num_rounds; ++round) {
     // 1. Discrete-event round: selection, faults, wire-priced transfers.
-    const double wire_bytes = RoundWireBytesPerClient(algorithm);
-    const std::vector<double> upload_bytes(clients_.size(), wire_bytes);
+    // Broadcast and update carry the same layers, so each client's
+    // downlink message prices like its uplink one.
+    const std::vector<double> wire_bytes = RoundWireBytesPerClient(algorithm);
     const RoundOutcome outcome =
-        runtime_->ExecuteRound(round, wire_bytes, upload_bytes, train_seconds);
+        runtime_->ExecuteRound(round, wire_bytes, wire_bytes, train_seconds);
     // Async policies: staleness-decayed per-client aggregation scales for
     // the group-averaging algorithms (kFedAvg mixes sequentially instead).
     // Sparse on the applied updates: absent clients read as 1.0.
@@ -591,7 +651,7 @@ Result<FlResult> FederatedSimulator::Run(FlAlgorithm algorithm) {
         }
         for (int l = 0; l < num_layers; ++l) {
           AverageLayer(l, outcome.delivered);
-          bytes += LayerExchangeBytes(l, outcome.delivered.size());
+          bytes += LayerExchangeBytes(l, outcome.delivered);
         }
         break;
       }
@@ -608,6 +668,8 @@ Result<FlResult> FederatedSimulator::Run(FlAlgorithm algorithm) {
       }
     }
     retransmit_bytes += outcome.retransmit_bytes;
+    uplink_wire_bytes += outcome.uplink_wire_bytes;
+    downlink_wire_bytes += outcome.downlink_wire_bytes;
 
     FlRoundStats stats;
     stats.round = round;
@@ -630,6 +692,8 @@ Result<FlResult> FederatedSimulator::Run(FlAlgorithm algorithm) {
     stats.hop_comm_bytes = outcome.hop_bytes;
     stats.aggregator_crashes = outcome.aggregator_crashes;
     stats.subtree_lost_updates = outcome.subtree_lost_updates;
+    stats.uplink_wire_bytes = uplink_wire_bytes;
+    stats.downlink_wire_bytes = downlink_wire_bytes;
     if (async_policy && !outcome.applied.empty()) {
       double staleness_sum = 0.0;
       for (const UpdateApplication& u : outcome.applied) {
@@ -674,6 +738,8 @@ Result<FlResult> FederatedSimulator::Run(FlAlgorithm algorithm) {
   result.mean.f1 /= n;
   result.accuracy_std = ComputeMeanStd(accs).stddev;
   result.total_comm_bytes = bytes;
+  result.total_uplink_wire_bytes = uplink_wire_bytes;
+  result.total_downlink_wire_bytes = downlink_wire_bytes;
   result.total_sim_time_s = runtime_->now();
   result.total_retransmit_bytes = retransmit_bytes;
 

@@ -78,8 +78,21 @@ class FederatedSimulator {
   /// Lazily initializes the explicit async global model from the clients'
   /// shared pre-round weights (all clients start from one seed).
   void EnsureAsyncGlobal();
-  /// Bytes for exchanging (up + down) one layer with a client group.
-  double LayerExchangeBytes(int layer, size_t group_size) const;
+  /// Bytes for exchanging (up + down) one layer with a client group:
+  /// each member's payload lanes under its negotiated codec. Under the
+  /// default fp64 fleet this is exactly the historical
+  /// 2 * |group| * LayerBytes(layer) accounting.
+  double LayerExchangeBytes(int layer, const std::vector<int>& group) const;
+
+  /// Effective wire codec of client \p c this run (fp64 before Run).
+  WireCodec CodecOf(int c) const;
+  /// What the other end observes after \p raw crossed a link of client
+  /// \p c: \p raw itself under the fp64 passthrough (no copy), otherwise
+  /// \p *scratch filled with the quantize-dequantize image of \p raw.
+  /// Both directions use c's negotiated codec, so one helper serves
+  /// uplink reads and downlink installs.
+  const std::vector<double>& ThroughWire(int c, const std::vector<double>& raw,
+                                         std::vector<double>* scratch) const;
 
   /// Members of \p group whose updates the runtime delivered this round.
   /// \p delivered is RoundOutcome::delivered (sorted ascending) — looked
@@ -95,9 +108,11 @@ class FederatedSimulator {
   /// unlock minus the lazy stable-layer skip), without mutating state.
   std::vector<int> FexiotLayersThisRound() const;
 
-  /// Serialized wire bytes of one round's downlink broadcast / per-client
-  /// upload under \p algorithm (prices the network model transfers).
-  double RoundWireBytesPerClient(FlAlgorithm algorithm) const;
+  /// Serialized wire bytes of one round's downlink broadcast / uplink
+  /// update per client under \p algorithm (prices the network model
+  /// transfers). Indexed by client id: each client's messages are encoded
+  /// with its own negotiated codec, so a mixed fleet prices unevenly.
+  std::vector<double> RoundWireBytesPerClient(FlAlgorithm algorithm) const;
 
   /// One FexIoT round (Algorithm 1 with a persistent layer-wise cluster
   /// tree): aggregates every unlocked layer within its current groups
@@ -125,6 +140,10 @@ class FederatedSimulator {
   std::unique_ptr<FederatedRuntime> runtime_;
   std::vector<std::unique_ptr<FlClient>> clients_;
   std::vector<double> client_weight_;  // |G_c| / |G|
+  // Effective per-client wire codec of the current Run: the configured
+  // global default resolved through FEXIOT_WIRE_CODEC, then per-client
+  // overrides (skipped when the env var forces a fleet-wide codec).
+  std::vector<WireCodec> codec_of_;
   // Per-round staleness decay alpha(s), keyed by client id and sparse on
   // the clients an update was applied for (async policies); every absent
   // client scales by 1.0 via AggScale, so AverageLayer is unchanged and

@@ -86,6 +86,13 @@ struct FlRoundStats {
   /// (0: clients->edge, 1: edge->parent, 2: regional->root). Empty under
   /// the flat topology.
   std::vector<double> hop_comm_bytes;
+  /// Cumulative real on-wire bytes up to this round, priced from the
+  /// encoded message sizes (framing + codec lanes, every copy sent incl.
+  /// retransmissions and losses). Unlike cumulative_comm_bytes — which
+  /// keeps the historical payload-lane accounting — these shrink under
+  /// the lossy wire codecs (runtime/codec.h).
+  double uplink_wire_bytes = 0.0;
+  double downlink_wire_bytes = 0.0;
   /// Aggregators down this round (tree topology only).
   int aggregator_crashes = 0;
   /// Arrived updates dropped because an aggregator on their path crashed.
@@ -101,6 +108,11 @@ struct FlResult {
   /// Std-dev of client accuracies (stability evaluation).
   double accuracy_std = 0.0;
   double total_comm_bytes = 0.0;
+  /// Real on-wire byte totals over the whole run (see
+  /// FlRoundStats::uplink_wire_bytes): what actually crossed the links,
+  /// per direction, under the negotiated wire codecs.
+  double total_uplink_wire_bytes = 0.0;
+  double total_downlink_wire_bytes = 0.0;
   /// Simulated wall-clock of the whole run (seconds; 0 under the
   /// passthrough runtime's zero-latency links).
   double total_sim_time_s = 0.0;

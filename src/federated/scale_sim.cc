@@ -100,6 +100,9 @@ Status ValidateScaleConfig(const ScaleFlConfig& config) {
     return Status::InvalidArgument("threads must be >= 0");
   FEXIOT_RETURN_NOT_OK(ValidateLink(config.down_link, "down_link"));
   FEXIOT_RETURN_NOT_OK(ValidateLink(config.up_link, "up_link"));
+  if (!IsValidWireCodec(static_cast<uint32_t>(config.wire_codec))) {
+    return Status::InvalidArgument("unknown wire_codec");
+  }
   FEXIOT_RETURN_NOT_OK(ValidateTreeTopology(config.topology));
   return Status::OK();
 }
@@ -154,13 +157,14 @@ Result<ScaleFlResult> ScaleSimulator::Run() {
   // replica starts from the same seeded initialization).
   GnnModel probe(cfg.client.model);
   const int num_layers = probe.num_layers();
+  const WireCodec codec = ResolveWireCodec(cfg.wire_codec);
   std::vector<std::vector<double>> global(static_cast<size_t>(num_layers));
   double upload_bytes = 0.0;
   double broadcast_bytes = 0.0;
   for (int l = 0; l < num_layers; ++l) {
     global[static_cast<size_t>(l)] = probe.GetLayerFlat(l);
     const double wire =
-        static_cast<double>(MessageWireBytes(probe.LayerSize(l)));
+        static_cast<double>(MessageWireBytes(probe.LayerSize(l), codec));
     upload_bytes += wire;
     broadcast_bytes += wire;
   }
@@ -183,18 +187,34 @@ Result<ScaleFlResult> ScaleSimulator::Run() {
     std::vector<double> edge_arrival(k, 0.0);
     std::vector<std::vector<std::vector<double>>> updates(k);
 
+    // Downlink: participants receive the global as it survives the wire
+    // codec (fp64 passes &global straight through — no copy, bit-exact).
+    const std::vector<std::vector<double>>* broadcast_global = &global;
+    std::vector<std::vector<double>> downlinked;
+    if (codec != WireCodec::kFp64) {
+      downlinked = global;
+      for (auto& layer : downlinked) CodecRoundTrip(codec, &layer);
+      broadcast_global = &downlinked;
+    }
+
     pool.ParallelFor(k, [&](size_t i) {
       const uint64_t client = participants[i];
       const int cid = static_cast<int>(client);
-      std::unique_ptr<MaterializedClient> mc = store.Acquire(client, &global);
+      std::unique_ptr<MaterializedClient> mc =
+          store.Acquire(client, broadcast_global);
       Rng train_rng = train_base.ForkAt(
           MixKey(client, static_cast<uint64_t>(round) + 1));
       GnnTrainer trainer(&mc->model, cfg.train);
       losses[i] = trainer.Train(mc->train_graphs, &train_rng);
       auto& up = updates[i];
       up.resize(static_cast<size_t>(num_layers));
-      for (int l = 0; l < num_layers; ++l)
+      for (int l = 0; l < num_layers; ++l) {
+        // Snapshot what the server will observe: the trained layer after
+        // the uplink codec. A pure per-tensor function, so the parallel
+        // workers stay bit-identical across thread counts.
         up[static_cast<size_t>(l)] = mc->model.GetLayerFlat(l);
+        CodecRoundTrip(codec, &up[static_cast<size_t>(l)]);
+      }
       const double train_s = cfg.train_seconds_per_graph *
                              static_cast<double>(mc->train_graphs.size()) *
                              cfg.train.epochs;

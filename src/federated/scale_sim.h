@@ -8,6 +8,7 @@
 #include "common/status.h"
 #include "federated/client_state.h"
 #include "ml/metrics.h"
+#include "runtime/codec.h"
 #include "runtime/network_model.h"
 #include "runtime/topology.h"
 
@@ -36,6 +37,12 @@ struct ScaleFlConfig {
   /// Client access links (same LinkModel pricing as the event runtime).
   LinkModel down_link;
   LinkModel up_link;
+  /// Wire payload codec for every exchanged message (runtime/codec.h);
+  /// kFp64 is the bit-exact passthrough default. Lossy codecs shrink the
+  /// priced transfers and quantize what crosses each link — deterministic,
+  /// so thread-count/lazy-vs-eager bit-identity is preserved. Resolved
+  /// through FEXIOT_WIRE_CODEC at Run.
+  WireCodec wire_codec = WireCodec::kFp64;
   /// Simulated seconds of local training per prepared graph per epoch.
   double train_seconds_per_graph = 0.0;
   /// Round deadline in simulated seconds; updates arriving at the root

@@ -10,6 +10,12 @@ namespace fexiot {
 
 namespace wire {
 
+void AppendU16(std::vector<uint8_t>* out, uint16_t v) {
+  const size_t off = out->size();
+  out->resize(off + sizeof(v));
+  std::memcpy(out->data() + off, &v, sizeof(v));
+}
+
 void AppendU32(std::vector<uint8_t>* out, uint32_t v) {
   const size_t off = out->size();
   out->resize(off + sizeof(v));
@@ -28,6 +34,19 @@ void AppendDoubles(std::vector<uint8_t>* out, const double* p, size_t n) {
   if (n > 0) std::memcpy(out->data() + off, p, n * sizeof(double));
 }
 
+void AppendF32(std::vector<uint8_t>* out, float v) {
+  const size_t off = out->size();
+  out->resize(off + sizeof(v));
+  std::memcpy(out->data() + off, &v, sizeof(v));
+}
+
+bool ReadU16(const uint8_t* data, size_t size, size_t* off, uint16_t* v) {
+  if (*off + sizeof(*v) > size) return false;
+  std::memcpy(v, data + *off, sizeof(*v));
+  *off += sizeof(*v);
+  return true;
+}
+
 bool ReadU32(const uint8_t* data, size_t size, size_t* off, uint32_t* v) {
   if (*off + sizeof(*v) > size) return false;
   std::memcpy(v, data + *off, sizeof(*v));
@@ -36,6 +55,13 @@ bool ReadU32(const uint8_t* data, size_t size, size_t* off, uint32_t* v) {
 }
 
 bool ReadU64(const uint8_t* data, size_t size, size_t* off, uint64_t* v) {
+  if (*off + sizeof(*v) > size) return false;
+  std::memcpy(v, data + *off, sizeof(*v));
+  *off += sizeof(*v);
+  return true;
+}
+
+bool ReadF32(const uint8_t* data, size_t size, size_t* off, float* v) {
   if (*off + sizeof(*v) > size) return false;
   std::memcpy(v, data + *off, sizeof(*v));
   *off += sizeof(*v);

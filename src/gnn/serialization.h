@@ -16,13 +16,17 @@ namespace fexiot {
 /// corresponding layer record of a serialized model.
 namespace wire {
 
+void AppendU16(std::vector<uint8_t>* out, uint16_t v);
 void AppendU32(std::vector<uint8_t>* out, uint32_t v);
 void AppendU64(std::vector<uint8_t>* out, uint64_t v);
+void AppendF32(std::vector<uint8_t>* out, float v);
 void AppendDoubles(std::vector<uint8_t>* out, const double* p, size_t n);
 
 /// Read helpers: advance \p *off on success, return false on overrun.
+bool ReadU16(const uint8_t* data, size_t size, size_t* off, uint16_t* v);
 bool ReadU32(const uint8_t* data, size_t size, size_t* off, uint32_t* v);
 bool ReadU64(const uint8_t* data, size_t size, size_t* off, uint64_t* v);
+bool ReadF32(const uint8_t* data, size_t size, size_t* off, float* v);
 bool ReadDoubles(const uint8_t* data, size_t size, size_t* off, double* p,
                  size_t n);
 

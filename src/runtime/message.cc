@@ -8,32 +8,44 @@ namespace fexiot {
 namespace {
 
 constexpr char kMagicPrefix[6] = {'F', 'E', 'X', 'M', 'S', 'G'};
-constexpr char kMagic[8] = {'F', 'E', 'X', 'M', 'S', 'G', '0', '1'};
+constexpr char kMagicV1[8] = {'F', 'E', 'X', 'M', 'S', 'G', '0', '1'};
+constexpr char kMagicV2[8] = {'F', 'E', 'X', 'M', 'S', 'G', '0', '2'};
 
 }  // namespace
 
 std::vector<uint8_t> EncodeMessage(const WireMessage& msg) {
   std::vector<uint8_t> out;
-  out.reserve(MessageWireBytes(msg.payload.size()));
-  out.insert(out.end(), kMagic, kMagic + sizeof(kMagic));
+  out.reserve(MessageWireBytes(msg.payload.size(), msg.codec));
+  if (msg.codec == WireCodec::kFp64) {
+    // Legacy framing, byte-identical to the pre-codec encoder: no encoding
+    // field, so fp64 traffic prices and hashes exactly as before.
+    out.insert(out.end(), kMagicV1, kMagicV1 + sizeof(kMagicV1));
+  } else {
+    out.insert(out.end(), kMagicV2, kMagicV2 + sizeof(kMagicV2));
+  }
   wire::AppendU32(&out, static_cast<uint32_t>(msg.type));
   wire::AppendU32(&out, msg.round);
   wire::AppendU32(&out, msg.sender);
   wire::AppendU32(&out, msg.layer);
-  wire::AppendLayerRecord(&out, msg.payload);
-  wire::AppendU32(&out, Crc32(out.data() + sizeof(kMagic),
-                              out.size() - sizeof(kMagic)));
+  if (msg.codec != WireCodec::kFp64) {
+    wire::AppendU32(&out, static_cast<uint32_t>(msg.codec));
+  }
+  AppendEncodedPayload(&out, msg.payload, msg.codec);
+  wire::AppendU32(&out, Crc32(out.data() + sizeof(kMagicV1),
+                              out.size() - sizeof(kMagicV1)));
   return out;
 }
 
 Result<WireMessage> DecodeMessage(const uint8_t* data, size_t size) {
-  if (size < sizeof(kMagic) ||
+  if (size < sizeof(kMagicV1) ||
       std::memcmp(data, kMagicPrefix, sizeof(kMagicPrefix)) != 0) {
     return Status::InvalidArgument("not a FexIoT wire message");
   }
-  if (std::memcmp(data, kMagic, sizeof(kMagic)) != 0) {
+  const bool v1 = std::memcmp(data, kMagicV1, sizeof(kMagicV1)) == 0;
+  const bool v2 = !v1 && std::memcmp(data, kMagicV2, sizeof(kMagicV2)) == 0;
+  if (!v1 && !v2) {
     return Status::InvalidArgument(
-        "unsupported FexIoT wire message version (expected FEXMSG01)");
+        "unsupported FexIoT wire message version (expected FEXMSG01/02)");
   }
   if (size < MessageWireBytes(0)) {
     return Status::IOError("truncated wire message");
@@ -42,13 +54,13 @@ Result<WireMessage> DecodeMessage(const uint8_t* data, size_t size) {
   uint32_t stored_crc = 0;
   (void)wire::ReadU32(data, size, &off, &stored_crc);
   const uint32_t actual_crc =
-      Crc32(data + sizeof(kMagic), size - sizeof(kMagic) - sizeof(uint32_t));
+      Crc32(data + sizeof(kMagicV1), size - sizeof(kMagicV1) - sizeof(uint32_t));
   if (stored_crc != actual_crc) {
     return Status::InvalidArgument("wire message corrupted (CRC mismatch)");
   }
   const size_t body_end = size - sizeof(uint32_t);
 
-  off = sizeof(kMagic);
+  off = sizeof(kMagicV1);
   WireMessage msg;
   uint32_t type = 0;
   if (!wire::ReadU32(data, body_end, &off, &type) ||
@@ -61,7 +73,17 @@ Result<WireMessage> DecodeMessage(const uint8_t* data, size_t size) {
     return Status::InvalidArgument("unknown wire message type");
   }
   msg.type = static_cast<MessageType>(type);
-  if (!wire::ReadLayerRecord(data, body_end, &off, &msg.payload)) {
+  if (v2) {
+    uint32_t encoding = 0;
+    if (!wire::ReadU32(data, body_end, &off, &encoding)) {
+      return Status::IOError("truncated wire message");
+    }
+    if (!IsValidWireCodec(encoding)) {
+      return Status::InvalidArgument("unknown wire message payload encoding");
+    }
+    msg.codec = static_cast<WireCodec>(encoding);
+  }
+  if (!ReadEncodedPayload(data, body_end, &off, msg.codec, &msg.payload)) {
     return Status::IOError("truncated wire message");
   }
   if (off != body_end) {
@@ -70,9 +92,11 @@ Result<WireMessage> DecodeMessage(const uint8_t* data, size_t size) {
   return msg;
 }
 
-size_t MessageWireBytes(size_t payload_doubles) {
-  return sizeof(kMagic) + 4 * sizeof(uint32_t) + sizeof(uint64_t) +
-         payload_doubles * sizeof(double) + sizeof(uint32_t);
+size_t MessageWireBytes(size_t payload_len, WireCodec codec) {
+  const size_t encoding_field =
+      codec == WireCodec::kFp64 ? 0 : sizeof(uint32_t);
+  return sizeof(kMagicV1) + 4 * sizeof(uint32_t) + encoding_field +
+         EncodedPayloadBytes(payload_len, codec) + sizeof(uint32_t);
 }
 
 }  // namespace fexiot

@@ -5,6 +5,7 @@
 
 #include "common/result.h"
 #include "gnn/serialization.h"
+#include "runtime/codec.h"
 
 namespace fexiot {
 
@@ -19,33 +20,48 @@ constexpr uint32_t kServerSenderId = 0xFFFFFFFFu;
 
 /// \brief One federated update/broadcast message.
 ///
-/// The payload is the flat layer parameter vector, encoded on the wire as
-/// the gnn/serialization layer record (u64 count + raw doubles) — byte
-/// identical to the per-layer record of a saved model file, so a server
-/// can splice received updates straight into a persisted FEXGNN02 model.
+/// The payload is the flat layer parameter vector; \p codec decides how it
+/// is packed on the wire (runtime/codec.h). Under the default kFp64 codec
+/// the payload is encoded as the gnn/serialization layer record (u64 count
+/// + raw doubles) — byte identical to the per-layer record of a saved model
+/// file, so a server can splice received updates straight into a persisted
+/// FEXGNN02 model. Quantized codecs carry packed lanes instead; DecodeMessage
+/// returns the *dequantized* fp64 payload, ready for fp64 accumulation.
 struct WireMessage {
   MessageType type = MessageType::kLayerUpdate;
   uint32_t round = 0;
   uint32_t sender = 0;  ///< client id, or kServerSenderId
   uint32_t layer = 0;
+  WireCodec codec = WireCodec::kFp64;
   std::vector<double> payload;
 };
 
-/// \brief Encodes a message with the versioned framing:
-///   "FEXMSG01" magic | u32 type | u32 round | u32 sender | u32 layer |
-///   layer record (u64 count + doubles) | u32 CRC-32 over all fields after
-///   the magic.
+/// \brief Encodes a message with the versioned framing. The version is a
+/// function of the codec:
+///
+///   kFp64 -> "FEXMSG01" magic | u32 type | u32 round | u32 sender |
+///            u32 layer | fp64 layer record (u64 count + doubles) |
+///            u32 CRC-32 over all fields after the magic
+///            — byte-identical to the pre-codec encoder, so fp64 traffic
+///            reproduces every existing trace and priced transfer exactly.
+///
+///   others -> "FEXMSG02" magic | u32 type | u32 round | u32 sender |
+///            u32 layer | u32 encoding (WireCodec) | encoded payload record
+///            (runtime/codec.h) | u32 CRC-32 over all fields after the magic.
 std::vector<uint8_t> EncodeMessage(const WireMessage& msg);
 
-/// \brief Decodes EncodeMessage bytes. Fails with InvalidArgument on bad
-/// magic / version mismatch / CRC (corruption) failure and IOError on
-/// truncation.
+/// \brief Decodes EncodeMessage bytes — both FEXMSG01 (always fp64) and
+/// FEXMSG02 (any codec; the payload is dequantized to fp64). Fails with
+/// InvalidArgument on bad magic / unsupported version / unknown encoding id
+/// / CRC (corruption) failure and IOError on truncation.
 Result<WireMessage> DecodeMessage(const uint8_t* data, size_t size);
 
-/// \brief Exact on-wire size of a message carrying \p payload_doubles
-/// doubles — what the network model prices transfers from. Matches
-/// EncodeMessage(msg).size() for any message with that payload length
-/// (asserted in test_runtime).
-size_t MessageWireBytes(size_t payload_doubles);
+/// \brief Exact on-wire size of a message carrying \p payload_len elements
+/// under \p codec — what the network model prices transfers from. Matches
+/// EncodeMessage(msg).size() for any message with that payload length and
+/// codec (asserted in test_runtime for every codec). The historical
+/// single-argument form prices the fp64 framing.
+size_t MessageWireBytes(size_t payload_len,
+                        WireCodec codec = WireCodec::kFp64);
 
 }  // namespace fexiot

@@ -123,6 +123,14 @@ Status ValidateRuntimeConfig(const RuntimeConfig& config) {
     return Status::InvalidArgument(
         "runtime: participation_fraction must be in (0, 1]");
   }
+  if (!IsValidWireCodec(static_cast<uint32_t>(config.wire_codec))) {
+    return Status::InvalidArgument("runtime: unknown wire_codec");
+  }
+  for (WireCodec c : config.client_codecs) {
+    if (!IsValidWireCodec(static_cast<uint32_t>(c))) {
+      return Status::InvalidArgument("runtime: unknown client codec");
+    }
+  }
   FEXIOT_RETURN_NOT_OK(ValidateTreeTopology(config.topology));
   if (config.topology.edge_fanout > 0) {
     if (config.policy != RoundPolicy::kSynchronous &&
@@ -193,6 +201,7 @@ void FederatedRuntime::SendUpload(EventQueue* queue, RoundOutcome* outcome,
                                   double send_time,
                                   const std::vector<double>& upload_bytes) {
   send_time_[static_cast<size_t>(client)] = send_time;
+  outcome->uplink_wire_bytes += upload_bytes[static_cast<size_t>(client)];
   if (attempt > 0) {
     ++outcome->retransmissions;
     outcome->retransmit_bytes += upload_bytes[static_cast<size_t>(client)];
@@ -207,9 +216,11 @@ void FederatedRuntime::SendUpload(EventQueue* queue, RoundOutcome* outcome,
                   client, attempt);
 }
 
-void FederatedRuntime::SendBroadcast(EventQueue* queue, int round, int client,
-                                     int attempt, double send_time,
+void FederatedRuntime::SendBroadcast(EventQueue* queue, RoundOutcome* outcome,
+                                     int round, int client, int attempt,
+                                     double send_time,
                                      double broadcast_bytes) {
+  outcome->downlink_wire_bytes += broadcast_bytes;
   const double duration = network_.TransferSeconds(
       round, client, LinkDirection::kDown, attempt, broadcast_bytes);
   // Lossless downlinks (the historical default) never consume a loss
@@ -224,6 +235,16 @@ void FederatedRuntime::SendBroadcast(EventQueue* queue, int round, int client,
 
 RoundOutcome FederatedRuntime::ExecuteRound(
     int round, double broadcast_bytes, const std::vector<double>& upload_bytes,
+    const std::vector<double>& train_seconds) {
+  return ExecuteRound(round,
+                      std::vector<double>(static_cast<size_t>(num_clients_),
+                                          broadcast_bytes),
+                      upload_bytes, train_seconds);
+}
+
+RoundOutcome FederatedRuntime::ExecuteRound(
+    int round, const std::vector<double>& broadcast_bytes,
+    const std::vector<double>& upload_bytes,
     const std::vector<double>& train_seconds) {
   RoundOutcome outcome;
   outcome.start_time_s = now_;
@@ -338,7 +359,8 @@ RoundOutcome FederatedRuntime::ExecuteRound(
   // 2. Discrete-event simulation of broadcast -> train -> upload.
   EventQueue queue(MixKey(config_.seed, static_cast<uint64_t>(round) + 1));
   for (int c : outcome.participants) {
-    SendBroadcast(&queue, round, c, 0, now_, broadcast_bytes);
+    SendBroadcast(&queue, &outcome, round, c, 0, now_,
+                  broadcast_bytes[static_cast<size_t>(c)]);
   }
   double last_event_time = now_;
   int applications = 0;    // kAsync: applied updates; kSemiAsync: tiers
@@ -439,8 +461,8 @@ RoundOutcome FederatedRuntime::ExecuteRound(
         }
         break;
       case EventKind::kRefetch:
-        SendBroadcast(&queue, round, ev.client, ev.attempt, ev.time,
-                      broadcast_bytes);
+        SendBroadcast(&queue, &outcome, round, ev.client, ev.attempt, ev.time,
+                      broadcast_bytes[c]);
         break;
       case EventKind::kTierFlush: {
         // Aggregate the tier as a mini-batch: every buffered member gets

@@ -7,6 +7,7 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "runtime/async_policy.h"
+#include "runtime/codec.h"
 #include "runtime/event_queue.h"
 #include "runtime/fault_model.h"
 #include "runtime/network_model.h"
@@ -107,6 +108,13 @@ struct RuntimeConfig {
   /// post-pass router does not model (rejected by ValidateRuntimeConfig).
   TreeTopologyConfig topology;
 
+  /// Wire payload codec negotiated with every client (runtime/codec.h).
+  /// kFp64 is the bit-exact passthrough default; the lossy codecs shrink
+  /// the priced message sizes (and therefore every simulated transfer).
+  WireCodec wire_codec = WireCodec::kFp64;
+  /// Per-client codec overrides; clients beyond the vector use wire_codec.
+  std::vector<WireCodec> client_codecs;
+
   LinkModel default_down;
   LinkModel default_up;
   /// Per-client link overrides; clients beyond the vector use the default.
@@ -176,6 +184,14 @@ struct RoundOutcome {
   int aggregator_crashes = 0;
   /// Arrived updates dropped because an aggregator on their path crashed.
   int subtree_lost_updates = 0;
+  /// Real on-wire uplink bytes this round: every upload copy that left a
+  /// client (first attempts, retransmissions, and copies lost in transit —
+  /// the bytes are spent either way), priced from the encoded message
+  /// sizes the caller passed in.
+  double uplink_wire_bytes = 0.0;
+  /// Real on-wire downlink bytes this round: every broadcast copy that
+  /// left the server, including re-fetch re-sends and lost copies.
+  double downlink_wire_bytes = 0.0;
 };
 
 /// \brief Deterministic discrete-event federated round executor.
@@ -203,6 +219,16 @@ class FederatedRuntime {
                             const std::vector<double>& upload_bytes,
                             const std::vector<double>& train_seconds);
 
+  /// Per-client downlink form: \p broadcast_bytes[c] is the serialized
+  /// downlink message size for client c. A mixed-codec fleet encodes each
+  /// client's broadcast with its own negotiated codec, so downlink sizes
+  /// differ per client; the scalar overload above is the uniform special
+  /// case and stays bit-identical.
+  RoundOutcome ExecuteRound(int round,
+                            const std::vector<double>& broadcast_bytes,
+                            const std::vector<double>& upload_bytes,
+                            const std::vector<double>& train_seconds);
+
   /// Simulated wall-clock after the last executed round.
   double now() const { return now_; }
 
@@ -217,8 +243,9 @@ class FederatedRuntime {
                   const std::vector<double>& upload_bytes);
   /// Prices one broadcast copy and schedules its arrival (or its loss,
   /// when the downlink's loss draw fires).
-  void SendBroadcast(EventQueue* queue, int round, int client, int attempt,
-                     double send_time, double broadcast_bytes);
+  void SendBroadcast(EventQueue* queue, RoundOutcome* outcome, int round,
+                     int client, int attempt, double send_time,
+                     double broadcast_bytes);
   void Trace(int round, const SimEvent& event);
   void TraceLine(const std::string& line);
   /// Deadline the deadline policy uses for \p round (adaptive or fixed).

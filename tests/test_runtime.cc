@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/crc32.h"
 #include "common/parallel.h"
 #include "federated/fl_simulator.h"
 #include "graph/corpus.h"
@@ -129,6 +130,113 @@ TEST(Message, RejectsBadMagicVersionTruncationAndCorruption) {
     std::vector<uint8_t> padded = bytes;
     padded.push_back(0);
     EXPECT_FALSE(DecodeMessage(padded.data(), padded.size()).ok());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Quantized wire codecs (FEXMSG02 framing)
+// ---------------------------------------------------------------------------
+
+TEST(Message, EncodeDecodeRoundTripsEveryCodec) {
+  for (int k = 0; k < kNumWireCodecs; ++k) {
+    const WireCodec codec = static_cast<WireCodec>(k);
+    WireMessage m = SampleMessage();
+    m.codec = codec;
+    const std::vector<uint8_t> bytes = EncodeMessage(m);
+    const Result<WireMessage> back = DecodeMessage(bytes.data(), bytes.size());
+    ASSERT_TRUE(back.ok()) << WireCodecName(codec) << ": "
+                           << back.status().ToString();
+    EXPECT_EQ(back->codec, codec);
+    EXPECT_EQ(back->round, m.round);
+    EXPECT_EQ(back->sender, m.sender);
+    EXPECT_EQ(back->layer, m.layer);
+    // The decoded payload is the dequantized image of the original.
+    EXPECT_EQ(back->payload, CodecRoundTripped(codec, m.payload))
+        << WireCodecName(codec);
+  }
+}
+
+TEST(Message, WireBytesMatchesEncodedSizeEveryCodec) {
+  for (int k = 0; k < kNumWireCodecs; ++k) {
+    const WireCodec codec = static_cast<WireCodec>(k);
+    for (size_t n : {size_t{0}, size_t{1}, size_t{5}, size_t{257}}) {
+      WireMessage m = SampleMessage();
+      m.codec = codec;
+      m.payload.assign(n, 0.5);
+      EXPECT_EQ(EncodeMessage(m).size(), MessageWireBytes(n, codec))
+          << WireCodecName(codec) << " n=" << n;
+    }
+  }
+}
+
+TEST(Message, Fp64FramesAsLegacyFexmsg01) {
+  // The fp64 default must keep emitting byte-identical FEXMSG01 frames —
+  // every pre-codec trace, golden, and priced transfer depends on it.
+  const WireMessage m = SampleMessage();
+  const std::vector<uint8_t> bytes = EncodeMessage(m);
+  EXPECT_EQ(std::memcmp(bytes.data(), "FEXMSG01", 8), 0);
+  EXPECT_EQ(MessageWireBytes(m.payload.size()),
+            MessageWireBytes(m.payload.size(), WireCodec::kFp64));
+  const Result<WireMessage> back = DecodeMessage(bytes.data(), bytes.size());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->codec, WireCodec::kFp64);
+  // Quantized frames announce themselves as FEXMSG02.
+  WireMessage q = SampleMessage();
+  q.codec = WireCodec::kInt8;
+  const std::vector<uint8_t> qbytes = EncodeMessage(q);
+  EXPECT_EQ(std::memcmp(qbytes.data(), "FEXMSG02", 8), 0);
+}
+
+TEST(Message, RejectsUnknownEncodingId) {
+  WireMessage m = SampleMessage();
+  m.codec = WireCodec::kInt8;
+  std::vector<uint8_t> bytes = EncodeMessage(m);
+  // The encoding field sits after magic(8) + type/round/sender/layer(16).
+  const uint32_t bogus = 97;
+  std::memcpy(bytes.data() + 24, &bogus, sizeof(bogus));
+  // Re-seal the CRC so the *encoding* check fires, not corruption.
+  const uint32_t crc = Crc32(bytes.data() + 8, bytes.size() - 8 - 4);
+  std::memcpy(bytes.data() + bytes.size() - 4, &crc, sizeof(crc));
+  const Result<WireMessage> r = DecodeMessage(bytes.data(), bytes.size());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("encoding"), std::string::npos);
+}
+
+TEST(Message, RejectsTruncatedQuantizedRecordWithValidCrc) {
+  // A record whose element count promises more lanes than the frame holds
+  // must fail as truncation even when the CRC over the short frame is
+  // valid (a buggy sender, not line corruption).
+  std::vector<uint8_t> bytes;
+  bytes.insert(bytes.end(), {'F', 'E', 'X', 'M', 'S', 'G', '0', '2'});
+  wire::AppendU32(&bytes, 1);  // type = kLayerUpdate
+  wire::AppendU32(&bytes, 0);  // round
+  wire::AppendU32(&bytes, 0);  // sender
+  wire::AppendU32(&bytes, 0);  // layer
+  wire::AppendU32(&bytes, static_cast<uint32_t>(WireCodec::kInt8));
+  wire::AppendU64(&bytes, 100);  // claims 100 lanes...
+  wire::AppendF32(&bytes, 1.0f);
+  wire::AppendF32(&bytes, 0.0f);
+  bytes.push_back(7);  // ...ships 1
+  wire::AppendU32(&bytes, Crc32(bytes.data() + 8, bytes.size() - 8));
+  const Result<WireMessage> r = DecodeMessage(bytes.data(), bytes.size());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+TEST(Message, Fexmsg02CrcCatchesLaneCorruption) {
+  WireMessage m = SampleMessage();
+  m.codec = WireCodec::kBf16;
+  std::vector<uint8_t> bytes = EncodeMessage(m);
+  bytes[bytes.size() - 6] ^= 0x10;  // flip a bit in the last lane
+  const Result<WireMessage> r = DecodeMessage(bytes.data(), bytes.size());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("CRC"), std::string::npos);
+  // Truncating a quantized frame anywhere fails cleanly too.
+  const std::vector<uint8_t> good = EncodeMessage(m);
+  for (size_t cut : {size_t{9}, size_t{25}, size_t{30}, good.size() - 1}) {
+    EXPECT_FALSE(DecodeMessage(good.data(), cut).ok()) << "cut=" << cut;
   }
 }
 
@@ -590,12 +698,14 @@ struct ParityRun {
   std::string digest;
 };
 
-ParityRun RunFaultyWithThreads(int threads) {
+ParityRun RunFaultyWithThreads(int threads,
+                               WireCodec codec = WireCodec::kFp64) {
   const Fixture& f = Fixture::Get();
   parallel::SetThreads(static_cast<size_t>(threads));
   FlConfig fc = f.fc;
   fc.threads = threads;
   fc.runtime = FaultyRuntimeConfig();
+  fc.runtime.wire_codec = codec;
   FederatedSimulator sim(f.gc, fc);
   sim.SetupClients(f.corpus.data, f.corpus.partition, f.corpus.cluster_tests);
   ParityRun run;
@@ -623,6 +733,112 @@ TEST(RuntimeParity, WritesTraceArtifact) {
   int threads = 0;
   if (const char* env = std::getenv("FEXIOT_THREADS")) threads = std::atoi(env);
   const ParityRun run = RunFaultyWithThreads(threads > 0 ? threads : 1);
+  std::FILE* f = std::fopen(out, "wb");
+  ASSERT_NE(f, nullptr) << "cannot open " << out;
+  for (const std::string& line : run.trace) {
+    std::fputs(line.c_str(), f);
+    std::fputc('\n', f);
+  }
+  std::fputs(run.digest.c_str(), f);
+  std::fclose(f);
+}
+
+// ---------------------------------------------------------------------------
+// Wire codecs end-to-end (pricing, accounting, determinism)
+// ---------------------------------------------------------------------------
+
+TEST(RuntimeConfig, RejectsUnknownCodecs) {
+  RuntimeConfig c;
+  c.wire_codec = static_cast<WireCodec>(200);
+  EXPECT_FALSE(ValidateRuntimeConfig(c).ok());
+  RuntimeConfig c2;
+  c2.client_codecs = {WireCodec::kInt8, static_cast<WireCodec>(9)};
+  EXPECT_FALSE(ValidateRuntimeConfig(c2).ok());
+  RuntimeConfig ok;
+  ok.wire_codec = WireCodec::kBf16;
+  ok.client_codecs = {WireCodec::kFp32, WireCodec::kInt8};
+  EXPECT_TRUE(ValidateRuntimeConfig(ok).ok());
+}
+
+TEST(FederatedRuntime, VectorBroadcastPricesPerClient) {
+  RuntimeConfig rc;
+  rc.default_down.bandwidth_bps = 1e6;
+  const std::vector<double> up(2, 0.0), train(2, 0.0);
+  // Scalar and uniform-vector overloads are the same round.
+  FederatedRuntime a(rc, 2), b(rc, 2);
+  const RoundOutcome oa = a.ExecuteRound(0, 1e5, up, train);
+  const RoundOutcome ob = b.ExecuteRound(0, {1e5, 1e5}, up, train);
+  EXPECT_DOUBLE_EQ(oa.end_time_s, ob.end_time_s);
+  EXPECT_DOUBLE_EQ(oa.downlink_wire_bytes, 2e5);
+  EXPECT_DOUBLE_EQ(ob.downlink_wire_bytes, 2e5);
+  // A heavier per-client downlink stretches that client's transfer, so a
+  // mixed fleet ends later than a uniformly light one.
+  FederatedRuntime c(rc, 2);
+  const RoundOutcome oc = c.ExecuteRound(0, {1e5, 4e5}, up, train);
+  EXPECT_GT(oc.end_time_s, ob.end_time_s);
+  EXPECT_DOUBLE_EQ(oc.downlink_wire_bytes, 5e5);
+}
+
+TEST(FederatedSimulatorRuntime, Int8CodecShrinksWireBytesAndSimTime) {
+  const Fixture& f = Fixture::Get();
+  auto run = [&](WireCodec codec, std::vector<WireCodec> per_client) {
+    FlConfig fc = f.fc;
+    fc.runtime = FaultyRuntimeConfig();
+    fc.runtime.record_trace = false;
+    fc.runtime.wire_codec = codec;
+    fc.runtime.client_codecs = std::move(per_client);
+    FederatedSimulator sim(f.gc, fc);
+    sim.SetupClients(f.corpus.data, f.corpus.partition,
+                     f.corpus.cluster_tests);
+    return sim.Run(FlAlgorithm::kFedAvg).value();
+  };
+  const FlResult fp64 = run(WireCodec::kFp64, {});
+  const FlResult int8 = run(WireCodec::kInt8, {});
+  ASSERT_GT(fp64.total_uplink_wire_bytes, 0.0);
+  ASSERT_GT(fp64.total_downlink_wire_bytes, 0.0);
+  // The headline acceptance ratio: int8 moves >= 4x fewer uplink bytes.
+  EXPECT_GE(fp64.total_uplink_wire_bytes / int8.total_uplink_wire_bytes, 4.0);
+  // Identical loss/straggler draws, smaller transfers: time can only drop.
+  EXPECT_LT(int8.total_sim_time_s, fp64.total_sim_time_s);
+  EXPECT_LT(int8.total_comm_bytes, fp64.total_comm_bytes);
+  // fp64 wire accounting: every legacy comm byte crossed the wire, plus
+  // framing and retransmits, so the wire total exceeds the payload total.
+  EXPECT_GT(fp64.total_uplink_wire_bytes + fp64.total_downlink_wire_bytes,
+            fp64.total_comm_bytes);
+  // Mixed fleet: per-client overrides land between the pure runs.
+  const FlResult mixed =
+      run(WireCodec::kFp64, {WireCodec::kFp64, WireCodec::kInt8,
+                             WireCodec::kBf16, WireCodec::kFp32});
+  EXPECT_LT(mixed.total_uplink_wire_bytes, fp64.total_uplink_wire_bytes);
+  EXPECT_GT(mixed.total_uplink_wire_bytes, int8.total_uplink_wire_bytes);
+}
+
+TEST(FederatedSimulatorRuntime,
+     LossyCodecRunsAreBitIdenticalAcrossThreadCounts) {
+  for (WireCodec codec :
+       {WireCodec::kFp32, WireCodec::kBf16, WireCodec::kInt8}) {
+    const ParityRun r1 = RunFaultyWithThreads(1, codec);
+    const ParityRun r4 = RunFaultyWithThreads(4, codec);
+    ASSERT_FALSE(r1.trace.empty()) << WireCodecName(codec);
+    EXPECT_EQ(r1.trace, r4.trace) << WireCodecName(codec);
+    EXPECT_EQ(r1.digest, r4.digest) << WireCodecName(codec);
+  }
+}
+
+// CI hook (ci/run_tests.sh stage "wire codec parity"): when
+// FEXIOT_CODEC_TRACE_OUT is set, dump the faulty run's trace + digest
+// under the codec named by FEXIOT_CODEC and the ambient FEXIOT_THREADS,
+// so per-codec runs with different thread counts diff byte-for-byte.
+TEST(CodecParity, WritesTraceArtifact) {
+  const char* out = std::getenv("FEXIOT_CODEC_TRACE_OUT");
+  if (!out) GTEST_SKIP() << "FEXIOT_CODEC_TRACE_OUT not set";
+  const char* name = std::getenv("FEXIOT_CODEC");
+  ASSERT_NE(name, nullptr) << "FEXIOT_CODEC not set";
+  const Result<WireCodec> codec = ParseWireCodec(name);
+  ASSERT_TRUE(codec.ok()) << codec.status().ToString();
+  int threads = 0;
+  if (const char* env = std::getenv("FEXIOT_THREADS")) threads = std::atoi(env);
+  const ParityRun run = RunFaultyWithThreads(threads > 0 ? threads : 1, *codec);
   std::FILE* f = std::fopen(out, "wb");
   ASSERT_NE(f, nullptr) << "cannot open " << out;
   for (const std::string& line : run.trace) {

@@ -294,6 +294,36 @@ TEST(ScaleSimulator, ThreadCountAndRerunKeepResultsBitIdentical) {
             r1.global_fingerprint);
 }
 
+TEST(ScaleSimulator, WireCodecShrinksHopBytesAndStaysThreadDeterministic) {
+  ScaleFlConfig fp64_cfg = SmallScaleConfig();
+  ScaleFlConfig int8_cfg = SmallScaleConfig();
+  int8_cfg.wire_codec = WireCodec::kInt8;
+  const ScaleFlResult fp64 = ScaleSimulator(fp64_cfg).Run().value();
+  const ScaleFlResult int8 = ScaleSimulator(int8_cfg).Run().value();
+  // Every priced hop carries the quantized record, so each tier's bytes
+  // shrink by at least the 4x acceptance floor (fp64 lanes -> u8 lanes).
+  ASSERT_EQ(int8.rounds.size(), fp64.rounds.size());
+  for (size_t r = 0; r < fp64.rounds.size(); ++r) {
+    ASSERT_EQ(int8.rounds[r].hop_bytes.size(), fp64.rounds[r].hop_bytes.size());
+    for (size_t h = 0; h < fp64.rounds[r].hop_bytes.size(); ++h) {
+      EXPECT_GE(fp64.rounds[r].hop_bytes[h],
+                4.0 * int8.rounds[r].hop_bytes[h]);
+    }
+  }
+  EXPECT_GE(fp64.total_comm_bytes, 4.0 * int8.total_comm_bytes);
+  // Quantization actually touches the model that crosses the wire.
+  EXPECT_NE(int8.global_fingerprint, fp64.global_fingerprint);
+  // And stays a pure function of the payload: thread counts cannot skew it.
+  ScaleFlConfig one = int8_cfg, four = int8_cfg;
+  one.threads = 1;
+  four.threads = 4;
+  const ScaleFlResult r1 = ScaleSimulator(one).Run().value();
+  const ScaleFlResult r4 = ScaleSimulator(four).Run().value();
+  EXPECT_EQ(r1.global_fingerprint, r4.global_fingerprint);
+  EXPECT_EQ(RoundsDigest(r1), RoundsDigest(r4));
+  EXPECT_EQ(r1.global_fingerprint, int8.global_fingerprint);
+}
+
 TEST(ScaleSimulator, SampledParticipationAndLazyAccountingHold) {
   ScaleFlConfig cfg = SmallScaleConfig();
   const ScaleFlResult res = ScaleSimulator(cfg).Run().value();
